@@ -1,0 +1,72 @@
+//===- bench/BenchCommon.h - Shared helpers for the table benches -*- C++ -*-===//
+///
+/// \file
+/// Helpers shared by the table-regenerating bench binaries: configuration
+/// constructors, the per-benchmark run loop with failure reporting, and
+/// printf-free table emission.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_BENCH_BENCHCOMMON_H
+#define BALSCHED_BENCH_BENCHCOMMON_H
+
+#include "driver/Experiment.h"
+#include "support/Str.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bsched {
+namespace bench {
+
+inline driver::CompileOptions
+makeOptions(sched::SchedulerKind Kind, int Unroll = 1, bool TrS = false,
+            bool LA = false) {
+  driver::CompileOptions O;
+  O.Scheduler = Kind;
+  O.UnrollFactor = Unroll;
+  O.TraceScheduling = TrS;
+  O.LocalityAnalysis = LA;
+  return O;
+}
+
+inline driver::CompileOptions balanced(int Unroll = 1, bool TrS = false,
+                                       bool LA = false) {
+  return makeOptions(sched::SchedulerKind::Balanced, Unroll, TrS, LA);
+}
+
+inline driver::CompileOptions traditional(int Unroll = 1, bool TrS = false,
+                                          bool LA = false) {
+  return makeOptions(sched::SchedulerKind::Traditional, Unroll, TrS, LA);
+}
+
+/// Runs (cached) and aborts the bench with a diagnostic on any failure —
+/// a table must never be printed from a failed or miscompiled run.
+inline const driver::RunResult &
+mustRun(const driver::Workload &W, const driver::CompileOptions &Opts,
+        const sim::MachineConfig &Machine = {}) {
+  const driver::RunResult &R = driver::runCached(W, Opts, Machine);
+  if (!R.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+inline void emit(const Table &T) {
+  std::fputs(T.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+inline void heading(const char *Text) {
+  std::printf("%s\n", Text);
+  for (const char *C = Text; *C; ++C)
+    std::fputc('=', stdout);
+  std::fputs("\n\n", stdout);
+}
+
+} // namespace bench
+} // namespace bsched
+
+#endif // BALSCHED_BENCH_BENCHCOMMON_H

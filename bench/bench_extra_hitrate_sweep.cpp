@@ -1,0 +1,58 @@
+//===- bench/bench_extra_hitrate_sweep.cpp - 1993-model hit-rate sweep -----===//
+//
+// The Kerns & Eggers 1993 study evaluated balanced scheduling on a
+// stochastic machine model at 80% and 95% cache hit rates (reporting ~8%
+// average speedups). This bench sweeps the hit rate across the full
+// workload on that simple model, exposing the crossover the 1995 paper's
+// premise rests on: the scarcer the hits, the more worth hiding — and at
+// very high hit rates the traditional optimistic assumption becomes right
+// and the two schedulers converge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace bsched;
+using namespace bsched::bench;
+using namespace bsched::driver;
+
+int main() {
+  heading("Balanced vs traditional scheduling on the 1993 stochastic model "
+          "across cache hit rates (miss = 24 cycles, hit = 2, single-cycle "
+          "fixed-latency instructions, perfect front end)");
+
+  Table T({"Hit rate", "Mean BS vs TS", "Mean li% BS", "Mean li% TS",
+           "BS wins / ties / losses"});
+  for (double HitRate : {0.50, 0.80, 0.90, 0.95, 0.99}) {
+    sim::MachineConfig C;
+    C.SimpleModel = true;
+    C.SimpleHitRate = HitRate;
+    std::vector<double> Sp, LiB, LiT;
+    int Wins = 0, Ties = 0, Losses = 0;
+    for (const Workload &W : workloads()) {
+      const RunResult &BS = mustRun(W, balanced(), C);
+      const RunResult &TS = mustRun(W, traditional(), C);
+      double S = speedup(TS, BS);
+      Sp.push_back(S);
+      LiB.push_back(BS.Sim.loadInterlockShare());
+      LiT.push_back(TS.Sim.loadInterlockShare());
+      if (S > 1.005)
+        ++Wins;
+      else if (S < 0.995)
+        ++Losses;
+      else
+        ++Ties;
+    }
+    T.addRow({fmtPercent(HitRate, 0), fmtDouble(mean(Sp), 3),
+              fmtPercent(mean(LiB)), fmtPercent(mean(LiT)),
+              std::to_string(Wins) + " / " + std::to_string(Ties) + " / " +
+                  std::to_string(Losses)});
+  }
+  emit(T);
+
+  std::printf(
+      "Reference: the 1993 study reported ~8%% average balanced-scheduling "
+      "speedups at 80%% and 95%% hit rates on its workload; the shape to "
+      "check is monotone decay toward parity as hits become certain.\n");
+  return 0;
+}

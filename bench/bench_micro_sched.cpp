@@ -1,0 +1,135 @@
+//===- bench/bench_micro_sched.cpp - Scheduler microbenchmarks --------------===//
+//
+// google-benchmark microbenchmarks of the compile-time cost of the core
+// algorithms: dependence-DAG construction, the Kerns-Eggers balanced-weight
+// computation (whose O(n^2)-with-bitsets reachability closure the 1993
+// paper flags as its main cost), and list scheduling, across block sizes
+// typical of unrolled loop bodies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "sched/DepDAG.h"
+#include "sched/Schedule.h"
+#include "support/RNG.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::sched;
+
+namespace {
+
+/// Synthesizes a block of N instructions with a load-heavy mix resembling an
+/// unrolled stencil body: ~1/3 loads, address adds, FP arithmetic chains.
+struct SyntheticBlock {
+  Function F;
+  std::vector<Instr> Instrs;
+  std::vector<const Instr *> Ptrs;
+
+  explicit SyntheticBlock(unsigned N, uint64_t Seed = 7) {
+    RNG Rng(Seed);
+    Reg Base = F.makeReg(RegClass::Int);
+    std::vector<Reg> FpVals{F.makeReg(RegClass::Fp)};
+    {
+      Instr In;
+      In.Op = Opcode::FLdI;
+      In.Dst = FpVals[0];
+      In.setFImm(1.0);
+      Instrs.push_back(In);
+    }
+    for (unsigned I = 1; I + 1 < N; ++I) {
+      Instr In;
+      switch (Rng.nextBelow(3)) {
+      case 0: { // load
+        In.Op = Opcode::FLoad;
+        In.Dst = F.makeReg(RegClass::Fp);
+        In.Base = Base;
+        In.Offset = static_cast<int64_t>(Rng.nextBelow(64)) * 8;
+        In.Mem.ArrayId = static_cast<int>(Rng.nextBelow(3));
+        In.Mem.HasForm = true;
+        In.Mem.Const = In.Offset;
+        FpVals.push_back(In.Dst);
+        break;
+      }
+      case 1: { // FP arithmetic on two prior values
+        In.Op = Rng.nextBool(0.8) ? Opcode::FAdd : Opcode::FMul;
+        In.Dst = F.makeReg(RegClass::Fp);
+        In.SrcA = FpVals[Rng.nextBelow(FpVals.size())];
+        In.SrcB = FpVals[Rng.nextBelow(FpVals.size())];
+        FpVals.push_back(In.Dst);
+        break;
+      }
+      default: { // store of a prior value
+        In.Op = Opcode::FStore;
+        In.SrcA = FpVals[Rng.nextBelow(FpVals.size())];
+        In.Base = Base;
+        In.Offset = static_cast<int64_t>(Rng.nextBelow(64)) * 8;
+        In.Mem.ArrayId = static_cast<int>(Rng.nextBelow(3));
+        In.Mem.HasForm = true;
+        In.Mem.Const = In.Offset;
+        break;
+      }
+      }
+      Instrs.push_back(In);
+    }
+    Instr Term;
+    Term.Op = Opcode::Ret;
+    Instrs.push_back(Term);
+    for (const Instr &In : Instrs)
+      Ptrs.push_back(&In);
+  }
+};
+
+void BM_BuildDepDAG(benchmark::State &State) {
+  SyntheticBlock B(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    DepDAG G = buildDepDAG(B.Ptrs);
+    benchmark::DoNotOptimize(G.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_BalancedWeights(benchmark::State &State) {
+  SyntheticBlock B(static_cast<unsigned>(State.range(0)));
+  DepDAG G = buildDepDAG(B.Ptrs);
+  addBlockControlEdges(G, B.Ptrs);
+  for (auto _ : State) {
+    std::vector<double> W = balancedWeights(G, B.Ptrs);
+    benchmark::DoNotOptimize(W.data());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+void BM_TraditionalWeights(benchmark::State &State) {
+  SyntheticBlock B(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<double> W = traditionalWeights(B.Ptrs);
+    benchmark::DoNotOptimize(W.data());
+  }
+}
+
+void BM_ListSchedule(benchmark::State &State) {
+  SyntheticBlock B(static_cast<unsigned>(State.range(0)));
+  DepDAG G = buildDepDAG(B.Ptrs);
+  addBlockControlEdges(G, B.Ptrs);
+  std::vector<double> W = balancedWeights(G, B.Ptrs);
+  for (auto _ : State) {
+    std::vector<unsigned> Order = listSchedule(G, W, B.Ptrs);
+    benchmark::DoNotOptimize(Order.data());
+  }
+  State.SetComplexityN(State.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_BuildDepDAG)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Complexity();
+BENCHMARK(BM_BalancedWeights)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Complexity();
+BENCHMARK(BM_TraditionalWeights)->Arg(128)->Arg(512);
+BENCHMARK(BM_ListSchedule)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Complexity();
+
+BENCHMARK_MAIN();

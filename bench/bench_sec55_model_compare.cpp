@@ -1,0 +1,62 @@
+//===- bench/bench_sec55_model_compare.cpp - Section 5.5 --------------------===//
+//
+// Regenerates the section-5.5 comparison: balanced scheduling's advantage
+// over traditional scheduling under the original study's simple stochastic
+// machine model (single-cycle fixed-latency instructions, probabilistic
+// cache, perfect front end) versus the full 21164 model. The paper estimates
+// a 10% advantage under the simple model shrinking to 4% on the 21164 for
+// the four programs the two studies share; the mechanism is the fixed
+// multi-cycle latencies the simple model hides.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace bsched;
+using namespace bsched::bench;
+using namespace bsched::driver;
+
+int main() {
+  heading("Section 5.5: Simple stochastic model (1993 study) vs the 21164 "
+          "model — BS-over-TS speedup under each");
+
+  // Four Perfect Club programs stand in for the four the studies share.
+  const char *Shared[] = {"ARC2D", "BDNA", "DYFESM", "TRFD"};
+
+  for (double HitRate : {0.80, 0.95}) {
+    sim::MachineConfig Simple;
+    Simple.SimpleModel = true;
+    Simple.SimpleHitRate = HitRate;
+
+    Table T({"Benchmark", "BSvTS (simple)", "BSvTS (21164)",
+             "li% BS simple", "li% BS 21164"});
+    std::vector<double> SimpleSp, FullSp;
+    for (const char *Name : Shared) {
+      const Workload &W = *findWorkload(Name);
+      const RunResult &SB = mustRun(W, balanced(), Simple);
+      const RunResult &ST = mustRun(W, traditional(), Simple);
+      const RunResult &FB = mustRun(W, balanced());
+      const RunResult &FT = mustRun(W, traditional());
+      double S1 = speedup(ST, SB);
+      double S2 = speedup(FT, FB);
+      SimpleSp.push_back(S1);
+      FullSp.push_back(S2);
+      T.addRow({Name, fmtDouble(S1, 3), fmtDouble(S2, 3),
+                fmtPercent(SB.Sim.loadInterlockShare()),
+                fmtPercent(FB.Sim.loadInterlockShare())});
+    }
+    T.addSeparator();
+    T.addRow({"AVERAGE", fmtDouble(mean(SimpleSp), 3),
+              fmtDouble(mean(FullSp), 3)});
+    T.setCaption("Simple-model cache hit rate " + fmtPercent(HitRate, 0) +
+                 " (the 1993 study used 80% and 95%)");
+    emit(T);
+  }
+
+  std::printf(
+      "Paper reference (section 5.5): ~10%% BS advantage under the simple "
+      "model vs ~4%% when modeling the 21164 for the shared programs; the "
+      "gap comes from fixed multi-cycle latencies and the full memory "
+      "system, which the simple model omits.\n");
+  return 0;
+}

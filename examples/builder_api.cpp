@@ -1,0 +1,117 @@
+//===- examples/builder_api.cpp - Programmatic kernel construction ---------===//
+//
+// Builds a kernel with the lang:: builder API instead of the textual parser
+// — the route for embedding the compiler in another tool or for generating
+// parameterized kernels — then runs the paper's pipeline over it and prints
+// the full section-4.3 metrics report.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "lang/AST.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "sim/Machine.h"
+#include "sim/Report.h"
+
+#include <cstdio>
+
+using namespace bsched;
+using namespace bsched::lang;
+
+namespace {
+
+/// Builds, programmatically:
+///
+///   array A[N][N]; array B[N][N]; array C[N][N] output;
+///   for (i) for (j) { A = f(i,j); B = g(i,j); }
+///   for (i) for (k) for (j) C[i][j] += A[i][k] * B[k][j];
+Program buildMatMul(int64_t N) {
+  Program P;
+  P.Name = "builder-matmul";
+
+  for (const char *Name : {"A", "B", "C"}) {
+    ArrayDecl D;
+    D.Name = Name;
+    D.Dims = {N, N};
+    D.IsOutput = Name[0] == 'C';
+    P.Arrays.push_back(std::move(D));
+  }
+
+  auto Ref = [](const char *Arr, ExprPtr I, ExprPtr J) {
+    std::vector<ExprPtr> Subs;
+    Subs.push_back(std::move(I));
+    Subs.push_back(std::move(J));
+    return arrayRef(Arr, std::move(Subs));
+  };
+
+  // Initialization nest.
+  {
+    StmtList Inner;
+    Inner.push_back(assign(
+        Ref("A", varRef("i"), varRef("j")),
+        sub(mul(varRef("i"), fpLit(0.02)), mul(varRef("j"), fpLit(0.01)))));
+    Inner.push_back(assign(
+        Ref("B", varRef("i"), varRef("j")),
+        add(fpLit(1.0), mul(varRef("j"), fpLit(0.003)))));
+    StmtList Outer;
+    Outer.push_back(
+        forLoop("j", intLit(0), intLit(N), 1, std::move(Inner)));
+    P.Body.push_back(
+        forLoop("i", intLit(0), intLit(N), 1, std::move(Outer)));
+  }
+
+  // C[i][j] += A[i][k] * B[k][j].
+  {
+    StmtList JBody;
+    JBody.push_back(assign(
+        Ref("C", varRef("i"), varRef("j")),
+        add(Ref("C", varRef("i"), varRef("j")),
+            mul(Ref("A", varRef("i"), varRef("k")),
+                Ref("B", varRef("k"), varRef("j"))))));
+    StmtList KBody;
+    KBody.push_back(forLoop("j", intLit(0), intLit(N), 1, std::move(JBody)));
+    StmtList IBody;
+    IBody.push_back(forLoop("k", intLit(0), intLit(N), 1, std::move(KBody)));
+    P.Body.push_back(
+        forLoop("i", intLit(0), intLit(N), 1, std::move(IBody)));
+  }
+  return P;
+}
+
+} // namespace
+
+int main() {
+  Program P = buildMatMul(40);
+  // Builder-made ASTs must be type-checked before evaluation or compilation
+  // (the checker resolves expression types and inserts int->fp conversions).
+  if (std::string E = checkProgram(P); !E.empty()) {
+    std::fprintf(stderr, "check: %s\n", E.c_str());
+    return 1;
+  }
+  std::printf("Built programmatically:\n\n%s\n", printProgram(P).c_str());
+
+  EvalResult Oracle = evalProgram(P);
+  if (!Oracle.ok()) {
+    std::fprintf(stderr, "oracle: %s\n", Oracle.Error.c_str());
+    return 1;
+  }
+
+  driver::CompileOptions Opts;
+  Opts.UnrollFactor = 4;
+  Opts.LocalityAnalysis = true; // A[i][k] is temporal, B/C spatial in j.
+  driver::CompileResult C = driver::compileProgram(P, Opts);
+  if (!C.ok()) {
+    std::fprintf(stderr, "compile: %s\n", C.Error.c_str());
+    return 1;
+  }
+  std::printf("Locality analysis: %d temporal ref(s), %d spatial ref(s)\n\n",
+              C.Locality.TemporalRefs, C.Locality.SpatialRefs);
+
+  sim::SimResult R = sim::simulate(C.M);
+  std::fputs(sim::printReport(R, "BS+LA+LU4 on the 21164 model").c_str(),
+             stdout);
+  std::printf("\nchecksum %s the oracle\n",
+              R.Checksum == Oracle.Checksum ? "matches" : "DOES NOT match");
+  return R.Checksum == Oracle.Checksum ? 0 : 1;
+}

@@ -1,0 +1,201 @@
+//===- examples/explorer.cpp - Compiler/simulator explorer CLI --------------===//
+//
+// A small driver for poking at the system:
+//
+//   explorer --list                        list the built-in workloads
+//   explorer <name|file.kl>                sweep the paper's configurations
+//   explorer <name|file.kl> --dump [tag]   print the scheduled machine code
+//                                          for one configuration (default BS)
+//   explorer <name|file.kl> --report [tag] full section-4.3 metrics report
+//   explorer <file.ir> --run               simulate textual IR directly
+//
+// A .kl file is kernel-language source, a .ir file is textual IR (the
+// --dump format); anything else is looked up among the built-in Table-1
+// workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiment.h"
+#include "ir/IRParser.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "regalloc/LinearScan.h"
+#include "sim/Report.h"
+#include "support/Str.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace bsched;
+using namespace bsched::driver;
+
+namespace {
+
+int listWorkloads() {
+  Table T({"Name", "Mirrors", "Engineered behaviour"});
+  for (const Workload &W : workloads())
+    T.addRow({W.Name, W.Description, W.Behaviour});
+  std::fputs(T.render().c_str(), stdout);
+  return 0;
+}
+
+bool loadProgram(const std::string &Arg, lang::Program &Out) {
+  if (Arg.size() > 3 && Arg.substr(Arg.size() - 3) == ".kl") {
+    std::ifstream In(Arg);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", Arg.c_str());
+      return false;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    lang::ParseResult PR = lang::parseProgram(SS.str(), Arg);
+    if (!PR.ok()) {
+      std::fprintf(stderr, "%s: %s\n", Arg.c_str(), PR.Error.c_str());
+      return false;
+    }
+    if (std::string E = lang::checkProgram(PR.Prog); !E.empty()) {
+      std::fprintf(stderr, "%s: %s\n", Arg.c_str(), E.c_str());
+      return false;
+    }
+    Out = std::move(PR.Prog);
+    return true;
+  }
+  const Workload *W = findWorkload(Arg);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n", Arg.c_str());
+    return false;
+  }
+  Out = parseWorkload(*W);
+  return true;
+}
+
+CompileOptions optionsFromTag(const std::string &Tag) {
+  CompileOptions O;
+  O.Scheduler = Tag.find("TS") == 0 ? sched::SchedulerKind::Traditional
+                                    : sched::SchedulerKind::Balanced;
+  if (Tag.find("LU4") != std::string::npos)
+    O.UnrollFactor = 4;
+  if (Tag.find("LU8") != std::string::npos)
+    O.UnrollFactor = 8;
+  O.TraceScheduling = Tag.find("TrS") != std::string::npos;
+  O.LocalityAnalysis = Tag.find("LA") != std::string::npos;
+  return O;
+}
+
+int runIRFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  ir::ParseIRResult R = ir::parseModule(SS.str());
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), R.Error.c_str());
+    return 1;
+  }
+  // Textual IR may still use virtual registers; allocate if so.
+  bool AnyVirtual = false;
+  for (const ir::BasicBlock &B : R.M.Fn.Blocks)
+    for (const ir::Instr &I : B.Instrs)
+      if (ir::Reg D = I.def(); D.isValid())
+        AnyVirtual |= D.isVirtual();
+  if (AnyVirtual) {
+    regalloc::RegAllocStats S = regalloc::allocateRegisters(R.M);
+    if (!S.ok()) {
+      std::fprintf(stderr, "regalloc: %s\n", S.Error.c_str());
+      return 1;
+    }
+  }
+  sim::SimResult S = sim::simulate(R.M);
+  std::fputs(sim::printReport(S, Path).c_str(), stdout);
+  return S.Finished ? 0 : 1;
+}
+
+int report(const lang::Program &P, const std::string &Tag) {
+  CompileResult C = compileProgram(P, optionsFromTag(Tag));
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s\n", C.Error.c_str());
+    return 1;
+  }
+  sim::SimResult S = sim::simulate(C.M);
+  std::fputs(sim::printReport(S, Tag).c_str(), stdout);
+  return 0;
+}
+
+int dump(const lang::Program &P, const std::string &Tag) {
+  CompileResult C = compileProgram(P, optionsFromTag(Tag));
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s\n", C.Error.c_str());
+    return 1;
+  }
+  std::printf("; %s, scheduled + register-allocated (re-runnable: save as\n"
+              "; a .ir file and pass it back to this tool)\n%s",
+              Tag.c_str(), ir::printModule(C.M).c_str());
+  return 0;
+}
+
+int sweep(const lang::Program &P) {
+  lang::EvalResult Oracle = lang::evalProgram(P);
+  if (!Oracle.ok()) {
+    std::fprintf(stderr, "oracle: %s\n", Oracle.Error.c_str());
+    return 1;
+  }
+
+  struct Cfg {
+    const char *Tag;
+  } Cfgs[] = {{"TS"},        {"BS"},        {"TS+LU4"},    {"BS+LU4"},
+              {"BS+LU8"},    {"BS+TrS+LU4"}, {"BS+LA"},    {"BS+LA+LU4"},
+              {"BS+LA+TrS+LU8"}};
+
+  Table T({"Config", "Cycles", "Instrs", "li%", "fi%", "L1D miss%",
+           "Spill+restore", "OK"});
+  for (const Cfg &C : Cfgs) {
+    CompileResult R = compileProgram(P, optionsFromTag(C.Tag));
+    if (!R.ok()) {
+      std::fprintf(stderr, "%s: %s\n", C.Tag, R.Error.c_str());
+      return 1;
+    }
+    sim::SimResult S = sim::simulate(R.M);
+    double Fi = S.Cycles == 0 ? 0.0
+                              : static_cast<double>(S.FixedInterlockCycles) /
+                                    static_cast<double>(S.Cycles);
+    T.addRow({C.Tag, fmtInt(static_cast<int64_t>(S.Cycles)),
+              fmtInt(static_cast<int64_t>(S.Counts.total())),
+              fmtPercent(S.loadInterlockShare()), fmtPercent(Fi),
+              fmtPercent(S.L1D.missRate()),
+              fmtInt(static_cast<int64_t>(S.Counts.Spills +
+                                          S.Counts.Restores)),
+              S.Checksum == Oracle.Checksum ? "yes" : "NO"});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc >= 2 && std::strcmp(Argv[1], "--list") == 0)
+    return listWorkloads();
+  if (Argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s --list | <workload|file.kl> [--dump [tag]]\n",
+                 Argv[0]);
+    return 2;
+  }
+  std::string First = Argv[1];
+  if (First.size() > 3 && First.substr(First.size() - 3) == ".ir")
+    return runIRFile(First);
+  lang::Program P;
+  if (!loadProgram(First, P))
+    return 1;
+  if (Argc >= 3 && std::strcmp(Argv[2], "--dump") == 0)
+    return dump(P, Argc >= 4 ? Argv[3] : "BS");
+  if (Argc >= 3 && std::strcmp(Argv[2], "--report") == 0)
+    return report(P, Argc >= 4 ? Argv[3] : "BS");
+  return sweep(P);
+}

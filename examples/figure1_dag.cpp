@@ -1,0 +1,118 @@
+//===- examples/figure1_dag.cpp - The paper's Figure 1, executable ----------===//
+//
+// Reconstructs the Figure-1 code DAG: independent loads L0 and L1, a serial
+// load pair L2 -> L3, and non-load instructions X1, X2 that can pad either.
+// Prints the Kerns-Eggers balanced weights next to the traditional fixed
+// weights and the schedules each produces, showing the paper's point:
+// "X1 and X2 can be used to hide the latency of either L2 or L3, but not
+// both", so the serialized loads split their padding credit while L0 and L1
+// keep full credit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "sched/DepDAG.h"
+#include "sched/Schedule.h"
+#include "support/Str.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::sched;
+
+int main() {
+  Function F;
+  std::vector<Instr> Block;
+  std::vector<std::string> Names;
+
+  Reg Base = F.makeReg(RegClass::Int);
+  Reg R0 = F.makeReg(RegClass::Fp), R1 = F.makeReg(RegClass::Fp);
+  Reg R2 = F.makeReg(RegClass::Fp), R3 = F.makeReg(RegClass::Fp);
+  Reg Addr3 = F.makeReg(RegClass::Int);
+  Reg U = F.makeReg(RegClass::Fp), V = F.makeReg(RegClass::Fp);
+  Reg W = F.makeReg(RegClass::Fp);
+
+  auto Load = [&](const char *Name, Reg Dst, Reg B2, int64_t Off, int Arr) {
+    Instr I;
+    I.Op = Opcode::FLoad;
+    I.Dst = Dst;
+    I.Base = B2;
+    I.Offset = Off;
+    I.Mem.ArrayId = Arr;
+    I.Mem.HasForm = true;
+    I.Mem.Const = Off;
+    Block.push_back(I);
+    Names.push_back(Name);
+  };
+
+  Load("L0", R0, Base, 0, 0);
+  Load("L1", R1, Base, 64, 0);
+  Load("L2", R2, Base, 128, 0);
+  {
+    // L3 depends on L2 through its address: the serial pair of Figure 1.
+    Instr I;
+    I.Op = Opcode::FtoI;
+    I.Dst = Addr3;
+    I.SrcA = R2;
+    Block.push_back(I);
+    Names.push_back("X0 (addr of L3, depends on L2)");
+  }
+  Load("L3", R3, Addr3, 0, 1);
+  {
+    Instr I;
+    I.Op = Opcode::FAdd;
+    I.Dst = V;
+    I.SrcA = U;
+    I.SrcB = U;
+    Block.push_back(I);
+    Names.push_back("X1");
+    I.Dst = W;
+    I.SrcA = V;
+    I.SrcB = V;
+    Block.push_back(I);
+    Names.push_back("X2 (depends on X1)");
+  }
+  {
+    Instr I;
+    I.Op = Opcode::Ret;
+    Block.push_back(I);
+    Names.push_back("(terminator)");
+  }
+
+  std::vector<const Instr *> Ptrs;
+  for (const Instr &I : Block)
+    Ptrs.push_back(&I);
+
+  DepDAG G = buildDepDAG(Ptrs);
+  addBlockControlEdges(G, Ptrs);
+  std::vector<double> Balanced = balancedWeights(G, Ptrs);
+  std::vector<double> Traditional = traditionalWeights(Ptrs);
+
+  std::printf("Figure 1: load-level parallelism and balanced load weights\n\n");
+  Table T({"Node", "Instruction", "Traditional wt", "Balanced wt"});
+  for (size_t I = 0; I != Block.size(); ++I)
+    T.addRow({Names[I], printInstr(Block[I]), fmtDouble(Traditional[I], 1),
+              fmtDouble(Balanced[I], 2)});
+  std::fputs(T.render().c_str(), stdout);
+
+  std::printf("\nIndependent loads L0/L1 earn full credit from every padder;"
+              "\nthe serial pair L2->L3 splits each shared padder 50/50, so"
+              "\nits weights are lower — schedule independent work behind"
+              "\nthe loads that can actually use it.\n\n");
+
+  for (auto Kind :
+       {SchedulerKind::Traditional, SchedulerKind::Balanced}) {
+    std::vector<unsigned> Order = listSchedule(
+        G,
+        Kind == SchedulerKind::Balanced ? Balanced : Traditional, Ptrs);
+    std::printf("%s schedule: ",
+                Kind == SchedulerKind::Balanced ? "balanced   "
+                                                : "traditional");
+    for (unsigned N : Order)
+      std::printf("%s ", Names[N].substr(0, 2).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- examples/figures345_locality.cpp - Figures 3-5, executable -----------===//
+//
+// Starts from the paper's Figure-3 loop
+//
+//     for (i) for (j) C[i][j] = A[i][j] + B[i][0];
+//
+// where A[i][j] has spatial reuse in j and B[i][0] temporal reuse, runs the
+// locality-analysis pass, and prints the transformed source: the peeled
+// first iteration (Figure 5), the postconditioned unrolled loop (Figure 4),
+// and the per-copy hit/miss marks the scheduler consumes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "locality/Locality.h"
+
+#include <cstdio>
+
+using namespace bsched;
+using namespace bsched::lang;
+
+static const char *Figure3 = R"(
+array A[16][16];
+array B[16][16];
+array C[16][16] output;
+for (i = 0; i < 16; i += 1) {
+  for (j = 0; j < 16; j += 1) {
+    C[i][j] = A[i][j] + B[i][0];
+  }
+}
+)";
+
+int main() {
+  ParseResult PR = parseProgram(Figure3, "figure3");
+  if (!PR.ok()) {
+    std::fprintf(stderr, "parse: %s\n", PR.Error.c_str());
+    return 1;
+  }
+  checkProgram(PR.Prog);
+
+  std::printf("Figure 3 (input):\n\n%s\n", printProgram(PR.Prog).c_str());
+  EvalResult Before = evalProgram(PR.Prog);
+
+  locality::LocalityStats S = locality::applyLocality(PR.Prog);
+  checkProgram(PR.Prog);
+
+  std::printf("Locality analysis: %d loop(s) analyzed, %d peeled "
+              "(temporal reuse, Figure 5), %d unrolled+marked (spatial "
+              "reuse, Figure 4); %d temporal ref(s), %d spatial ref(s), "
+              "%d with no information.\n\n",
+              S.LoopsAnalyzed, S.LoopsPeeled, S.LoopsUnrolled,
+              S.TemporalRefs, S.SpatialRefs, S.RefsNoInfo);
+
+  std::printf("Transformed program (/*miss*/ and /*hit*/ are the marks the "
+              "balanced scheduler consumes):\n\n%s\n",
+              printProgram(PR.Prog).c_str());
+
+  EvalResult After = evalProgram(PR.Prog);
+  std::printf("checksum before %016llx / after %016llx -> %s\n",
+              static_cast<unsigned long long>(Before.Checksum),
+              static_cast<unsigned long long>(After.Checksum),
+              Before.Checksum == After.Checksum ? "identical" : "BROKEN");
+
+  std::printf(
+      "\nReading the output:\n"
+      " - B[i][0] is invariant in j (temporal reuse): the first iteration\n"
+      "   was peeled and its load marked /*miss*/; in-loop copies are\n"
+      "   /*hit*/ and keep the optimistic weight during scheduling.\n"
+      " - A[i][j] walks a 32-byte line in four iterations (spatial reuse):\n"
+      "   the loop was unrolled by four with a postconditioned remainder\n"
+      "   chain — never a second loop, so every copy can carry its own\n"
+      "   mark — and only the line-aligned copy is a /*miss*/.\n");
+  return Before.Checksum == After.Checksum ? 0 : 1;
+}

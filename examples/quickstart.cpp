@@ -1,0 +1,87 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library -----------===//
+//
+// Compiles a small kernel twice — once with the traditional scheduler, once
+// with balanced scheduling — runs both on the simulated Alpha 21164, and
+// shows where the cycles went. This is the paper's headline experiment in
+// miniature.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "sim/Machine.h"
+#include "support/Str.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace bsched;
+
+// A kernel with load-level parallelism and real cache misses: exactly the
+// situation where balanced scheduling pays off.
+static const char *Kernel = R"(
+array A[65536];
+array B[65536];
+array Out[8] output;
+var s = 0.0;
+var t = 1.0;
+for (i = 0; i < 65536; i += 1) { A[i] = i * 0.5; B[i] = 1.0 - i * 0.25; }
+for (i = 0; i < 65528; i += 1) {
+  s = s + A[i] * 2.0 + B[i + 7] * 3.0 + A[i + 3];
+  t = t * 1.0000001 + s * 0.0000001;
+}
+Out[0] = s;
+Out[1] = t;
+)";
+
+int main() {
+  // 1. Parse and type-check the kernel-language source.
+  lang::ParseResult PR = lang::parseProgram(Kernel, "quickstart");
+  if (!PR.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", PR.Error.c_str());
+    return 1;
+  }
+  if (std::string E = lang::checkProgram(PR.Prog); !E.empty()) {
+    std::fprintf(stderr, "check error: %s\n", E.c_str());
+    return 1;
+  }
+
+  // 2. The AST evaluator is the ground truth every compile must reproduce.
+  lang::EvalResult Oracle = lang::evalProgram(PR.Prog);
+  std::printf("oracle checksum: %016llx\n\n",
+              static_cast<unsigned long long>(Oracle.Checksum));
+
+  // 3. Compile + simulate under both schedulers.
+  Table T({"Scheduler", "Cycles", "Instructions", "Load-interlock cycles",
+           "li% of cycles", "Checksum OK"});
+  for (auto Kind : {sched::SchedulerKind::Traditional,
+                    sched::SchedulerKind::Balanced}) {
+    driver::CompileOptions Opts;
+    Opts.Scheduler = Kind;
+    driver::CompileResult C = driver::compileProgram(PR.Prog, Opts);
+    if (!C.ok()) {
+      std::fprintf(stderr, "compile error: %s\n", C.Error.c_str());
+      return 1;
+    }
+    sim::SimResult S = sim::simulate(C.M);
+    T.addRow({Kind == sched::SchedulerKind::Balanced ? "balanced"
+                                                     : "traditional",
+              fmtInt(static_cast<int64_t>(S.Cycles)),
+              fmtInt(static_cast<int64_t>(S.Counts.total())),
+              fmtInt(static_cast<int64_t>(S.LoadInterlockCycles)),
+              fmtPercent(S.loadInterlockShare()),
+              S.Checksum == Oracle.Checksum ? "yes" : "NO"});
+  }
+  std::fputs(T.render().c_str(), stdout);
+
+  std::printf(
+      "\nBalanced scheduling spaces independent instructions behind loads in\n"
+      "proportion to each load's available load-level parallelism, instead\n"
+      "of assuming every load is an L1 hit — so cache misses stall less.\n"
+      "Add unrolling (CompileOptions::UnrollFactor = 4) and the gap grows.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- driver/Compiler.cpp - Whole-pipeline facade --------------------------===//
+
+#include "driver/Compiler.h"
+
+#include "ir/Interp.h"
+#include "trace/EstimateProfile.h"
+#include "lang/Parser.h"
+
+using namespace bsched;
+using namespace bsched::driver;
+
+std::string CompileOptions::tag() const {
+  std::string S = Scheduler == sched::SchedulerKind::Balanced ? "BS"
+                  : Scheduler == sched::SchedulerKind::Hybrid ? "HY"
+                                                              : "TS";
+  if (LocalityAnalysis)
+    S += "+LA";
+  if (UnrollFactor > 1)
+    S += "+LU" + std::to_string(UnrollFactor);
+  if (TraceScheduling)
+    S += "+TrS";
+  return S;
+}
+
+CompileResult driver::compileProgram(const lang::Program &Source,
+                                     const CompileOptions &Opts) {
+  CompileResult R;
+  lang::Program P = Source; // Deep copy; transforms run on our own AST.
+
+  if (std::string E = lang::checkProgram(P); !E.empty()) {
+    R.Error = "check: " + E;
+    return R;
+  }
+
+  // Phase 2: locality analysis first — it claims (and tags) the loops whose
+  // reuse it exploits; plain unrolling then covers the rest.
+  if (Opts.LocalityAnalysis) {
+    locality::LocalityOptions LOpts;
+    LOpts.UnrollFactor = Opts.UnrollFactor > 1 ? Opts.UnrollFactor : 0;
+    R.Locality = locality::applyLocality(P, LOpts);
+  }
+  if (Opts.UnrollFactor > 1)
+    R.Unroll = xform::unrollLoops(P, Opts.UnrollFactor);
+  if (Opts.LocalityAnalysis || Opts.UnrollFactor > 1) {
+    if (std::string E = lang::checkProgram(P); !E.empty()) {
+      R.Error = "recheck after transforms: " + E;
+      return R;
+    }
+  }
+
+  lower::LowerResult LR = lower::lowerProgram(P, Opts.Lower);
+  if (!LR.ok()) {
+    R.Error = "lower: " + LR.Error;
+    return R;
+  }
+  R.M = std::move(LR.M);
+
+  if (Opts.CleanupIR) {
+    R.Cleanup = opt::cleanupModule(R.M);
+    if (std::string E = ir::verify(R.M); !E.empty()) {
+      R.Error = "cleanup broke the IR: " + E;
+      return R;
+    }
+  }
+
+  // Phase 3: scheduling. Trace scheduling needs the profile the paper also
+  // gathers first ("we first profiled the programs to determine basic block
+  // execution frequencies").
+  if (Opts.TraceScheduling) {
+    ir::InterpResult Profile = Opts.UseEstimatedProfile
+                                   ? trace::estimateProfile(R.M.Fn)
+                                   : ir::interpret(R.M);
+    if (!Profile.Finished) {
+      R.Error = "profiling run exceeded the instruction budget";
+      return R;
+    }
+    R.Trace = trace::traceScheduleFunction(R.M, Profile, Opts.Scheduler,
+                                           Opts.Balance);
+  } else {
+    sched::scheduleFunction(R.M, Opts.Scheduler, Opts.Balance);
+  }
+
+  if (!Opts.StopBeforeRegAlloc) {
+    R.RegAlloc = regalloc::allocateRegisters(R.M, Opts.RegAlloc);
+    if (!R.RegAlloc.ok()) {
+      R.Error = "regalloc: " + R.RegAlloc.Error;
+      return R;
+    }
+  }
+
+  if (std::string E = ir::verify(R.M); !E.empty())
+    R.Error = "verify: " + E;
+  return R;
+}
+
+CompileResult driver::compileSource(const std::string &Text,
+                                    const std::string &Name,
+                                    const CompileOptions &Opts) {
+  lang::ParseResult PR = lang::parseProgram(Text, Name);
+  if (!PR.ok()) {
+    CompileResult R;
+    R.Error = "parse: " + PR.Error;
+    return R;
+  }
+  return compileProgram(PR.Prog, Opts);
+}

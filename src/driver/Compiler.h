@@ -1,0 +1,80 @@
+//===- driver/Compiler.h - Whole-pipeline facade ----------------*- C++ -*-===//
+///
+/// \file
+/// The public entry point tying the pipeline together the way the modified
+/// Multiflow compiler of section 4 does:
+///
+///   parse/check -> [locality analysis (Phase 2)] -> [loop unrolling]
+///     -> lower -> [profile + trace scheduling | list scheduling (Phase 3)]
+///     -> register allocation -> verified machine code for the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_DRIVER_COMPILER_H
+#define BALSCHED_DRIVER_COMPILER_H
+
+#include "ir/IR.h"
+#include "locality/Locality.h"
+#include "lower/Lower.h"
+#include "opt/Cleanup.h"
+#include "regalloc/LinearScan.h"
+#include "sched/Schedule.h"
+#include "trace/Trace.h"
+#include "xform/Unroll.h"
+
+#include <string>
+
+namespace bsched {
+namespace driver {
+
+/// One experimental configuration (a row/column of the paper's tables).
+struct CompileOptions {
+  sched::SchedulerKind Scheduler = sched::SchedulerKind::Balanced;
+  /// 1 = no unrolling; the paper evaluates 4 and 8.
+  int UnrollFactor = 1;
+  bool TraceScheduling = false;
+  /// Use static frequency estimation instead of a profiling run to guide
+  /// trace selection (section 3.2 allows either; the paper profiles).
+  bool UseEstimatedProfile = false;
+  bool LocalityAnalysis = false;
+  /// Run the IR cleanup (copy propagation, constant folding, DCE) after
+  /// lowering; on by default, off for ablation.
+  bool CleanupIR = true;
+  /// Skip register allocation (for passes that inspect virtual-register
+  /// code); such modules cannot be simulated.
+  bool StopBeforeRegAlloc = false;
+
+  sched::BalanceOptions Balance;
+  lower::LowerOptions Lower;
+  regalloc::RegAllocOptions RegAlloc;
+
+  /// Short textual tag, e.g. "BS+LU4+TrS".
+  std::string tag() const;
+};
+
+struct CompileResult {
+  ir::Module M;
+  std::string Error; ///< empty on success.
+
+  xform::UnrollStats Unroll;
+  opt::CleanupStats Cleanup;
+  locality::LocalityStats Locality;
+  trace::TraceStats Trace;
+  regalloc::RegAllocStats RegAlloc;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Compiles \p Source (already checked) under \p Opts. The input program is
+/// copied; transformations never mutate the caller's AST.
+CompileResult compileProgram(const lang::Program &Source,
+                             const CompileOptions &Opts);
+
+/// Parses, checks and compiles kernel-language text.
+CompileResult compileSource(const std::string &Text, const std::string &Name,
+                            const CompileOptions &Opts);
+
+} // namespace driver
+} // namespace bsched
+
+#endif // BALSCHED_DRIVER_COMPILER_H

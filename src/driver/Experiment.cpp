@@ -1,0 +1,90 @@
+//===- driver/Experiment.cpp - Experiment harness ---------------------------===//
+
+#include "driver/Experiment.h"
+
+#include "lang/Eval.h"
+#include "support/Str.h"
+
+#include <map>
+
+using namespace bsched;
+using namespace bsched::driver;
+
+RunResult driver::runWorkload(const Workload &W, const CompileOptions &Opts,
+                              const sim::MachineConfig &Machine) {
+  RunResult R;
+
+  lang::Program P = parseWorkload(W);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  if (!Ref.ok()) {
+    R.Error = std::string(W.Name) + ": oracle: " + Ref.Error;
+    return R;
+  }
+
+  CompileResult C = compileProgram(P, Opts);
+  if (!C.ok()) {
+    R.Error = std::string(W.Name) + " [" + Opts.tag() + "]: " + C.Error;
+    return R;
+  }
+  R.Unroll = C.Unroll;
+  R.Locality = C.Locality;
+  R.Trace = C.Trace;
+  R.RegAlloc = C.RegAlloc;
+
+  R.Sim = sim::simulate(C.M, Machine);
+  if (!R.Sim.ok()) {
+    R.Error = std::string(W.Name) + " [" + Opts.tag() + "]: " + R.Sim.Error;
+    return R;
+  }
+  if (!R.Sim.Finished) {
+    R.Error = std::string(W.Name) + " [" + Opts.tag() +
+              "]: simulation exceeded the cycle budget";
+    return R;
+  }
+  if (R.Sim.Checksum != Ref.Checksum) {
+    R.Error = std::string(W.Name) + " [" + Opts.tag() +
+              "]: MISCOMPILE - simulated checksum differs from the oracle";
+    return R;
+  }
+  return R;
+}
+
+const RunResult &driver::runCached(const Workload &W,
+                                   const CompileOptions &Opts,
+                                   const sim::MachineConfig &Machine) {
+  static std::map<std::string, RunResult> Cache;
+  std::string Key = std::string(W.Name) + "|" + Opts.tag() + "|" +
+                    (Machine.SimpleModel
+                         ? "simple:" + fmtDouble(Machine.SimpleHitRate, 3)
+                         : std::string("21164")) +
+                    "|w" + std::to_string(Machine.IssueWidth) + "|p" +
+                    std::to_string(Opts.Balance.PressureThreshold) +
+                    (Opts.Balance.BalanceFixedOps ? "|bf" : "");
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  return Cache.emplace(Key, runWorkload(W, Opts, Machine)).first->second;
+}
+
+double driver::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Xs)
+    Sum += X;
+  return Sum / static_cast<double>(Xs.size());
+}
+
+double driver::speedup(const RunResult &Base, const RunResult &New) {
+  if (New.Sim.Cycles == 0)
+    return 0.0;
+  return static_cast<double>(Base.Sim.Cycles) /
+         static_cast<double>(New.Sim.Cycles);
+}
+
+double driver::pctDecrease(uint64_t Base, uint64_t New) {
+  if (Base == 0)
+    return 0.0;
+  return (static_cast<double>(Base) - static_cast<double>(New)) /
+         static_cast<double>(Base);
+}

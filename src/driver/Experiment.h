@@ -1,0 +1,60 @@
+//===- driver/Experiment.h - Experiment harness -----------------*- C++ -*-===//
+///
+/// \file
+/// Shared harness for the table-regenerating benchmark binaries: compiles a
+/// workload under one configuration, simulates it, cross-checks the result
+/// against the functional oracle, and memoizes (workload, configuration)
+/// pairs so one binary can assemble several table columns cheaply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_DRIVER_EXPERIMENT_H
+#define BALSCHED_DRIVER_EXPERIMENT_H
+
+#include "driver/Compiler.h"
+#include "driver/Workloads.h"
+#include "sim/Machine.h"
+
+#include <string>
+#include <vector>
+
+namespace bsched {
+namespace driver {
+
+struct RunResult {
+  std::string Error; ///< empty on success.
+  sim::SimResult Sim;
+
+  // Compilation statistics for the tables' footnote-level discussion.
+  xform::UnrollStats Unroll;
+  locality::LocalityStats Locality;
+  trace::TraceStats Trace;
+  regalloc::RegAllocStats RegAlloc;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Compiles and simulates \p W under \p Opts on \p Machine. The simulated
+/// checksum is verified against the AST evaluator; a mismatch is an error
+/// (an experiment must never report numbers from a miscompiled program).
+RunResult runWorkload(const Workload &W, const CompileOptions &Opts,
+                      const sim::MachineConfig &Machine = {});
+
+/// Memoized variant keyed on workload name + options tag + machine model;
+/// the benchmark binaries use this so overlapping tables share runs.
+const RunResult &runCached(const Workload &W, const CompileOptions &Opts,
+                           const sim::MachineConfig &Machine = {});
+
+/// Arithmetic mean (the paper reports arithmetic average speedups).
+double mean(const std::vector<double> &Xs);
+
+/// speedup = Base / New in total cycles.
+double speedup(const RunResult &Base, const RunResult &New);
+
+/// Percentage decrease from Base to New (0.23 = 23% fewer).
+double pctDecrease(uint64_t Base, uint64_t New);
+
+} // namespace driver
+} // namespace bsched
+
+#endif // BALSCHED_DRIVER_EXPERIMENT_H

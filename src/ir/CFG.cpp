@@ -1,0 +1,95 @@
+//===- ir/CFG.cpp - Control-flow analyses ------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include <utility>
+
+using namespace bsched;
+using namespace bsched::ir;
+
+std::vector<std::vector<bool>> ir::findBackEdges(const Function &F) {
+  size_t N = F.Blocks.size();
+  std::vector<std::vector<bool>> Back(N);
+  for (size_t B = 0; B != N; ++B)
+    Back[B].assign(F.Blocks[B].successors().size(), false);
+
+  enum class Color : uint8_t { White, Grey, Black };
+  std::vector<Color> Colors(N, Color::White);
+  std::vector<std::pair<int, size_t>> Stack;
+  Stack.push_back({0, 0});
+  Colors[0] = Color::Grey;
+  while (!Stack.empty()) {
+    auto &[B, K] = Stack.back();
+    std::vector<int> Succs = F.Blocks[B].successors();
+    if (K == Succs.size()) {
+      Colors[B] = Color::Black;
+      Stack.pop_back();
+      continue;
+    }
+    int S = Succs[K];
+    size_t Slot = K;
+    ++K;
+    if (Colors[S] == Color::Grey) {
+      Back[B][Slot] = true;
+    } else if (Colors[S] == Color::White) {
+      Colors[S] = Color::Grey;
+      Stack.push_back({S, 0});
+    }
+  }
+  return Back;
+}
+
+std::vector<NaturalLoop> ir::findNaturalLoops(const Function &F) {
+  size_t N = F.Blocks.size();
+  std::vector<std::vector<bool>> Back = findBackEdges(F);
+  std::vector<NaturalLoop> Loops;
+
+  for (size_t B = 0; B != N; ++B) {
+    std::vector<int> Succs = F.Blocks[B].successors();
+    for (size_t K = 0; K != Succs.size(); ++K) {
+      if (!Back[B][K])
+        continue;
+      NaturalLoop L;
+      L.Header = Succs[K];
+      L.Latch = static_cast<int>(B);
+      L.Contains.assign(N, false);
+      L.Contains[L.Header] = true;
+      std::vector<int> Work;
+      if (!L.Contains[L.Latch]) {
+        L.Contains[L.Latch] = true;
+        Work.push_back(L.Latch);
+      }
+      while (!Work.empty()) {
+        int Cur = Work.back();
+        Work.pop_back();
+        for (int P : F.predecessors(Cur))
+          if (!L.Contains[P]) {
+            L.Contains[P] = true;
+            Work.push_back(P);
+          }
+      }
+      // Preheader: the single outside predecessor of the header.
+      int Outside = -1;
+      bool Unique = true;
+      for (int P : F.predecessors(L.Header)) {
+        if (L.Contains[P])
+          continue;
+        if (Outside >= 0)
+          Unique = false;
+        Outside = P;
+      }
+      L.Preheader = Unique ? Outside : -1;
+      Loops.push_back(std::move(L));
+    }
+  }
+  return Loops;
+}
+
+std::vector<int> ir::loopDepths(const Function &F) {
+  std::vector<int> Depth(F.Blocks.size(), 0);
+  for (const NaturalLoop &L : findNaturalLoops(F))
+    for (size_t B = 0; B != Depth.size(); ++B)
+      if (L.Contains[B])
+        ++Depth[B];
+  return Depth;
+}

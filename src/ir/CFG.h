@@ -1,0 +1,44 @@
+//===- ir/CFG.h - Control-flow analyses --------------------------*- C++ -*-===//
+///
+/// \file
+/// Generic CFG analyses shared by trace formation, the static frequency
+/// estimator and the loop-invariant hoister: DFS back-edge identification
+/// and natural-loop discovery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_IR_CFG_H
+#define BALSCHED_IR_CFG_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace bsched {
+namespace ir {
+
+/// Back[b][k] is true when successor slot k of block b is a DFS back edge
+/// (its target is an ancestor on the DFS stack).
+std::vector<std::vector<bool>> findBackEdges(const Function &F);
+
+/// A natural loop: the target of a back edge plus every block that reaches
+/// the back edge's source without passing through the header.
+struct NaturalLoop {
+  int Header = -1;
+  int Latch = -1;               ///< source of the defining back edge.
+  std::vector<bool> Contains;   ///< per block id.
+  /// The unique predecessor of Header outside the loop, or -1 when the
+  /// header has several outside predecessors.
+  int Preheader = -1;
+};
+
+/// All natural loops of \p F, one per back edge.
+std::vector<NaturalLoop> findNaturalLoops(const Function &F);
+
+/// Loop-nesting depth per block (number of natural loops containing it).
+std::vector<int> loopDepths(const Function &F);
+
+} // namespace ir
+} // namespace bsched
+
+#endif // BALSCHED_IR_CFG_H

@@ -1,0 +1,338 @@
+//===- ir/IR.cpp - IR definitions, printer, verifier ----------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Str.h"
+
+#include <cstring>
+
+using namespace bsched;
+using namespace bsched::ir;
+
+//===----------------------------------------------------------------------===//
+// Opcode table
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int IntC = 0, FpC = 1, NoC = -1;
+
+// Latencies follow Table 3 of the paper: integer op 1, integer multiply 8,
+// load 2 (L1 hit), store 1, FP op 4, FP div (53-bit fraction) 30, branch 2.
+const OpInfo OpTable[NumOpcodes] = {
+    //        name     lat cls                    dst   a     b     c    ld     st     term   bimm
+    /*LdI*/ {"ldi", 1, InstrClass::ShortInt, IntC, NoC, NoC, NoC, false, false, false, false},
+    /*FLdI*/ {"fldi", 1, InstrClass::ShortInt, FpC, NoC, NoC, NoC, false, false, false, false},
+    /*Mov*/ {"mov", 1, InstrClass::ShortInt, IntC, IntC, NoC, NoC, false, false, false, false},
+    /*FMov*/ {"fmov", 4, InstrClass::ShortFp, FpC, FpC, NoC, NoC, false, false, false, false},
+    /*ItoF*/ {"itof", 4, InstrClass::ShortFp, FpC, IntC, NoC, NoC, false, false, false, false},
+    /*FtoI*/ {"ftoi", 4, InstrClass::ShortFp, IntC, FpC, NoC, NoC, false, false, false, false},
+    /*IAdd*/ {"add", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*ISub*/ {"sub", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*IMul*/ {"mul", 8, InstrClass::LongInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*Sll*/ {"sll", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*Srl*/ {"srl", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*And*/ {"and", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*Or*/ {"or", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*Xor*/ {"xor", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*CmpEq*/ {"cmpeq", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*CmpLt*/ {"cmplt", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*CmpLe*/ {"cmple", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, true},
+    /*FAdd*/ {"fadd", 4, InstrClass::ShortFp, FpC, FpC, FpC, NoC, false, false, false, false},
+    /*FSub*/ {"fsub", 4, InstrClass::ShortFp, FpC, FpC, FpC, NoC, false, false, false, false},
+    /*FMul*/ {"fmul", 4, InstrClass::ShortFp, FpC, FpC, FpC, NoC, false, false, false, false},
+    /*FDiv*/ {"fdiv", 30, InstrClass::LongFp, FpC, FpC, FpC, NoC, false, false, false, false},
+    /*FCmpEq*/ {"fcmpeq", 4, InstrClass::ShortFp, IntC, FpC, FpC, NoC, false, false, false, false},
+    /*FCmpLt*/ {"fcmplt", 4, InstrClass::ShortFp, IntC, FpC, FpC, NoC, false, false, false, false},
+    /*FCmpLe*/ {"fcmple", 4, InstrClass::ShortFp, IntC, FpC, FpC, NoC, false, false, false, false},
+    /*CMov*/ {"cmov", 1, InstrClass::ShortInt, IntC, IntC, IntC, NoC, false, false, false, false},
+    /*FCMov*/ {"fcmov", 4, InstrClass::ShortFp, FpC, IntC, FpC, NoC, false, false, false, false},
+    /*Load*/ {"ld", LoadHitLatency, InstrClass::LoadCls, IntC, NoC, NoC, NoC, true, false, false, false},
+    /*FLoad*/ {"fld", LoadHitLatency, InstrClass::LoadCls, FpC, NoC, NoC, NoC, true, false, false, false},
+    /*Store*/ {"st", 1, InstrClass::StoreCls, NoC, IntC, NoC, NoC, false, true, false, false},
+    /*FStore*/ {"fst", 1, InstrClass::StoreCls, NoC, FpC, NoC, NoC, false, true, false, false},
+    /*Br*/ {"br", 2, InstrClass::BranchCls, NoC, IntC, NoC, NoC, false, false, true, false},
+    /*Jmp*/ {"jmp", 2, InstrClass::BranchCls, NoC, NoC, NoC, NoC, false, false, true, false},
+    /*Ret*/ {"ret", 2, InstrClass::BranchCls, NoC, NoC, NoC, NoC, false, false, true, false},
+};
+
+} // namespace
+
+const OpInfo &ir::opInfo(Opcode Op) {
+  return OpTable[static_cast<unsigned>(Op)];
+}
+
+//===----------------------------------------------------------------------===//
+// Instr
+//===----------------------------------------------------------------------===//
+
+void Instr::setFImm(double V) {
+  static_assert(sizeof(double) == sizeof(int64_t));
+  std::memcpy(&Imm, &V, sizeof(double));
+  HasImm = true;
+}
+
+double Instr::fimm() const {
+  double V;
+  std::memcpy(&V, &Imm, sizeof(double));
+  return V;
+}
+
+void Instr::appendUses(std::vector<Reg> &Out) const {
+  if (SrcA.isValid())
+    Out.push_back(SrcA);
+  if (SrcB.isValid())
+    Out.push_back(SrcB);
+  if (SrcC.isValid())
+    Out.push_back(SrcC);
+  if (Base.isValid())
+    Out.push_back(Base);
+  // Conditional moves leave the destination unchanged when the predicate is
+  // false, so the previous value of Dst is a real input.
+  if ((Op == Opcode::CMov || Op == Opcode::FCMov) && Dst.isValid())
+    Out.push_back(Dst);
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock / Function
+//===----------------------------------------------------------------------===//
+
+std::vector<int> BasicBlock::successors() const {
+  const Instr &T = terminator();
+  switch (T.Op) {
+  case Opcode::Br:
+    return {T.Target0, T.Target1};
+  case Opcode::Jmp:
+    return {T.Target0};
+  case Opcode::Ret:
+    return {};
+  default:
+    assert(false && "non-terminator at block end");
+    return {};
+  }
+}
+
+Function::Function() {
+  RegClasses.reserve(256);
+  for (unsigned I = 0; I != NumPhysPerClass; ++I)
+    RegClasses.push_back(RegClass::Int);
+  for (unsigned I = 0; I != NumPhysPerClass; ++I)
+    RegClasses.push_back(RegClass::Fp);
+}
+
+std::vector<int> Function::predecessors(int B) const {
+  std::vector<int> Preds;
+  for (const BasicBlock &BB : Blocks)
+    for (int S : BB.successors())
+      if (S == B)
+        Preds.push_back(BB.Id);
+  return Preds;
+}
+
+//===----------------------------------------------------------------------===//
+// Module layout
+//===----------------------------------------------------------------------===//
+
+void Module::layout(uint64_t SpillBytes) {
+  // Drop a stale spill pseudo-array from a previous layout() call.
+  if (SpillArrayId >= 0 &&
+      SpillArrayId == static_cast<int>(Arrays.size()) - 1 &&
+      Arrays.back().Name == "<spill>")
+    Arrays.pop_back();
+  SpillArrayId = -1;
+
+  // Leave the first 64 bytes unused so that address 0 stays invalid.
+  uint64_t Addr = 64;
+  constexpr uint64_t LineSize = 32;
+  for (ArrayInfo &A : Arrays) {
+    Addr = (Addr + LineSize - 1) / LineSize * LineSize;
+    A.Base = Addr;
+    Addr += static_cast<uint64_t>(A.sizeBytes());
+  }
+  Addr = (Addr + LineSize - 1) / LineSize * LineSize;
+
+  ArrayInfo Spill;
+  Spill.Name = "<spill>";
+  Spill.Dims = {static_cast<int64_t>(SpillBytes / 8)};
+  Spill.ElemSize = 8;
+  Spill.Base = Addr;
+  SpillArrayId = static_cast<int>(Arrays.size());
+  Arrays.push_back(std::move(Spill));
+  Addr += SpillBytes;
+
+  MemorySize = Addr;
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+static std::string regName(Reg R) {
+  if (!R.isValid())
+    return "<none>";
+  if (R.Id < NumPhysPerClass)
+    return "r" + std::to_string(R.Id);
+  if (R.Id < NumPhysTotal)
+    return "f" + std::to_string(R.Id - NumPhysPerClass);
+  return "v" + std::to_string(R.Id - NumPhysTotal);
+}
+
+std::string ir::printInstr(const Instr &I) {
+  const OpInfo &Info = opInfo(I.Op);
+  std::string S = Info.Name;
+  auto Arg = [&](const std::string &A) {
+    S += S.back() == ' ' ? "" : (S == Info.Name ? " " : ", ");
+    S += A;
+  };
+  switch (I.Op) {
+  case Opcode::LdI:
+    Arg(regName(I.Dst));
+    Arg(std::to_string(I.Imm));
+    break;
+  case Opcode::FLdI:
+    Arg(regName(I.Dst));
+    Arg(fmtDoubleExact(I.fimm()));
+    break;
+  case Opcode::Load:
+  case Opcode::FLoad:
+    Arg(regName(I.Dst));
+    Arg(std::to_string(I.Offset) + "(" + regName(I.Base) + ")");
+    break;
+  case Opcode::Store:
+  case Opcode::FStore:
+    Arg(regName(I.SrcA));
+    Arg(std::to_string(I.Offset) + "(" + regName(I.Base) + ")");
+    break;
+  case Opcode::Br:
+    Arg(regName(I.SrcA));
+    Arg("b" + std::to_string(I.Target0));
+    Arg("b" + std::to_string(I.Target1));
+    break;
+  case Opcode::Jmp:
+    Arg("b" + std::to_string(I.Target0));
+    break;
+  case Opcode::Ret:
+    break;
+  default:
+    if (Info.DstCls >= 0)
+      Arg(regName(I.Dst));
+    if (I.SrcA.isValid())
+      Arg(regName(I.SrcA));
+    if (I.SrcB.isValid())
+      Arg(regName(I.SrcB));
+    else if (I.HasImm)
+      Arg("#" + std::to_string(I.Imm));
+    break;
+  }
+  if (I.isLoad()) {
+    if (I.HM == HitMiss::Hit)
+      S += "  ; hit";
+    else if (I.HM == HitMiss::Miss)
+      S += "  ; miss";
+  }
+  if (I.IsSpill)
+    S += "  ; spill";
+  if (I.IsRestore)
+    S += "  ; restore";
+  return S;
+}
+
+std::string ir::printFunction(const Function &F) {
+  std::string S = "func " + F.Name + "\n";
+  for (const BasicBlock &B : F.Blocks) {
+    S += "b" + std::to_string(B.Id) + ":\n";
+    for (const Instr &I : B.Instrs)
+      S += "  " + printInstr(I) + "\n";
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+static std::string checkReg(const Function &F, Reg R, int WantCls,
+                            const char *What, const Instr &I) {
+  if (WantCls < 0) {
+    if (R.isValid())
+      return std::string("unexpected ") + What + " operand in '" +
+             printInstr(I) + "'";
+    return "";
+  }
+  if (!R.isValid())
+    return std::string("missing ") + What + " operand in '" + printInstr(I) +
+           "'";
+  if (R.Id >= F.numRegs())
+    return std::string("out-of-range register in '") + printInstr(I) + "'";
+  RegClass Want = WantCls == 0 ? RegClass::Int : RegClass::Fp;
+  if (F.regClass(R) != Want)
+    return std::string("register class mismatch for ") + What + " in '" +
+           printInstr(I) + "'";
+  return "";
+}
+
+std::string ir::verify(const Module &M) {
+  const Function &F = M.Fn;
+  if (F.Blocks.empty())
+    return "function has no blocks";
+  int NumBlocks = static_cast<int>(F.Blocks.size());
+  for (const BasicBlock &B : F.Blocks) {
+    if (B.Id != static_cast<int>(&B - F.Blocks.data()))
+      return "block id out of sync with position";
+    if (B.Instrs.empty())
+      return "empty block b" + std::to_string(B.Id);
+    for (size_t K = 0; K != B.Instrs.size(); ++K) {
+      const Instr &I = B.Instrs[K];
+      const OpInfo &Info = opInfo(I.Op);
+      bool IsLast = K + 1 == B.Instrs.size();
+      if (Info.IsTerminator != IsLast)
+        return std::string(Info.IsTerminator ? "terminator before block end"
+                                             : "block does not end in a "
+                                               "terminator") +
+               " in b" + std::to_string(B.Id);
+
+      // CMov/FCMov: SrcA is the (int) predicate, SrcB the value.
+      if (I.Op == Opcode::CMov || I.Op == Opcode::FCMov) {
+        if (std::string E = checkReg(F, I.SrcA, IntC, "cond", I); !E.empty())
+          return E;
+        int ValCls = I.Op == Opcode::CMov ? IntC : FpC;
+        if (std::string E = checkReg(F, I.SrcB, ValCls, "value", I);
+            !E.empty())
+          return E;
+        if (std::string E = checkReg(F, I.Dst, ValCls, "dst", I); !E.empty())
+          return E;
+      } else {
+        if (std::string E = checkReg(F, I.Dst, Info.DstCls, "dst", I);
+            !E.empty())
+          return E;
+        if (std::string E = checkReg(F, I.SrcA, Info.SrcACls, "srcA", I);
+            !E.empty())
+          return E;
+        if (Info.SrcBCls < 0) {
+          if (I.SrcB.isValid())
+            return "unexpected srcB operand in '" + printInstr(I) + "'";
+        } else if (!I.SrcB.isValid() && Info.SrcBImmOk && I.HasImm) {
+          // Operate-with-literal form: fine.
+        } else if (std::string E = checkReg(F, I.SrcB, Info.SrcBCls, "srcB",
+                                            I);
+                   !E.empty()) {
+          return E;
+        }
+      }
+      if (I.isMem()) {
+        if (std::string E = checkReg(F, I.Base, IntC, "base", I); !E.empty())
+          return E;
+        if (I.Mem.isKnown() &&
+            I.Mem.ArrayId >= static_cast<int>(M.Arrays.size()))
+          return "memref names unknown array in '" + printInstr(I) + "'";
+      }
+      if (I.Op == Opcode::Br &&
+          (I.Target0 < 0 || I.Target0 >= NumBlocks || I.Target1 < 0 ||
+           I.Target1 >= NumBlocks))
+        return "branch target out of range in b" + std::to_string(B.Id);
+      if (I.Op == Opcode::Jmp && (I.Target0 < 0 || I.Target0 >= NumBlocks))
+        return "jump target out of range in b" + std::to_string(B.Id);
+    }
+  }
+  return "";
+}

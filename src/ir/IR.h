@@ -1,0 +1,341 @@
+//===- ir/IR.h - Alpha-like three-address intermediate form -----*- C++ -*-===//
+///
+/// \file
+/// The intermediate representation shared by the whole pipeline: an
+/// Alpha-21164-flavoured three-address code over virtual (later physical)
+/// registers, organized into basic blocks with explicit branch targets.
+///
+/// Design notes:
+///  - Register ids share one dense space. Ids 0..31 are the physical integer
+///    registers, 32..63 the physical floating-point registers, and ids >= 64
+///    are virtual. This keeps liveness/allocation bitsets trivially dense.
+///  - Loads and stores carry a MemRef: the affine linear form of the accessed
+///    address (array id, sum of reg*coeff terms, constant). The scheduler's
+///    dependence DAG uses it for array dependence analysis (the paper credits
+///    the Multiflow compiler's load/store disambiguation for part of its
+///    advantage over the earlier gcc-based study, section 5.5).
+///  - Loads also carry a compile-time hit/miss annotation written by the
+///    locality-analysis pass (section 3.3); it influences scheduling only,
+///    never simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_IR_IR_H
+#define BALSCHED_IR_IR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bsched {
+namespace ir {
+
+//===----------------------------------------------------------------------===//
+// Registers
+//===----------------------------------------------------------------------===//
+
+enum class RegClass : uint8_t { Int, Fp };
+
+/// Number of physical registers per class (Alpha: 32 integer, 32 FP).
+constexpr unsigned NumPhysPerClass = 32;
+/// Total number of physical register ids (integer ids then FP ids).
+constexpr unsigned NumPhysTotal = 2 * NumPhysPerClass;
+
+/// A register operand; a thin wrapper over a dense id.
+struct Reg {
+  static constexpr uint32_t InvalidId = 0xffffffffu;
+  uint32_t Id = InvalidId;
+
+  Reg() = default;
+  explicit Reg(uint32_t Id) : Id(Id) {}
+
+  bool isValid() const { return Id != InvalidId; }
+  bool isPhys() const { return isValid() && Id < NumPhysTotal; }
+  bool isVirtual() const { return isValid() && Id >= NumPhysTotal; }
+
+  bool operator==(const Reg &O) const { return Id == O.Id; }
+  bool operator!=(const Reg &O) const { return Id != O.Id; }
+};
+
+/// Returns the N'th physical integer register.
+inline Reg physIntReg(unsigned N) {
+  assert(N < NumPhysPerClass && "physical int register out of range");
+  return Reg(N);
+}
+
+/// Returns the N'th physical floating-point register.
+inline Reg physFpReg(unsigned N) {
+  assert(N < NumPhysPerClass && "physical fp register out of range");
+  return Reg(NumPhysPerClass + N);
+}
+
+//===----------------------------------------------------------------------===//
+// Opcodes
+//===----------------------------------------------------------------------===//
+
+enum class Opcode : uint8_t {
+  // Immediates and moves.
+  LdI,   ///< dst:int <- integer immediate (Alpha lda-like).
+  FLdI,  ///< dst:fp  <- double immediate (constant-pool load stand-in).
+  Mov,   ///< dst:int <- srcA:int.
+  FMov,  ///< dst:fp  <- srcA:fp.
+  ItoF,  ///< dst:fp  <- (double)srcA:int.
+  FtoI,  ///< dst:int <- (int64)srcA:fp (truncating).
+  // Integer ALU (srcB may be an immediate, Alpha operate-literal style).
+  IAdd, ISub, IMul, Sll, Srl, And, Or, Xor,
+  CmpEq, CmpLt, CmpLe, ///< dst:int <- 0/1 comparison of int operands.
+  // Floating point.
+  FAdd, FSub, FMul, FDiv,
+  FCmpEq, FCmpLt, FCmpLe, ///< dst:int <- 0/1 comparison of fp operands.
+  // Conditional moves (Multiflow-style predication; they read the old dst).
+  CMov,  ///< if (srcA:int != 0) dst:int = srcB:int.
+  FCMov, ///< if (srcA:int != 0) dst:fp  = srcB:fp.
+  // Memory. Address = Base + Offset.
+  Load,   ///< dst:int <- mem64[addr].
+  FLoad,  ///< dst:fp  <- mem64[addr] (as double).
+  Store,  ///< mem64[addr] <- srcA:int.
+  FStore, ///< mem64[addr] <- srcA:fp.
+  // Control. Each block ends in exactly one of these.
+  Br,  ///< if (srcA:int != 0) goto Target0 else goto Target1.
+  Jmp, ///< goto Target0.
+  Ret, ///< end of program.
+};
+
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Ret) + 1;
+
+/// Instruction-class buckets for the paper's dynamic-instruction metrics
+/// ("long and short integers, long and short floating point operations,
+/// loads, stores, branches, and spill and restore instructions", section 4.3).
+enum class InstrClass : uint8_t {
+  ShortInt, ///< 1-cycle integer/move/immediate operations.
+  LongInt,  ///< integer multiply (8 cycles).
+  ShortFp,  ///< 4-cycle FP operations.
+  LongFp,   ///< FP divide (30 cycles for 53-bit fractions).
+  LoadCls,  ///< memory loads (variable latency).
+  StoreCls, ///< memory stores.
+  BranchCls ///< conditional branches / jumps / ret.
+};
+
+/// Operand-slot typing for an opcode, used by the verifier and builders.
+struct OpInfo {
+  const char *Name;
+  /// Fixed issue-to-result latency in cycles (Table 3). Loads use the L1-hit
+  /// value here; their real latency is decided by the memory hierarchy.
+  int Latency;
+  InstrClass Cls;
+  /// Register class of the destination, or -1 if none.
+  int DstCls;
+  /// Register classes of srcA/srcB/srcC, or -1 if the slot is unused.
+  int SrcACls, SrcBCls, SrcCCls;
+  bool IsLoad, IsStore, IsTerminator;
+  /// True if srcB may be an immediate instead of a register.
+  bool SrcBImmOk;
+};
+
+/// Returns the static operand/latency table entry for \p Op.
+const OpInfo &opInfo(Opcode Op);
+
+/// L1-hit load latency in cycles (Table 3: "load 2"). This is the optimistic
+/// weight the traditional scheduler assigns every load.
+constexpr int LoadHitLatency = 2;
+
+/// Upper bound on balanced load weights (section 4.2: "we limited load
+/// weights to a maximum of 50", matching the main-memory latency).
+constexpr int LoadWeightCap = 50;
+
+//===----------------------------------------------------------------------===//
+// Memory references
+//===----------------------------------------------------------------------===//
+
+/// Affine description of a load/store address: the byte address equals
+/// base(ArrayId) + Const + sum(Terms[i].Coeff * value(Terms[i].Sym)).
+///
+/// A "symbol" is a (register id, definition epoch) pair captured at lowering
+/// time; two MemRefs in the same block are comparable when their symbols'
+/// registers have not been redefined between the two accesses (the dependence
+/// DAG checks the epochs).
+struct MemRef {
+  struct Term {
+    uint32_t RegId;
+    int64_t Coeff;
+    bool operator==(const Term &O) const = default;
+  };
+  int ArrayId = -1; ///< -1 = unknown object (forces conservative deps).
+  /// True when Terms/Const describe the address exactly (affine subscripts).
+  /// False = only the array identity is known (e.g. indirect subscripts).
+  bool HasForm = false;
+  std::vector<Term> Terms;
+  /// Byte offset from the array base (with HasForm), plus Terms (byte
+  /// coefficients).
+  int64_t Const = 0;
+  int Size = 8; ///< access size in bytes.
+
+  bool isKnown() const { return ArrayId >= 0; }
+  bool sameLinearForm(const MemRef &O) const {
+    return HasForm && O.HasForm && ArrayId == O.ArrayId && Terms == O.Terms;
+  }
+};
+
+/// Compile-time cache-behaviour annotation from locality analysis.
+enum class HitMiss : uint8_t { Unknown, Hit, Miss };
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+struct Instr {
+  Opcode Op = Opcode::Ret;
+  Reg Dst;
+  Reg SrcA, SrcB, SrcC;
+  /// Integer immediate (LdI, ALU literal), or the bit pattern of the double
+  /// immediate for FLdI.
+  int64_t Imm = 0;
+  bool HasImm = false;
+
+  // Memory operands.
+  Reg Base;
+  int64_t Offset = 0;
+  MemRef Mem;
+  HitMiss HM = HitMiss::Unknown;
+  /// Locality group: hit loads carry the index of their governing miss load's
+  /// group so the DAG can add the miss->hit arcs of section 4.2.
+  int LocalityGroup = -1;
+
+  // Spill bookkeeping (set by the register allocator; counted separately in
+  // the paper's instruction metrics).
+  bool IsSpill = false;   ///< store of a spilled value.
+  bool IsRestore = false; ///< reload of a spilled value.
+
+  // Control-flow targets (block ids). Br: Target0 = taken, Target1 = fall
+  // through. Jmp: Target0.
+  int Target0 = -1, Target1 = -1;
+
+  bool isLoad() const { return opInfo(Op).IsLoad; }
+  bool isStore() const { return opInfo(Op).IsStore; }
+  bool isMem() const { return isLoad() || isStore(); }
+  bool isTerminator() const { return opInfo(Op).IsTerminator; }
+
+  /// Double immediate accessors for FLdI.
+  void setFImm(double V);
+  double fimm() const;
+
+  /// Appends every register this instruction reads to \p Out (including the
+  /// old destination of conditional moves and the address base register).
+  void appendUses(std::vector<Reg> &Out) const;
+  /// Returns the defined register, or an invalid Reg.
+  Reg def() const { return opInfo(Op).DstCls >= 0 ? Dst : Reg(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Basic blocks / function / module
+//===----------------------------------------------------------------------===//
+
+struct BasicBlock {
+  int Id = -1;
+  std::vector<Instr> Instrs;
+
+  const Instr &terminator() const {
+    assert(!Instrs.empty() && Instrs.back().isTerminator() &&
+           "block lacks a terminator");
+    return Instrs.back();
+  }
+  Instr &terminator() {
+    assert(!Instrs.empty() && Instrs.back().isTerminator() &&
+           "block lacks a terminator");
+    return Instrs.back();
+  }
+
+  /// Successor block ids in (taken, fallthrough) order; empty for Ret.
+  std::vector<int> successors() const;
+};
+
+/// A single-procedure unit of compilation. Block 0 is the entry.
+struct Function {
+  std::string Name = "kernel";
+  std::vector<BasicBlock> Blocks;
+  /// Register class per register id; the first NumPhysTotal entries describe
+  /// the physical registers.
+  std::vector<RegClass> RegClasses;
+
+  Function();
+
+  Reg makeReg(RegClass C) {
+    RegClasses.push_back(C);
+    return Reg(static_cast<uint32_t>(RegClasses.size() - 1));
+  }
+  unsigned numRegs() const { return static_cast<unsigned>(RegClasses.size()); }
+  RegClass regClass(Reg R) const {
+    assert(R.isValid() && R.Id < RegClasses.size() && "bad register");
+    return RegClasses[R.Id];
+  }
+
+  /// Appends a new block and returns its id. (Returns an id, not a
+  /// reference: growing Blocks invalidates references.)
+  int makeBlock() {
+    Blocks.emplace_back();
+    Blocks.back().Id = static_cast<int>(Blocks.size()) - 1;
+    return Blocks.back().Id;
+  }
+
+  /// Returns block ids of every predecessor of \p B.
+  std::vector<int> predecessors(int B) const;
+};
+
+/// A named, cache-line-aligned data object ("arrays in our examples are laid
+/// out ... aligned on cache-line boundaries", section 3.3).
+struct ArrayInfo {
+  std::string Name;
+  std::vector<int64_t> Dims; ///< extents, outermost first.
+  int ElemSize = 8;
+  bool RowMajor = true;
+  bool IsOutput = false; ///< participates in the program checksum.
+  uint64_t Base = 0;     ///< byte address, assigned by Module::layout().
+
+  int64_t numElems() const {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+  int64_t sizeBytes() const { return numElems() * ElemSize; }
+};
+
+/// A kernel program: one function plus its data arrays and memory layout.
+struct Module {
+  std::vector<ArrayInfo> Arrays;
+  Function Fn;
+  uint64_t MemorySize = 0;
+  /// Pseudo-array covering the spill area (added by layout, used by the
+  /// register allocator for precise spill-slot dependence info).
+  int SpillArrayId = -1;
+
+  int addArray(ArrayInfo Info) {
+    Arrays.push_back(std::move(Info));
+    return static_cast<int>(Arrays.size()) - 1;
+  }
+
+  /// Assigns base addresses (32-byte aligned) and reserves \p SpillBytes of
+  /// spill space; sets MemorySize. Idempotent per call (recomputes bases).
+  void layout(uint64_t SpillBytes = 1u << 16);
+};
+
+//===----------------------------------------------------------------------===//
+// Utilities
+//===----------------------------------------------------------------------===//
+
+/// Renders \p F as text (for tests and debugging).
+std::string printFunction(const Function &F);
+
+/// Renders one instruction as text.
+std::string printInstr(const Instr &I);
+
+/// Structural and type validation. Returns an empty string when the module is
+/// well formed, otherwise a description of the first problem found.
+std::string verify(const Module &M);
+
+} // namespace ir
+} // namespace bsched
+
+#endif // BALSCHED_IR_IR_H

@@ -1,0 +1,372 @@
+//===- ir/IRParser.cpp - Textual IR parser ----------------------------------===//
+
+#include "ir/IRParser.h"
+
+#include "support/Str.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+using namespace bsched;
+using namespace bsched::ir;
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+std::string ir::printModule(const Module &M) {
+  std::string S;
+  for (size_t K = 0; K != M.Arrays.size(); ++K) {
+    if (static_cast<int>(K) == M.SpillArrayId)
+      continue; // layout() recreates the spill area
+    const ArrayInfo &A = M.Arrays[K];
+    S += "array " + A.Name + " " + std::to_string(A.numElems());
+    if (A.IsOutput)
+      S += " output";
+    S += "\n";
+  }
+  S += printFunction(M.Fn);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class IRParser {
+public:
+  explicit IRParser(const std::string &Text) : In(Text) {}
+
+  ParseIRResult run() {
+    std::string Line;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      stripCommentAndAnnotations(Line);
+      Tokens = tokenize(Line);
+      if (Tokens.empty())
+        continue;
+      parseLine();
+      if (!Err.empty())
+        break;
+    }
+    finishRegClasses();
+
+    ParseIRResult R;
+    if (Err.empty() && M.Fn.Blocks.empty())
+      Err = "no function body";
+    if (Err.empty()) {
+      M.layout();
+      if (std::string V = verify(M); !V.empty())
+        Err = "parsed module does not verify: " + V;
+    }
+    R.Error = Err;
+    if (R.ok())
+      R.M = std::move(M);
+    return R;
+  }
+
+private:
+  std::istringstream In;
+  int LineNo = 0;
+  std::string Err;
+  Module M;
+  int CurBlock = -1;
+  std::vector<std::string> Tokens;
+  size_t Pos = 0;
+  // Annotations found after ';' on the current line.
+  bool AnnHit = false, AnnMiss = false, AnnSpill = false, AnnRestore = false;
+  /// Inferred class per virtual reg id; -1 = unconstrained yet.
+  std::map<uint32_t, int> VRegCls;
+
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = "line " + std::to_string(LineNo) + ": " + Msg;
+  }
+
+  void stripCommentAndAnnotations(std::string &Line) {
+    AnnHit = AnnMiss = AnnSpill = AnnRestore = false;
+    size_t Semi = Line.find(';');
+    if (Semi == std::string::npos)
+      return;
+    std::string Comment = Line.substr(Semi + 1);
+    Line.resize(Semi);
+    AnnHit = Comment.find("hit") != std::string::npos;
+    AnnMiss = Comment.find("miss") != std::string::npos;
+    AnnSpill = Comment.find("spill") != std::string::npos;
+    AnnRestore = Comment.find("restore") != std::string::npos;
+  }
+
+  static std::vector<std::string> tokenize(const std::string &Line) {
+    std::vector<std::string> Out;
+    std::string Cur;
+    auto Flush = [&] {
+      if (!Cur.empty()) {
+        Out.push_back(Cur);
+        Cur.clear();
+      }
+    };
+    for (char C : Line) {
+      if (std::isspace(static_cast<unsigned char>(C)) || C == ',') {
+        Flush();
+      } else if (C == '(' || C == ')' || C == ':') {
+        Flush();
+        Out.push_back(std::string(1, C));
+      } else {
+        Cur.push_back(C);
+      }
+    }
+    Flush();
+    return Out;
+  }
+
+  bool atEnd() const { return Pos >= Tokens.size(); }
+  std::string next() {
+    if (atEnd()) {
+      return "";
+    }
+    return Tokens[Pos++];
+  }
+  bool accept(const std::string &T) {
+    if (!atEnd() && Tokens[Pos] == T) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Registers with class inference
+  //===--------------------------------------------------------------------===//
+
+  Reg parseReg(int WantCls) {
+    std::string T = next();
+    if (T.size() < 2) {
+      fail("expected register, got '" + T + "'");
+      return Reg();
+    }
+    char Kind = T[0];
+    char *End = nullptr;
+    long N = std::strtol(T.c_str() + 1, &End, 10);
+    if (*End != '\0' || N < 0) {
+      fail("bad register '" + T + "'");
+      return Reg();
+    }
+    if (Kind == 'r') {
+      if (N >= static_cast<long>(NumPhysPerClass)) {
+        fail("integer register out of range: " + T);
+        return Reg();
+      }
+      if (WantCls == 1)
+        fail("expected an fp register, got '" + T + "'");
+      return Reg(static_cast<uint32_t>(N));
+    }
+    if (Kind == 'f') {
+      if (N >= static_cast<long>(NumPhysPerClass)) {
+        fail("fp register out of range: " + T);
+        return Reg();
+      }
+      if (WantCls == 0)
+        fail("expected an integer register, got '" + T + "'");
+      return Reg(NumPhysPerClass + static_cast<uint32_t>(N));
+    }
+    if (Kind == 'v') {
+      uint32_t Id = NumPhysTotal + static_cast<uint32_t>(N);
+      auto It = VRegCls.find(Id);
+      if (It == VRegCls.end())
+        VRegCls[Id] = WantCls;
+      else if (WantCls >= 0 && It->second >= 0 && It->second != WantCls)
+        fail("register class conflict for '" + T + "'");
+      else if (WantCls >= 0 && It->second < 0)
+        It->second = WantCls;
+      return Reg(Id);
+    }
+    fail("bad register '" + T + "'");
+    return Reg();
+  }
+
+  int64_t parseInt() {
+    std::string T = next();
+    if (!T.empty() && T[0] == '#')
+      T.erase(0, 1);
+    char *End = nullptr;
+    long long V = std::strtoll(T.c_str(), &End, 10);
+    if (T.empty() || *End != '\0')
+      fail("expected integer, got '" + T + "'");
+    return V;
+  }
+
+  int parseBlockRef() {
+    std::string T = next();
+    if (T.size() < 2 || T[0] != 'b') {
+      fail("expected block reference, got '" + T + "'");
+      return -1;
+    }
+    return static_cast<int>(std::strtol(T.c_str() + 1, nullptr, 10));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Lines
+  //===--------------------------------------------------------------------===//
+
+  void parseLine() {
+    Pos = 0;
+    const std::string &Head = Tokens[0];
+
+    if (Head == "array") {
+      ++Pos;
+      ArrayInfo A;
+      A.Name = next();
+      A.Dims = {parseInt()};
+      if (accept("output"))
+        A.IsOutput = true;
+      if (!atEnd())
+        fail("trailing tokens after array declaration");
+      M.addArray(std::move(A));
+      return;
+    }
+    if (Head == "func") {
+      M.Fn.Name = Tokens.size() > 1 ? Tokens[1] : "kernel";
+      return;
+    }
+    // Block label: "bN" ":".
+    if (Head.size() >= 2 && Head[0] == 'b' &&
+        std::isdigit(static_cast<unsigned char>(Head[1])) &&
+        Tokens.size() == 2 && Tokens[1] == ":") {
+      int Id = static_cast<int>(std::strtol(Head.c_str() + 1, nullptr, 10));
+      int NewId = M.Fn.makeBlock();
+      if (Id != NewId)
+        fail("block labels must appear in order (got b" +
+             std::to_string(Id) + ", expected b" + std::to_string(NewId) +
+             ")");
+      CurBlock = NewId;
+      return;
+    }
+
+    if (CurBlock < 0) {
+      fail("instruction outside a block");
+      return;
+    }
+    parseInstr();
+  }
+
+  void parseInstr() {
+    static const std::map<std::string, Opcode> ByName = [] {
+      std::map<std::string, Opcode> Map;
+      for (unsigned K = 0; K != NumOpcodes; ++K)
+        Map[opInfo(static_cast<Opcode>(K)).Name] = static_cast<Opcode>(K);
+      return Map;
+    }();
+
+    std::string Name = next();
+    auto It = ByName.find(Name);
+    if (It == ByName.end()) {
+      fail("unknown opcode '" + Name + "'");
+      return;
+    }
+    Instr I;
+    I.Op = It->second;
+    const OpInfo &Info = opInfo(I.Op);
+
+    switch (I.Op) {
+    case Opcode::LdI:
+      I.Dst = parseReg(0);
+      I.Imm = parseInt();
+      I.HasImm = true;
+      break;
+    case Opcode::FLdI: {
+      I.Dst = parseReg(1);
+      std::string T = next();
+      char *End = nullptr;
+      double V = std::strtod(T.c_str(), &End);
+      if (T.empty() || *End != '\0')
+        fail("expected float, got '" + T + "'");
+      I.setFImm(V);
+      break;
+    }
+    case Opcode::Load:
+    case Opcode::FLoad:
+      I.Dst = parseReg(I.Op == Opcode::FLoad ? 1 : 0);
+      I.Offset = parseInt();
+      if (!accept("("))
+        fail("expected '(' in memory operand");
+      I.Base = parseReg(0);
+      if (!accept(")"))
+        fail("expected ')' in memory operand");
+      I.HM = AnnMiss ? HitMiss::Miss : AnnHit ? HitMiss::Hit : HitMiss::Unknown;
+      I.IsRestore = AnnRestore;
+      break;
+    case Opcode::Store:
+    case Opcode::FStore:
+      I.SrcA = parseReg(I.Op == Opcode::FStore ? 1 : 0);
+      I.Offset = parseInt();
+      if (!accept("("))
+        fail("expected '(' in memory operand");
+      I.Base = parseReg(0);
+      if (!accept(")"))
+        fail("expected ')' in memory operand");
+      I.IsSpill = AnnSpill;
+      break;
+    case Opcode::Br:
+      I.SrcA = parseReg(0);
+      I.Target0 = parseBlockRef();
+      I.Target1 = parseBlockRef();
+      break;
+    case Opcode::Jmp:
+      I.Target0 = parseBlockRef();
+      break;
+    case Opcode::Ret:
+      break;
+    case Opcode::CMov:
+    case Opcode::FCMov: {
+      int ValCls = I.Op == Opcode::FCMov ? 1 : 0;
+      I.Dst = parseReg(ValCls);
+      I.SrcA = parseReg(0);
+      I.SrcB = parseReg(ValCls);
+      break;
+    }
+    default: {
+      // Unary and binary register forms; srcB may be a '#imm' literal.
+      I.Dst = parseReg(Info.DstCls);
+      I.SrcA = parseReg(Info.SrcACls);
+      if (Info.SrcBCls >= 0) {
+        if (!atEnd() && Tokens[Pos][0] == '#') {
+          I.Imm = parseInt();
+          I.HasImm = true;
+        } else {
+          I.SrcB = parseReg(Info.SrcBCls);
+        }
+      }
+      break;
+    }
+    }
+    if (!atEnd())
+      fail("trailing tokens after instruction");
+    if (Err.empty())
+      M.Fn.Blocks[CurBlock].Instrs.push_back(std::move(I));
+  }
+
+  /// Registers all inferred virtual registers on the function (defaulting
+  /// unconstrained ones to Int).
+  void finishRegClasses() {
+    uint32_t MaxId = NumPhysTotal;
+    for (const auto &[Id, Cls] : VRegCls) {
+      (void)Cls;
+      MaxId = std::max(MaxId, Id + 1);
+    }
+    while (M.Fn.numRegs() < MaxId)
+      M.Fn.makeReg(RegClass::Int);
+    for (const auto &[Id, Cls] : VRegCls)
+      if (Cls == 1)
+        M.Fn.RegClasses[Id] = RegClass::Fp;
+  }
+};
+
+} // namespace
+
+ParseIRResult ir::parseModule(const std::string &Text) {
+  return IRParser(Text).run();
+}

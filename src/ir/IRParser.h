@@ -1,0 +1,51 @@
+//===- ir/IRParser.h - Textual IR parser ------------------------*- C++ -*-===//
+///
+/// \file
+/// Parser for the textual IR form emitted by printModule/printFunction,
+/// closing the loop for IR-level tests and tooling:
+///
+///     array A 1024            # 1024 f64 cells, 32-byte aligned
+///     array Out 8 output      # checksummed
+///     func kernel
+///     b0:
+///       ldi v0, 64
+///       fld f1, 8(v0)  ; miss
+///       br v2, b1, b0
+///     ...
+///
+/// Virtual-register classes are inferred from the operand slots of the
+/// opcodes that use them (and cross-checked by the verifier). MemRef affine
+/// forms are not part of the textual format; parsed memory operations carry
+/// no aliasing information, so a scheduler run on re-parsed IR is
+/// conservative. Functional behaviour (interpretation) round-trips exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_IR_IRPARSER_H
+#define BALSCHED_IR_IRPARSER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace bsched {
+namespace ir {
+
+/// Renders \p M as re-parseable text: array headers followed by the
+/// function body.
+std::string printModule(const Module &M);
+
+struct ParseIRResult {
+  Module M;
+  std::string Error; ///< empty on success ("line N: message" otherwise).
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses printModule output. The returned module is laid out and verified.
+ParseIRResult parseModule(const std::string &Text);
+
+} // namespace ir
+} // namespace bsched
+
+#endif // BALSCHED_IR_IRPARSER_H

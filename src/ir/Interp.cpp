@@ -1,0 +1,228 @@
+//===- ir/Interp.cpp - Functional IR interpreter --------------------------===//
+
+#include "ir/Interp.h"
+
+#include <cstring>
+
+using namespace bsched;
+using namespace bsched::ir;
+
+//===----------------------------------------------------------------------===//
+// ExecState
+//===----------------------------------------------------------------------===//
+
+ExecState::ExecState(const Module &M)
+    : Regs(M.Fn.numRegs(), 0), Memory(M.MemorySize, 0) {
+  assert(M.MemorySize != 0 && "module must be laid out before execution");
+}
+
+double ExecState::readFp(Reg R) const {
+  double V;
+  std::memcpy(&V, &Regs[R.Id], sizeof(double));
+  return V;
+}
+
+void ExecState::writeFp(Reg R, double V) {
+  std::memcpy(&Regs[R.Id], &V, sizeof(double));
+}
+
+uint64_t ExecState::loadWord(uint64_t Addr) const {
+  // Non-faulting loads: trace scheduling may hoist a load above the branch
+  // guarding it (section 3.2 permits speculating instructions that do not
+  // write memory and whose destination is dead off-trace). On the
+  // misspeculated path the address can be arbitrary, so out-of-range reads
+  // return deterministic garbage instead of faulting — the value is dead by
+  // the speculation-safety rule. Both the interpreter and the simulator use
+  // this routine, so checksums stay comparable.
+  if (Addr + 8 > Memory.size() || Addr + 8 < Addr)
+    return 0xdeadbeefdeadbeefull ^ Addr;
+  uint64_t V;
+  std::memcpy(&V, &Memory[Addr], 8);
+  return V;
+}
+
+void ExecState::storeWord(uint64_t Addr, uint64_t V) {
+  assert(Addr + 8 <= Memory.size() && "store out of bounds");
+  std::memcpy(&Memory[Addr], &V, 8);
+}
+
+uint64_t ExecState::outputChecksum(const Module &M) const {
+  uint64_t Hash = 1469598103934665603ull;
+  for (const ArrayInfo &A : M.Arrays) {
+    if (!A.IsOutput)
+      continue;
+    const uint8_t *Data = Memory.data() + A.Base;
+    for (int64_t I = 0; I != A.sizeBytes(); ++I) {
+      Hash ^= Data[I];
+      Hash *= 1099511628211ull;
+    }
+  }
+  return Hash;
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction execution
+//===----------------------------------------------------------------------===//
+
+void ir::executeInstr(ExecState &S, const Instr &I) {
+  auto B = [&]() -> int64_t {
+    return I.SrcB.isValid() ? S.readInt(I.SrcB) : I.Imm;
+  };
+  switch (I.Op) {
+  case Opcode::LdI:
+    S.writeInt(I.Dst, I.Imm);
+    break;
+  case Opcode::FLdI:
+    S.writeFp(I.Dst, I.fimm());
+    break;
+  case Opcode::Mov:
+    S.writeInt(I.Dst, S.readInt(I.SrcA));
+    break;
+  case Opcode::FMov:
+    S.writeFp(I.Dst, S.readFp(I.SrcA));
+    break;
+  case Opcode::ItoF:
+    S.writeFp(I.Dst, static_cast<double>(S.readInt(I.SrcA)));
+    break;
+  case Opcode::FtoI:
+    S.writeInt(I.Dst, static_cast<int64_t>(S.readFp(I.SrcA)));
+    break;
+  case Opcode::IAdd:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) + B());
+    break;
+  case Opcode::ISub:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) - B());
+    break;
+  case Opcode::IMul:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) * B());
+    break;
+  case Opcode::Sll:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) << (B() & 63));
+    break;
+  case Opcode::Srl:
+    S.writeInt(I.Dst,
+               static_cast<int64_t>(
+                   static_cast<uint64_t>(S.readInt(I.SrcA)) >> (B() & 63)));
+    break;
+  case Opcode::And:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) & B());
+    break;
+  case Opcode::Or:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) | B());
+    break;
+  case Opcode::Xor:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) ^ B());
+    break;
+  case Opcode::CmpEq:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) == B() ? 1 : 0);
+    break;
+  case Opcode::CmpLt:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) < B() ? 1 : 0);
+    break;
+  case Opcode::CmpLe:
+    S.writeInt(I.Dst, S.readInt(I.SrcA) <= B() ? 1 : 0);
+    break;
+  case Opcode::FAdd:
+    S.writeFp(I.Dst, S.readFp(I.SrcA) + S.readFp(I.SrcB));
+    break;
+  case Opcode::FSub:
+    S.writeFp(I.Dst, S.readFp(I.SrcA) - S.readFp(I.SrcB));
+    break;
+  case Opcode::FMul:
+    S.writeFp(I.Dst, S.readFp(I.SrcA) * S.readFp(I.SrcB));
+    break;
+  case Opcode::FDiv:
+    S.writeFp(I.Dst, S.readFp(I.SrcA) / S.readFp(I.SrcB));
+    break;
+  case Opcode::FCmpEq:
+    S.writeInt(I.Dst, S.readFp(I.SrcA) == S.readFp(I.SrcB) ? 1 : 0);
+    break;
+  case Opcode::FCmpLt:
+    S.writeInt(I.Dst, S.readFp(I.SrcA) < S.readFp(I.SrcB) ? 1 : 0);
+    break;
+  case Opcode::FCmpLe:
+    S.writeInt(I.Dst, S.readFp(I.SrcA) <= S.readFp(I.SrcB) ? 1 : 0);
+    break;
+  case Opcode::CMov:
+    if (S.readInt(I.SrcA) != 0)
+      S.writeInt(I.Dst, S.readInt(I.SrcB));
+    break;
+  case Opcode::FCMov:
+    if (S.readInt(I.SrcA) != 0)
+      S.writeFp(I.Dst, S.readFp(I.SrcB));
+    break;
+  case Opcode::Load:
+    S.writeInt(I.Dst, static_cast<int64_t>(S.loadWord(
+                          S.effectiveAddress(I))));
+    break;
+  case Opcode::FLoad: {
+    uint64_t Bits = S.loadWord(S.effectiveAddress(I));
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    S.writeFp(I.Dst, V);
+    break;
+  }
+  case Opcode::Store:
+    S.storeWord(S.effectiveAddress(I),
+                static_cast<uint64_t>(S.readInt(I.SrcA)));
+    break;
+  case Opcode::FStore: {
+    double V = S.readFp(I.SrcA);
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    S.storeWord(S.effectiveAddress(I), Bits);
+    break;
+  }
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+    assert(false && "terminators are handled by the execution loop");
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter loop
+//===----------------------------------------------------------------------===//
+
+InterpResult ir::interpret(const Module &M, uint64_t MaxInstrs) {
+  const Function &F = M.Fn;
+  ExecState S(M);
+  InterpResult R;
+  R.BlockCounts.assign(F.Blocks.size(), 0);
+  R.EdgeCounts.assign(F.Blocks.size(), {0, 0});
+
+  int Block = 0;
+  while (true) {
+    const BasicBlock &BB = F.Blocks[Block];
+    ++R.BlockCounts[Block];
+    if (R.DynInstrs + BB.Instrs.size() > MaxInstrs)
+      return R;
+    R.DynInstrs += BB.Instrs.size();
+    for (size_t K = 0; K + 1 < BB.Instrs.size(); ++K)
+      executeInstr(S, BB.Instrs[K]);
+    const Instr &T = BB.terminator();
+    switch (T.Op) {
+    case Opcode::Br:
+      if (S.readInt(T.SrcA) != 0) {
+        ++R.EdgeCounts[Block][0];
+        Block = T.Target0;
+      } else {
+        ++R.EdgeCounts[Block][1];
+        Block = T.Target1;
+      }
+      break;
+    case Opcode::Jmp:
+      ++R.EdgeCounts[Block][0];
+      Block = T.Target0;
+      break;
+    case Opcode::Ret:
+      R.Finished = true;
+      R.Checksum = S.outputChecksum(M);
+      return R;
+    default:
+      assert(false && "bad terminator");
+      return R;
+    }
+  }
+}

@@ -1,0 +1,81 @@
+//===- ir/Interp.h - Functional IR interpreter ------------------*- C++ -*-===//
+///
+/// \file
+/// A functional (untimed) executor for IR modules. It serves three roles:
+///  - reference oracle: every optimization/scheduling configuration must
+///    produce a program whose output checksum matches the interpreter's run
+///    of the unoptimized module;
+///  - profiler: block and edge execution counts guide trace selection
+///    (section 4.2: "we first profiled the programs to determine basic block
+///    execution frequencies");
+///  - dynamic-instruction counter for sanity checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_IR_INTERP_H
+#define BALSCHED_IR_INTERP_H
+
+#include "ir/IR.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+namespace ir {
+
+/// Result of one interpreter run.
+struct InterpResult {
+  bool Finished = false; ///< false = instruction budget exhausted.
+  uint64_t DynInstrs = 0;
+  uint64_t Checksum = 0; ///< FNV-1a over the output arrays' bytes.
+  /// Executions per block.
+  std::vector<uint64_t> BlockCounts;
+  /// Edge counts per block: [0] = taken/jump target, [1] = fallthrough.
+  std::vector<std::array<uint64_t, 2>> EdgeCounts;
+};
+
+/// Executes \p M from its entry block until Ret (or until \p MaxInstrs
+/// instructions have run). The module must have been laid out.
+InterpResult interpret(const Module &M, uint64_t MaxInstrs = 1000000000ull);
+
+/// Architectural state (register file + memory image) shared by the
+/// functional interpreter and the timing simulator.
+class ExecState {
+public:
+  explicit ExecState(const Module &M);
+
+  int64_t readInt(Reg R) const { return static_cast<int64_t>(Regs[R.Id]); }
+  double readFp(Reg R) const;
+  void writeInt(Reg R, int64_t V) { Regs[R.Id] = static_cast<uint64_t>(V); }
+  void writeFp(Reg R, double V);
+
+  /// Reads a 64-bit word; out-of-range addresses return deterministic
+  /// garbage (non-faulting speculative-load semantics — see Interp.cpp).
+  uint64_t loadWord(uint64_t Addr) const;
+  /// Writes a 64-bit word; out-of-range stores are program bugs (asserts).
+  void storeWord(uint64_t Addr, uint64_t V);
+
+  /// Effective address of a memory instruction under the current registers.
+  uint64_t effectiveAddress(const Instr &I) const {
+    return static_cast<uint64_t>(readInt(I.Base) + I.Offset);
+  }
+
+  const std::vector<uint8_t> &memory() const { return Memory; }
+
+  /// FNV-1a checksum over the module's output arrays.
+  uint64_t outputChecksum(const Module &M) const;
+
+private:
+  std::vector<uint64_t> Regs;
+  std::vector<uint8_t> Memory;
+};
+
+/// Architecturally executes one non-terminator instruction (terminators are
+/// control decisions for the caller). Timing is the caller's concern.
+void executeInstr(ExecState &S, const Instr &I);
+
+} // namespace ir
+} // namespace bsched
+
+#endif // BALSCHED_IR_INTERP_H

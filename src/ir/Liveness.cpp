@@ -1,0 +1,55 @@
+//===- ir/Liveness.cpp - Global register liveness -------------------------===//
+
+#include "ir/Liveness.h"
+
+using namespace bsched;
+using namespace bsched::ir;
+
+Liveness ir::computeLiveness(const Function &F) {
+  unsigned NumRegs = F.numRegs();
+  size_t NumBlocks = F.Blocks.size();
+
+  // Per-block Use (upward-exposed reads) and Def (writes) sets.
+  std::vector<BitVec> Use(NumBlocks, BitVec(NumRegs));
+  std::vector<BitVec> Def(NumBlocks, BitVec(NumRegs));
+  std::vector<Reg> Uses;
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    for (const Instr &I : F.Blocks[B].Instrs) {
+      Uses.clear();
+      I.appendUses(Uses);
+      for (Reg R : Uses)
+        if (!Def[B].test(R.Id))
+          Use[B].set(R.Id);
+      // CMov-style partial writes already appear in Uses; a definition after
+      // that still kills downward exposure.
+      if (Reg D = I.def(); D.isValid())
+        Def[B].set(D.Id);
+    }
+  }
+
+  Liveness L;
+  L.LiveIn.assign(NumBlocks, BitVec(NumRegs));
+  L.LiveOut.assign(NumBlocks, BitVec(NumRegs));
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = NumBlocks; BI-- > 0;) {
+      BitVec Out(NumRegs);
+      for (int S : F.Blocks[BI].successors())
+        Out.orWith(L.LiveIn[S]);
+      BitVec In = Out;
+      In.subtract(Def[BI]);
+      In.orWith(Use[BI]);
+      if (!(Out == L.LiveOut[BI])) {
+        L.LiveOut[BI] = std::move(Out);
+        Changed = true;
+      }
+      if (!(In == L.LiveIn[BI])) {
+        L.LiveIn[BI] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+  return L;
+}

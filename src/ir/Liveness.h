@@ -1,0 +1,36 @@
+//===- ir/Liveness.h - Global register liveness -----------------*- C++ -*-===//
+///
+/// \file
+/// Classic backward dataflow liveness over the whole register id space
+/// (physical + virtual). Consumed by the register allocator (live intervals)
+/// and by the trace scheduler (speculation is illegal when an instruction's
+/// destination is live into the off-trace path, section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_IR_LIVENESS_H
+#define BALSCHED_IR_LIVENESS_H
+
+#include "ir/IR.h"
+#include "support/BitVec.h"
+
+#include <vector>
+
+namespace bsched {
+namespace ir {
+
+struct Liveness {
+  /// One bit set per register id, per block.
+  std::vector<BitVec> LiveIn, LiveOut;
+
+  bool isLiveIn(int Block, Reg R) const { return LiveIn[Block].test(R.Id); }
+  bool isLiveOut(int Block, Reg R) const { return LiveOut[Block].test(R.Id); }
+};
+
+/// Computes liveness for \p F by iterating LiveIn/LiveOut to a fixpoint.
+Liveness computeLiveness(const Function &F);
+
+} // namespace ir
+} // namespace bsched
+
+#endif // BALSCHED_IR_LIVENESS_H

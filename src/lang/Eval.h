@@ -1,0 +1,38 @@
+//===- lang/Eval.h - Reference AST evaluator --------------------*- C++ -*-===//
+///
+/// \file
+/// Direct tree-walking evaluator for kernel-language programs. It is the
+/// independent oracle for the whole pipeline: lowering, every ILP transform,
+/// trace scheduling and register allocation must all preserve the program
+/// checksum this evaluator computes (it matches ir::interpret bit for bit:
+/// same zero-initialized memory, same FNV-1a over the output arrays).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_LANG_EVAL_H
+#define BALSCHED_LANG_EVAL_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+
+namespace bsched {
+namespace lang {
+
+struct EvalResult {
+  uint64_t Checksum = 0;
+  uint64_t StmtCount = 0; ///< statements executed (loop-iteration proxy).
+  std::string Error;      ///< empty on success.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Evaluates \p P (which must have passed checkProgram) with zero-initialized
+/// arrays and returns the output-array checksum.
+EvalResult evalProgram(const Program &P, uint64_t MaxStmts = 500000000ull);
+
+} // namespace lang
+} // namespace bsched
+
+#endif // BALSCHED_LANG_EVAL_H

@@ -1,0 +1,41 @@
+//===- lang/Generate.h - Random kernel-program generator --------*- C++ -*-===//
+///
+/// \file
+/// Deterministic random generator of well-formed kernel-language programs,
+/// used for property-based differential testing: any generated program must
+/// compile under every configuration to code whose simulated output matches
+/// the AST evaluator's, bit for bit.
+///
+/// Generated programs are constructed to terminate quickly (bounded loop
+/// nests with literal-bounded trip counts) and to stay in bounds (subscripts
+/// are clamped affine forms of the loop variables or reads of index arrays
+/// filled with in-range values).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_LANG_GENERATE_H
+#define BALSCHED_LANG_GENERATE_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+
+namespace bsched {
+namespace lang {
+
+struct GenerateOptions {
+  int MaxArrays = 4;       ///< fp arrays (plus possibly one int index array).
+  int MaxArrayElems = 64;  ///< per dimension.
+  int MaxStmtsPerBlock = 5;
+  int MaxLoopDepth = 3;
+  int MaxTrip = 24;        ///< literal loop trip counts.
+  int MaxExprDepth = 3;
+};
+
+/// Generates a checked program from \p Seed. Same seed, same program.
+Program generateProgram(uint64_t Seed, GenerateOptions Opts = {});
+
+} // namespace lang
+} // namespace bsched
+
+#endif // BALSCHED_LANG_GENERATE_H

@@ -1,0 +1,41 @@
+//===- lang/Parser.h - Kernel-language parser -------------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for the textual form of the kernel language.
+/// The workload kernels (driver/Workloads.cpp) and many tests are written in
+/// this form; see README.md for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_LANG_PARSER_H
+#define BALSCHED_LANG_PARSER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace bsched {
+namespace lang {
+
+struct ParseResult {
+  Program Prog;
+  /// Empty on success, otherwise "line N: message".
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses \p Source into a Program named \p Name. Does not type-check; run
+/// checkProgram afterwards.
+ParseResult parseProgram(const std::string &Source,
+                         const std::string &Name = "kernel");
+
+/// Resolves names, checks types and shapes, and inserts implicit int->fp
+/// conversions in place. Returns an empty string on success, otherwise a
+/// diagnostic. Idempotent, so transformation passes may re-run it.
+std::string checkProgram(Program &P);
+
+} // namespace lang
+} // namespace bsched
+
+#endif // BALSCHED_LANG_PARSER_H

@@ -1,0 +1,412 @@
+//===- locality/Locality.cpp - Cache-reuse analysis -------------------------===//
+
+#include "locality/Locality.h"
+
+#include "xform/Unroll.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::locality;
+using namespace bsched::lang;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AST-level affine analysis
+//===----------------------------------------------------------------------===//
+
+/// Linear form over loop-variable names: Const + sum Coeff * var.
+struct AstAffine {
+  bool Valid = false;
+  int64_t Const = 0;
+  std::map<std::string, int64_t> Terms;
+
+  static AstAffine constant(int64_t C) {
+    AstAffine F;
+    F.Valid = true;
+    F.Const = C;
+    return F;
+  }
+
+  AstAffine plus(const AstAffine &O, int64_t Sign) const {
+    if (!Valid || !O.Valid)
+      return AstAffine();
+    AstAffine R = *this;
+    R.Const += Sign * O.Const;
+    for (const auto &[Name, C] : O.Terms) {
+      R.Terms[Name] += Sign * C;
+      if (R.Terms[Name] == 0)
+        R.Terms.erase(Name);
+    }
+    return R;
+  }
+
+  AstAffine scaled(int64_t K) const {
+    if (!Valid)
+      return AstAffine();
+    AstAffine R;
+    R.Valid = true;
+    R.Const = Const * K;
+    if (K != 0)
+      for (const auto &[Name, C] : Terms)
+        R.Terms[Name] = C * K;
+    return R;
+  }
+
+  int64_t coeffOf(const std::string &Var) const {
+    auto It = Terms.find(Var);
+    return It == Terms.end() ? 0 : It->second;
+  }
+};
+
+AstAffine astAffine(const Expr &E, const std::set<std::string> &LoopVars) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return AstAffine::constant(E.IntVal);
+  case ExprKind::VarRef:
+    if (LoopVars.count(E.Name)) {
+      AstAffine F;
+      F.Valid = true;
+      F.Terms[E.Name] = 1;
+      return F;
+    }
+    return AstAffine(); // Paper limit: symbolic non-induction subscripts.
+  case ExprKind::Unary:
+    if (E.UOp == UnOp::Neg)
+      return astAffine(*E.Args[0], LoopVars).scaled(-1);
+    return AstAffine();
+  case ExprKind::Binary: {
+    if (E.BOp == BinOp::Add)
+      return astAffine(*E.Args[0], LoopVars)
+          .plus(astAffine(*E.Args[1], LoopVars), 1);
+    if (E.BOp == BinOp::Sub)
+      return astAffine(*E.Args[0], LoopVars)
+          .plus(astAffine(*E.Args[1], LoopVars), -1);
+    if (E.BOp == BinOp::Mul) {
+      AstAffine L = astAffine(*E.Args[0], LoopVars);
+      AstAffine R = astAffine(*E.Args[1], LoopVars);
+      if (L.Valid && L.Terms.empty())
+        return R.scaled(L.Const);
+      if (R.Valid && R.Terms.empty())
+        return L.scaled(R.Const);
+      return AstAffine();
+    }
+    return AstAffine();
+  }
+  default:
+    return AstAffine();
+  }
+}
+
+/// Constant-folds an int expression made of literals; nullopt otherwise.
+std::optional<int64_t> constEval(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return E.IntVal;
+  case ExprKind::Unary:
+    if (E.UOp == UnOp::Neg)
+      if (auto V = constEval(*E.Args[0]))
+        return -*V;
+    return std::nullopt;
+  case ExprKind::Binary: {
+    auto L = constEval(*E.Args[0]);
+    auto R = constEval(*E.Args[1]);
+    if (!L || !R)
+      return std::nullopt;
+    switch (E.BOp) {
+    case BinOp::Add: return *L + *R;
+    case BinOp::Sub: return *L - *R;
+    case BinOp::Mul: return *L * *R;
+    default: return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reference collection
+//===----------------------------------------------------------------------===//
+
+/// Collects the array references executed as loads in \p L (rvalues and
+/// subscript expressions; assignment targets excluded but their subscripts
+/// included).
+void collectLoadRefs(StmtList &L, std::vector<Expr *> &Out);
+
+void collectLoadRefsExpr(Expr &E, std::vector<Expr *> &Out) {
+  if (E.Kind == ExprKind::ArrayRef)
+    Out.push_back(&E);
+  for (ExprPtr &A : E.Args)
+    collectLoadRefsExpr(*A, Out);
+}
+
+void collectLoadRefs(StmtList &L, std::vector<Expr *> &Out) {
+  for (StmtPtr &S : L) {
+    switch (S->Kind) {
+    case StmtKind::Assign:
+      // The target element itself is a store, but its subscripts are loads.
+      if (S->Lhs->Kind == ExprKind::ArrayRef)
+        for (ExprPtr &Idx : S->Lhs->Args)
+          collectLoadRefsExpr(*Idx, Out);
+      collectLoadRefsExpr(*S->Rhs, Out);
+      break;
+    case StmtKind::If:
+      collectLoadRefsExpr(*S->Cond, Out);
+      collectLoadRefs(S->Then, Out);
+      collectLoadRefs(S->Else, Out);
+      break;
+    case StmtKind::For:
+      // Innermost loops contain no nested For; defensive anyway.
+      collectLoadRefs(S->Body, Out);
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass driver
+//===----------------------------------------------------------------------===//
+
+struct SpatialInfo {
+  int64_t StrideBytes = 0; ///< per-iteration byte stride (coeff * step).
+  int64_t AddrAtLoMod = 0; ///< address of the first iteration, mod line size.
+};
+
+class LocalityPass {
+public:
+  LocalityPass(Program &P, LocalityOptions Opts) : P(P), Opts(Opts) {}
+
+  LocalityStats run() {
+    walk(P.Body, {});
+    return Stats;
+  }
+
+private:
+  Program &P;
+  LocalityOptions Opts;
+  LocalityStats Stats;
+  int NextGroup = 0;
+  /// Spatial marking info per locality group, consulted by the unroll copy
+  /// callback.
+  std::map<int, SpatialInfo> SpatialGroups;
+
+  void walk(StmtList &L, std::set<std::string> OuterVars) {
+    for (size_t I = 0; I < L.size(); ++I) {
+      Stmt &S = *L[I];
+      switch (S.Kind) {
+      case StmtKind::Assign:
+        break;
+      case StmtKind::If: {
+        walk(S.Then, OuterVars);
+        walk(S.Else, OuterVars);
+        break;
+      }
+      case StmtKind::For: {
+        if (!xform::isInnermostLoop(S) || S.NoUnroll) {
+          std::set<std::string> Inner = OuterVars;
+          Inner.insert(S.LoopVar);
+          walk(S.Body, std::move(Inner));
+          break;
+        }
+        I += processInnermost(L, I, OuterVars);
+        break;
+      }
+      }
+    }
+  }
+
+  /// Handles one innermost loop at L[Idx]; returns how many extra statements
+  /// were spliced before the position to skip.
+  size_t processInnermost(StmtList &L, size_t Idx,
+                          const std::set<std::string> &OuterVars) {
+    ++Stats.LoopsAnalyzed;
+    size_t Skip = 0;
+
+    {
+      Stmt &S = *L[Idx];
+      std::set<std::string> Vars = OuterVars;
+      Vars.insert(S.LoopVar);
+
+      // --- Temporal reuse: mark + peel -----------------------------------
+      std::vector<Expr *> Refs;
+      collectLoadRefs(S.Body, Refs);
+      std::vector<int> TemporalGroups;
+      for (Expr *Ref : Refs) {
+        const ArrayDecl *A = P.findArray(Ref->Name);
+        if (!A || Ref->LocGroup >= 0)
+          continue;
+        AstAffine Addr = addressForm(*Ref, *A, Vars);
+        if (!Addr.Valid) {
+          ++Stats.RefsNoInfo;
+          continue;
+        }
+        if (Addr.coeffOf(S.LoopVar) == 0) {
+          // Invariant in the inner loop: temporal reuse. All in-loop
+          // executions after the first hit the line.
+          Ref->LocGroup = NextGroup++;
+          Ref->HM = ir::HitMiss::Hit;
+          TemporalGroups.push_back(Ref->LocGroup);
+          ++Stats.TemporalRefs;
+        }
+      }
+      if (!TemporalGroups.empty()) {
+        std::set<int> Groups(TemporalGroups.begin(), TemporalGroups.end());
+        auto MarkPeeledMiss = [&Groups](StmtList &Peeled) {
+          std::vector<Expr *> PeelRefs;
+          collectLoadRefs(Peeled, PeelRefs);
+          for (Expr *R : PeelRefs)
+            if (Groups.count(R->LocGroup))
+              R->HM = ir::HitMiss::Miss;
+        };
+        xform::peelFirstIteration(P, L, Idx, MarkPeeledMiss);
+        ++Stats.LoopsPeeled;
+        // L[Idx] is now the guard; the residual loop follows it.
+        ++Idx;
+        ++Skip;
+      }
+    }
+
+    // --- Spatial reuse: mark + unroll ------------------------------------
+    Stmt &S = *L[Idx];
+    std::set<std::string> Vars = OuterVars;
+    Vars.insert(S.LoopVar);
+    std::optional<int64_t> LoVal = constEval(*S.Lo);
+
+    std::vector<Expr *> Refs;
+    collectLoadRefs(S.Body, Refs);
+    int64_t NeededFactor = 1;
+    int NumSpatial = 0;
+    std::vector<std::pair<Expr *, SpatialInfo>> Pending;
+    for (Expr *Ref : Refs) {
+      const ArrayDecl *A = P.findArray(Ref->Name);
+      if (!A || Ref->LocGroup >= 0)
+        continue;
+      AstAffine Addr = addressForm(*Ref, *A, Vars);
+      if (!Addr.Valid) {
+        ++Stats.RefsNoInfo;
+        continue;
+      }
+      int64_t Stride = Addr.coeffOf(S.LoopVar) * S.Step;
+      if (Stride <= 0 || Stride >= CacheLineSize ||
+          CacheLineSize % Stride != 0) {
+        ++Stats.RefsNoInfo;
+        continue;
+      }
+      // Alignment must be statically known: every outer term a multiple of
+      // the line size, and a literal loop start (paper limits 1 and 3).
+      bool Aligned = LoVal.has_value();
+      for (const auto &[Name, C] : Addr.Terms)
+        if (Name != S.LoopVar && C % CacheLineSize != 0)
+          Aligned = false;
+      if (!Aligned) {
+        ++Stats.RefsNoInfo;
+        continue;
+      }
+      SpatialInfo Info;
+      Info.StrideBytes = Stride;
+      int64_t AtLo = Addr.Const + Addr.coeffOf(S.LoopVar) * *LoVal;
+      Info.AddrAtLoMod = ((AtLo % CacheLineSize) + CacheLineSize) %
+                         CacheLineSize;
+      Pending.emplace_back(Ref, Info);
+      NeededFactor = std::max(NeededFactor, CacheLineSize / Stride);
+      ++NumSpatial;
+    }
+
+    if (NumSpatial == 0)
+      return Skip;
+
+    // Pick the factor: honour a simultaneous loop-unrolling request when it
+    // keeps whole cache lines per body instance, else the minimal factor.
+    auto FactorWorks = [&](int64_t F) {
+      for (const auto &[Ref, Info] : Pending) {
+        (void)Ref;
+        if ((F * Info.StrideBytes) % CacheLineSize != 0)
+          return false;
+      }
+      return true;
+    };
+    int64_t Factor = 0;
+    if (Opts.UnrollFactor > 1 && FactorWorks(Opts.UnrollFactor))
+      Factor = Opts.UnrollFactor;
+    else if (FactorWorks(NeededFactor))
+      Factor = NeededFactor;
+
+    // Locality analysis only unrolls loops that actually exhibit reuse, so
+    // it uses the laxer 128-instruction ceiling regardless of factor (plain
+    // unrolling's 64-at-4 limit stays with xform::unrollLoops).
+    constexpr int LocalityInstrLimit = 128;
+    int BodyCost = lang::estimateCost(S.Body);
+    if (Factor > 0 && Factor * BodyCost > LocalityInstrLimit)
+      Factor = FactorWorks(NeededFactor) &&
+                       NeededFactor * BodyCost <= LocalityInstrLimit
+                   ? NeededFactor
+                   : 0;
+    if (Factor < 2 || xform::countNonPredicableBranches(S.Body) > 1) {
+      // Cannot unroll: no spatial marking is possible.
+      for (auto &[Ref, Info] : Pending) {
+        (void)Info;
+        (void)Ref;
+        ++Stats.RefsNoInfo;
+      }
+      return Skip;
+    }
+
+    for (auto &[Ref, Info] : Pending) {
+      Ref->LocGroup = NextGroup++;
+      SpatialGroups[Ref->LocGroup] = Info;
+      ++Stats.SpatialRefs;
+    }
+
+    auto MarkCopy = [this](int CopyIdx, StmtList &Copy) {
+      std::vector<Expr *> CopyRefs;
+      collectLoadRefs(Copy, CopyRefs);
+      for (Expr *R : CopyRefs) {
+        auto It = SpatialGroups.find(R->LocGroup);
+        if (It == SpatialGroups.end())
+          continue;
+        const SpatialInfo &Info = It->second;
+        int64_t Addr =
+            (Info.AddrAtLoMod + CopyIdx * Info.StrideBytes) % CacheLineSize;
+        R->HM = Addr == 0 ? ir::HitMiss::Miss : ir::HitMiss::Hit;
+      }
+    };
+    xform::unrollForStmt(P, L, Idx, static_cast<int>(Factor), MarkCopy);
+    ++Stats.LoopsUnrolled;
+    Skip += 2; // assign + main-for + chain replaced one statement.
+    return Skip;
+  }
+
+  AstAffine addressForm(const Expr &Ref, const ArrayDecl &A,
+                        const std::set<std::string> &LoopVars) {
+    size_t N = Ref.Args.size();
+    if (N != A.Dims.size())
+      return AstAffine();
+    std::vector<int64_t> Strides(N, 8);
+    if (A.RowMajor) {
+      for (size_t K = N; K-- > 0;)
+        Strides[K] = (K + 1 == N) ? 8 : Strides[K + 1] * A.Dims[K + 1];
+    } else {
+      for (size_t K = 0; K != N; ++K)
+        Strides[K] = (K == 0) ? 8 : Strides[K - 1] * A.Dims[K - 1];
+    }
+    AstAffine Total = AstAffine::constant(0);
+    for (size_t K = 0; K != N; ++K) {
+      AstAffine Sub = astAffine(*Ref.Args[K], LoopVars);
+      if (!Sub.Valid)
+        return AstAffine();
+      Total = Total.plus(Sub.scaled(Strides[K]), 1);
+    }
+    return Total;
+  }
+};
+
+} // namespace
+
+LocalityStats locality::applyLocality(Program &P, LocalityOptions Opts) {
+  return LocalityPass(P, Opts).run();
+}

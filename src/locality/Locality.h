@@ -1,0 +1,60 @@
+//===- locality/Locality.h - Cache-reuse analysis ----------------*- C++ -*-===//
+///
+/// \file
+/// The locality-analysis optimization of section 3.3, following Mowry, Lam
+/// and Gupta's reuse analysis: for array references with affine subscripts in
+/// innermost loops, classify
+///  - temporal reuse (address invariant in the inner loop): peel the first
+///    iteration (Figure 5) and mark the peeled load a miss, the in-loop
+///    loads hits;
+///  - spatial reuse (stride divides the 32-byte line, alignment statically
+///    known): unroll so one line spans a whole body instance (Figure 4) and
+///    mark the line-aligned copy a miss, the others hits.
+///
+/// Hit-marked loads keep the optimistic latency during balanced scheduling,
+/// freeing independent instructions to pad miss loads; miss->hit DAG arcs
+/// keep hits from floating above their miss (section 4.2).
+///
+/// Limits mirror the paper's (section 5.3): unknown alignment (outer-term
+/// coefficients not line-multiples, non-literal loop start), non-affine
+/// subscripts, and non-innermost loops all disqualify a reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_LOCALITY_LOCALITY_H
+#define BALSCHED_LOCALITY_LOCALITY_H
+
+#include "lang/AST.h"
+
+namespace bsched {
+namespace locality {
+
+/// Cache line size of the Alpha 21164 first-level data cache.
+constexpr int64_t CacheLineSize = 32;
+
+struct LocalityOptions {
+  /// Unrolling factor requested by a simultaneous loop-unrolling
+  /// optimization (0 = locality analysis alone, which unrolls just enough to
+  /// separate the miss from the hits: line size / stride).
+  int UnrollFactor = 0;
+};
+
+struct LocalityStats {
+  int LoopsAnalyzed = 0;
+  int LoopsPeeled = 0;    ///< temporal reuse found and peeled.
+  int LoopsUnrolled = 0;  ///< spatial reuse found and unrolled+marked.
+  int TemporalRefs = 0;
+  int SpatialRefs = 0;
+  int RefsNoInfo = 0;     ///< affine but unknown alignment, or non-affine.
+};
+
+/// Runs reuse analysis and the enabling transformations over every innermost
+/// loop of \p P. Loops it unrolls are tagged NoUnroll so a subsequent
+/// xform::unrollLoops pass (for the LA+LU configurations) leaves them alone.
+/// Re-run lang::checkProgram afterwards.
+LocalityStats applyLocality(lang::Program &P, LocalityOptions Opts = {});
+
+} // namespace locality
+} // namespace bsched
+
+#endif // BALSCHED_LOCALITY_LOCALITY_H

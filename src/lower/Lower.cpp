@@ -1,0 +1,941 @@
+//===- lower/Lower.cpp - Kernel-language -> IR lowering -------------------===//
+
+#include "lower/Lower.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace bsched;
+using namespace bsched::lower;
+using namespace bsched::ir;
+using lang::BinOp;
+using lang::Expr;
+using lang::ExprKind;
+using lang::Program;
+using lang::Stmt;
+using lang::StmtKind;
+using lang::StmtList;
+using lang::UnOp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Affine forms
+//===----------------------------------------------------------------------===//
+
+/// Sorted sum of Coeff * reg, plus Const (all in abstract units; callers
+/// scale to bytes).
+struct AffineForm {
+  bool Valid = false;
+  int64_t Const = 0;
+  std::vector<MemRef::Term> Terms; ///< sorted by RegId, no zero coeffs.
+
+  static AffineForm constant(int64_t C) {
+    AffineForm F;
+    F.Valid = true;
+    F.Const = C;
+    return F;
+  }
+  static AffineForm invalid() { return AffineForm(); }
+
+  void addTerm(uint32_t RegId, int64_t Coeff) {
+    for (auto It = Terms.begin(); It != Terms.end(); ++It) {
+      if (It->RegId == RegId) {
+        It->Coeff += Coeff;
+        if (It->Coeff == 0)
+          Terms.erase(It);
+        return;
+      }
+      if (It->RegId > RegId) {
+        Terms.insert(It, {RegId, Coeff});
+        return;
+      }
+    }
+    Terms.push_back({RegId, Coeff});
+  }
+
+  AffineForm plus(const AffineForm &O, int64_t Sign) const {
+    if (!Valid || !O.Valid)
+      return invalid();
+    AffineForm R = *this;
+    R.Const += Sign * O.Const;
+    for (const MemRef::Term &T : O.Terms)
+      R.addTerm(T.RegId, Sign * T.Coeff);
+    return R;
+  }
+
+  AffineForm scaled(int64_t K) const {
+    if (!Valid)
+      return invalid();
+    AffineForm R;
+    R.Valid = true;
+    R.Const = Const * K;
+    if (K == 0)
+      return R;
+    for (const MemRef::Term &T : Terms)
+      R.Terms.push_back({T.RegId, T.Coeff * K});
+    return R;
+  }
+
+  int64_t coeffOf(uint32_t RegId) const {
+    for (const MemRef::Term &T : Terms)
+      if (T.RegId == RegId)
+        return T.Coeff;
+    return 0;
+  }
+};
+
+/// Key identifying a strength-reduction group: same array, same term list
+/// (addresses differ only in the constant displacement).
+struct GroupKey {
+  int ArrayId;
+  std::vector<MemRef::Term> Terms;
+
+  bool operator<(const GroupKey &O) const {
+    if (ArrayId != O.ArrayId)
+      return ArrayId < O.ArrayId;
+    if (Terms.size() != O.Terms.size())
+      return Terms.size() < O.Terms.size();
+    for (size_t I = 0; I != Terms.size(); ++I) {
+      if (Terms[I].RegId != O.Terms[I].RegId)
+        return Terms[I].RegId < O.Terms[I].RegId;
+      if (Terms[I].Coeff != O.Terms[I].Coeff)
+        return Terms[I].Coeff < O.Terms[I].Coeff;
+    }
+    return false;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Lowerer
+//===----------------------------------------------------------------------===//
+
+class Lowerer {
+public:
+  Lowerer(const Program &P, LowerOptions Opts) : P(P), Opts(Opts) {}
+
+  LowerResult run() {
+    LowerResult R;
+    buildArrays();
+    Function &F = M.Fn;
+    F.Name = P.Name;
+    Cur = F.makeBlock();
+
+    // Scalar variables live in dedicated registers, initialized up front.
+    // Compiler-generated temporaries ("__" prefix: unroll cursors and
+    // privatized copies) are written before every read by construction, so
+    // they get no dead initializer — one would give them a function-long
+    // live-interval hull and phantom register pressure.
+    for (const lang::VarDecl &V : P.Vars) {
+      Reg R2 = F.makeReg(V.Ty == lang::Type::Int ? RegClass::Int
+                                                 : RegClass::Fp);
+      Scalars[V.Name] = R2;
+      if (V.Name.size() >= 2 && V.Name[0] == '_' && V.Name[1] == '_')
+        continue;
+      Instr In;
+      if (V.Ty == lang::Type::Int) {
+        In.Op = Opcode::LdI;
+        In.Dst = R2;
+        In.Imm = V.IntInit;
+        In.HasImm = true;
+      } else {
+        In.Op = Opcode::FLdI;
+        In.Dst = R2;
+        In.setFImm(V.FpInit);
+      }
+      emit(In);
+    }
+
+    for (const lang::StmtPtr &S : P.Body) {
+      lowerStmt(*S);
+      if (!Err.empty())
+        break;
+    }
+    emitRet();
+
+    R.Error = Err;
+    if (R.ok()) {
+      R.M = std::move(M);
+      if (std::string V = verify(R.M); !V.empty())
+        R.Error = "lowering produced invalid IR: " + V;
+    }
+    return R;
+  }
+
+private:
+  const Program &P;
+  LowerOptions Opts;
+  Module M;
+  std::string Err;
+  int Cur = 0; ///< current block id.
+
+  std::map<std::string, Reg> Scalars; ///< declared scalar vars.
+  std::map<std::string, int> ArrayIds;
+
+  /// Per-block materialized-constant cache.
+  int ConstBlock = -1;
+  std::map<int64_t, Reg> IntConsts;
+  std::map<int64_t, Reg> FpConsts; ///< keyed by bit pattern.
+
+  struct AddrGroup {
+    Reg AddrReg;
+    int64_t InnerCoeff = 0; ///< byte stride per unit of the loop variable.
+  };
+
+  struct LoopCtx {
+    std::string Var;
+    Reg VarReg;
+    int64_t Step = 1;
+    std::map<GroupKey, AddrGroup> Groups;
+    /// Scalars assigned somewhere in the loop body; their registers must not
+    /// appear in strength-reduced forms.
+    std::set<std::string> MutatedScalars;
+  };
+  std::vector<LoopCtx> Loops;
+
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Emission helpers
+  //===--------------------------------------------------------------------===//
+
+  BasicBlock &curBlock() { return M.Fn.Blocks[Cur]; }
+
+  void emit(Instr In) { curBlock().Instrs.push_back(std::move(In)); }
+
+  void switchTo(int Block) { Cur = Block; }
+
+  void emitRet() {
+    Instr In;
+    In.Op = Opcode::Ret;
+    emit(In);
+  }
+
+  void emitJmp(int Target) {
+    Instr In;
+    In.Op = Opcode::Jmp;
+    In.Target0 = Target;
+    emit(In);
+  }
+
+  void emitBr(Reg Cond, int Taken, int Fall) {
+    Instr In;
+    In.Op = Opcode::Br;
+    In.SrcA = Cond;
+    In.Target0 = Taken;
+    In.Target1 = Fall;
+    emit(In);
+  }
+
+  Reg newInt() { return M.Fn.makeReg(RegClass::Int); }
+  Reg newFp() { return M.Fn.makeReg(RegClass::Fp); }
+
+  Reg intConst(int64_t V) {
+    if (ConstBlock != Cur) {
+      ConstBlock = Cur;
+      IntConsts.clear();
+      FpConsts.clear();
+    }
+    auto It = IntConsts.find(V);
+    if (It != IntConsts.end())
+      return It->second;
+    Reg R = newInt();
+    Instr In;
+    In.Op = Opcode::LdI;
+    In.Dst = R;
+    In.Imm = V;
+    In.HasImm = true;
+    emit(In);
+    IntConsts[V] = R;
+    return R;
+  }
+
+  Reg fpConst(double V) {
+    if (ConstBlock != Cur) {
+      ConstBlock = Cur;
+      IntConsts.clear();
+      FpConsts.clear();
+    }
+    Instr In;
+    In.Op = Opcode::FLdI;
+    In.setFImm(V);
+    auto It = FpConsts.find(In.Imm);
+    if (It != FpConsts.end())
+      return It->second;
+    Reg R = newFp();
+    In.Dst = R;
+    emit(In);
+    FpConsts[In.Imm] = R;
+    return R;
+  }
+
+  /// Emits Dst = Op(A, imm).
+  Reg emitOpImm(Opcode Op, Reg A, int64_t Imm, Reg Dst = Reg()) {
+    if (!Dst.isValid())
+      Dst = newInt();
+    Instr In;
+    In.Op = Op;
+    In.Dst = Dst;
+    In.SrcA = A;
+    In.Imm = Imm;
+    In.HasImm = true;
+    emit(In);
+    return Dst;
+  }
+
+  Reg emitOp(Opcode Op, Reg A, Reg B, Reg Dst = Reg()) {
+    if (!Dst.isValid())
+      Dst = opInfo(Op).DstCls == 1 ? newFp() : newInt();
+    Instr In;
+    In.Op = Op;
+    In.Dst = Dst;
+    In.SrcA = A;
+    In.SrcB = B;
+    emit(In);
+    return Dst;
+  }
+
+  /// Dst += R * Coeff, using shifts for powers of two (strength reduction of
+  /// the multiply itself).
+  void emitAddScaled(Reg Dst, Reg R, int64_t Coeff) {
+    if (Coeff == 0)
+      return;
+    bool Negative = Coeff < 0;
+    uint64_t Mag = Negative ? static_cast<uint64_t>(-Coeff)
+                            : static_cast<uint64_t>(Coeff);
+    Reg Scaled;
+    if (Mag == 1) {
+      Scaled = R;
+    } else if ((Mag & (Mag - 1)) == 0) {
+      Scaled = emitOpImm(Opcode::Sll, R,
+                         static_cast<int64_t>(__builtin_ctzll(Mag)));
+    } else {
+      Scaled = emitOpImm(Opcode::IMul, R, static_cast<int64_t>(Mag));
+    }
+    emitOp(Negative ? Opcode::ISub : Opcode::IAdd, Dst, Scaled, Dst);
+  }
+
+  /// Materializes \p Base + \p Form into a fresh register.
+  Reg materializeAffine(int64_t Base, const AffineForm &Form) {
+    Reg R = newInt();
+    Instr In;
+    In.Op = Opcode::LdI;
+    In.Dst = R;
+    In.Imm = Base + Form.Const;
+    In.HasImm = true;
+    emit(In);
+    for (const MemRef::Term &T : Form.Terms)
+      emitAddScaled(R, Reg(T.RegId), T.Coeff);
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Name resolution / affine analysis
+  //===--------------------------------------------------------------------===//
+
+  Reg lookupVar(const std::string &Name) {
+    // Loop variables shadow scalars; innermost loop first.
+    for (auto It = Loops.rbegin(); It != Loops.rend(); ++It)
+      if (It->Var == Name)
+        return It->VarReg;
+    auto It = Scalars.find(Name);
+    if (It != Scalars.end())
+      return It->second;
+    fail("lowering: unknown variable '" + Name + "'");
+    return intConst(0);
+  }
+
+  bool isLoopVarName(const std::string &Name) const {
+    for (const LoopCtx &L : Loops)
+      if (L.Var == Name)
+        return true;
+    return false;
+  }
+
+  AffineForm affineOf(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return AffineForm::constant(E.IntVal);
+    case ExprKind::VarRef: {
+      if (E.Ty != lang::Type::Int)
+        return AffineForm::invalid();
+      Reg R = lookupVar(E.Name);
+      AffineForm F;
+      F.Valid = true;
+      F.addTerm(R.Id, 1);
+      return F;
+    }
+    case ExprKind::Unary:
+      if (E.UOp == UnOp::Neg)
+        return affineOf(*E.Args[0]).scaled(-1);
+      return AffineForm::invalid();
+    case ExprKind::Binary: {
+      if (E.BOp == BinOp::Add)
+        return affineOf(*E.Args[0]).plus(affineOf(*E.Args[1]), 1);
+      if (E.BOp == BinOp::Sub)
+        return affineOf(*E.Args[0]).plus(affineOf(*E.Args[1]), -1);
+      if (E.BOp == BinOp::Mul) {
+        AffineForm L = affineOf(*E.Args[0]);
+        AffineForm R = affineOf(*E.Args[1]);
+        if (L.Valid && L.Terms.empty())
+          return R.scaled(L.Const);
+        if (R.Valid && R.Terms.empty())
+          return L.scaled(R.Const);
+        return AffineForm::invalid();
+      }
+      return AffineForm::invalid();
+    }
+    default:
+      return AffineForm::invalid();
+    }
+  }
+
+  /// Byte strides per dimension (outermost first).
+  static std::vector<int64_t> byteStrides(const lang::ArrayDecl &A) {
+    size_t N = A.Dims.size();
+    std::vector<int64_t> S(N, 8);
+    if (A.RowMajor) {
+      for (size_t K = N; K-- > 0;)
+        S[K] = (K + 1 == N) ? 8 : S[K + 1] * A.Dims[K + 1];
+    } else {
+      for (size_t K = 0; K != N; ++K)
+        S[K] = (K == 0) ? 8 : S[K - 1] * A.Dims[K - 1];
+    }
+    return S;
+  }
+
+  /// Full byte-address form of an array reference relative to the array base,
+  /// or invalid.
+  AffineForm addressFormOf(const Expr &Ref, const lang::ArrayDecl &A) {
+    AffineForm Total = AffineForm::constant(0);
+    std::vector<int64_t> Strides = byteStrides(A);
+    for (size_t K = 0; K != Ref.Args.size(); ++K) {
+      AffineForm Sub = affineOf(*Ref.Args[K]);
+      if (!Sub.Valid)
+        return AffineForm::invalid();
+      Total = Total.plus(Sub.scaled(Strides[K]), 1);
+    }
+    return Total;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Strength-reduction pre-scan
+  //===--------------------------------------------------------------------===//
+
+  /// Collects array references directly inside \p Body (descending into ifs
+  /// but not into nested loops) and the set of scalars assigned anywhere.
+  void scanLoopBody(const StmtList &Body, std::vector<const Expr *> &Refs,
+                    std::set<std::string> &Mutated) {
+    for (const lang::StmtPtr &S : Body)
+      scanLoopStmt(*S, Refs, Mutated, /*InNestedLoop=*/false);
+  }
+
+  void scanLoopStmt(const Stmt &S, std::vector<const Expr *> &Refs,
+                    std::set<std::string> &Mutated, bool InNestedLoop) {
+    switch (S.Kind) {
+    case StmtKind::Assign:
+      if (S.Lhs->Kind == ExprKind::VarRef)
+        Mutated.insert(S.Lhs->Name);
+      if (!InNestedLoop) {
+        scanExpr(*S.Lhs, Refs);
+        scanExpr(*S.Rhs, Refs);
+      }
+      return;
+    case StmtKind::For:
+      for (const lang::StmtPtr &C : S.Body)
+        scanLoopStmt(*C, Refs, Mutated, /*InNestedLoop=*/true);
+      return;
+    case StmtKind::If:
+      if (!InNestedLoop)
+        scanExpr(*S.Cond, Refs);
+      for (const lang::StmtPtr &C : S.Then)
+        scanLoopStmt(*C, Refs, Mutated, InNestedLoop);
+      for (const lang::StmtPtr &C : S.Else)
+        scanLoopStmt(*C, Refs, Mutated, InNestedLoop);
+      return;
+    }
+  }
+
+  void scanExpr(const Expr &E, std::vector<const Expr *> &Refs) {
+    if (E.Kind == ExprKind::ArrayRef)
+      Refs.push_back(&E);
+    for (const lang::ExprPtr &A : E.Args)
+      scanExpr(*A, Refs);
+  }
+
+  /// True if every symbolic term is safe to cache across iterations of the
+  /// innermost loop: the loop's own variable, an outer loop variable, or a
+  /// scalar the loop body never assigns.
+  bool termsAreStable(const AffineForm &F, const LoopCtx &L) {
+    for (const MemRef::Term &T : F.Terms) {
+      Reg R(T.RegId);
+      bool IsLoopVar = false;
+      for (const LoopCtx &Ctx : Loops)
+        if (Ctx.VarReg == R)
+          IsLoopVar = true;
+      if (R == L.VarReg)
+        IsLoopVar = true;
+      if (IsLoopVar)
+        continue;
+      bool IsStableScalar = false;
+      for (const auto &[Name, SReg] : Scalars)
+        if (SReg == R && !L.MutatedScalars.count(Name))
+          IsStableScalar = true;
+      if (!IsStableScalar)
+        return false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Address / memory emission
+  //===--------------------------------------------------------------------===//
+
+  struct Address {
+    Reg Base;
+    int64_t Offset = 0;
+    MemRef Mem;
+  };
+
+  Address lowerAddress(const Expr &Ref) {
+    Address Out;
+    auto ArrIt = ArrayIds.find(Ref.Name);
+    assert(ArrIt != ArrayIds.end() && "checker admitted unknown array");
+    int ArrayId = ArrIt->second;
+    const lang::ArrayDecl &A = P.Arrays[static_cast<size_t>(ArrayId)];
+    const ArrayInfo &Info = M.Arrays[static_cast<size_t>(ArrayId)];
+    Out.Mem.ArrayId = ArrayId;
+
+    AffineForm Form = addressFormOf(Ref, A);
+    if (Form.Valid) {
+      Out.Mem.HasForm = true;
+      Out.Mem.Terms = Form.Terms;
+      Out.Mem.Const = Form.Const;
+
+      // Strength reduction: share an induction address register among all
+      // same-form references of the innermost loop.
+      if (Opts.StrengthReduction && !Loops.empty()) {
+        LoopCtx &L = Loops.back();
+        GroupKey Key{ArrayId, Form.Terms};
+        auto It = L.Groups.find(Key);
+        if (It != L.Groups.end()) {
+          Out.Base = It->second.AddrReg;
+          Out.Offset = Form.Const;
+          return Out;
+        }
+      }
+      // General affine materialization.
+      AffineForm NoConst = Form;
+      NoConst.Const = 0;
+      Out.Base = materializeAffine(static_cast<int64_t>(Info.Base), NoConst);
+      Out.Offset = Form.Const;
+      return Out;
+    }
+
+    // Non-affine: flatten subscripts dynamically (index arrays etc.),
+    // accumulating sub_k * elemStride_k for either storage layout.
+    std::vector<int64_t> Strides = byteStrides(A);
+    Reg Idx = newInt();
+    emitLdI(Idx, 0);
+    for (size_t K = 0; K != Ref.Args.size(); ++K) {
+      Reg Sub = lowerExpr(*Ref.Args[K]);
+      emitAddScaled(Idx, Sub, Strides[K] / 8); // element strides (8B cells)
+    }
+    Reg ByteOff = emitOpImm(Opcode::Sll, Idx, 3);
+    Reg BaseReg = intConst(static_cast<int64_t>(Info.Base));
+    Out.Base = emitOp(Opcode::IAdd, BaseReg, ByteOff);
+    Out.Offset = 0;
+    Out.Mem.HasForm = false;
+    return Out;
+  }
+
+  Reg lowerLoad(const Expr &Ref) {
+    Address Addr = lowerAddress(Ref);
+    const lang::ArrayDecl &A =
+        P.Arrays[static_cast<size_t>(Addr.Mem.ArrayId)];
+    bool IsFp = A.ElemTy == lang::Type::Fp;
+    Instr In;
+    In.Op = IsFp ? Opcode::FLoad : Opcode::Load;
+    In.Dst = IsFp ? newFp() : newInt();
+    In.Base = Addr.Base;
+    In.Offset = Addr.Offset;
+    In.Mem = Addr.Mem;
+    In.HM = Ref.HM;
+    In.LocalityGroup = Ref.LocGroup;
+    emit(In);
+    return In.Dst;
+  }
+
+  void lowerStore(const Expr &Ref, Reg Val) {
+    Address Addr = lowerAddress(Ref);
+    const lang::ArrayDecl &A =
+        P.Arrays[static_cast<size_t>(Addr.Mem.ArrayId)];
+    bool IsFp = A.ElemTy == lang::Type::Fp;
+    Instr In;
+    In.Op = IsFp ? Opcode::FStore : Opcode::Store;
+    In.SrcA = Val;
+    In.Base = Addr.Base;
+    In.Offset = Addr.Offset;
+    In.Mem = Addr.Mem;
+    emit(In);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression lowering
+  //===--------------------------------------------------------------------===//
+
+  Reg lowerExpr(const Expr &E) { return lowerExprInto(E, Reg()); }
+
+  /// Lowers \p E; if \p Target is valid the result is written there.
+  Reg lowerExprInto(const Expr &E, Reg Target) {
+    switch (E.Kind) {
+    case ExprKind::IntLit: {
+      if (Target.isValid())
+        return emitLdI(Target, E.IntVal);
+      return intConst(E.IntVal);
+    }
+    case ExprKind::FpLit: {
+      if (Target.isValid()) {
+        Instr In;
+        In.Op = Opcode::FLdI;
+        In.Dst = Target;
+        In.setFImm(E.FpVal);
+        emit(In);
+        return Target;
+      }
+      return fpConst(E.FpVal);
+    }
+    case ExprKind::VarRef: {
+      Reg R = lookupVar(E.Name);
+      if (Target.isValid() && Target != R)
+        return emitOp(E.Ty == lang::Type::Fp ? Opcode::FMov : Opcode::Mov, R,
+                      Reg(), Target);
+      return R;
+    }
+    case ExprKind::ArrayRef: {
+      Reg R = lowerLoad(E);
+      if (Target.isValid())
+        return emitOp(E.Ty == lang::Type::Fp ? Opcode::FMov : Opcode::Mov, R,
+                      Reg(), Target);
+      return R;
+    }
+    case ExprKind::Unary: {
+      if (E.UOp == UnOp::IToF) {
+        Reg A = lowerExpr(*E.Args[0]);
+        return emitOp(Opcode::ItoF, A, Reg(),
+                      Target.isValid() ? Target : newFp());
+      }
+      if (E.UOp == UnOp::Not) {
+        Reg A = lowerExpr(*E.Args[0]);
+        return emitOpImm(Opcode::CmpEq, A, 0,
+                         Target.isValid() ? Target : newInt());
+      }
+      // Negation: 0 - x.
+      if (E.Ty == lang::Type::Fp) {
+        Reg Zero = fpConst(0.0);
+        Reg A = lowerExpr(*E.Args[0]);
+        return emitOp(Opcode::FSub, Zero, A,
+                      Target.isValid() ? Target : newFp());
+      }
+      Reg Zero = intConst(0);
+      Reg A = lowerExpr(*E.Args[0]);
+      return emitOp(Opcode::ISub, Zero, A,
+                    Target.isValid() ? Target : newInt());
+    }
+    case ExprKind::Binary:
+      return lowerBinary(E, Target);
+    }
+    fail("lowering: unhandled expression");
+    return intConst(0);
+  }
+
+  Reg emitLdI(Reg Target, int64_t V) {
+    Instr In;
+    In.Op = Opcode::LdI;
+    In.Dst = Target;
+    In.Imm = V;
+    In.HasImm = true;
+    emit(In);
+    return Target;
+  }
+
+  /// Lowers an operand used in a 0/1 logical context, normalizing when the
+  /// expression is not already a comparison result.
+  Reg lowerBool(const Expr &E) {
+    bool Already01 =
+        (E.Kind == ExprKind::Binary &&
+         (E.BOp == BinOp::Lt || E.BOp == BinOp::Le || E.BOp == BinOp::Gt ||
+          E.BOp == BinOp::Ge || E.BOp == BinOp::Eq || E.BOp == BinOp::Ne ||
+          E.BOp == BinOp::And || E.BOp == BinOp::Or)) ||
+        (E.Kind == ExprKind::Unary && E.UOp == UnOp::Not);
+    Reg R = lowerExpr(E);
+    if (Already01)
+      return R;
+    Reg IsZero = emitOpImm(Opcode::CmpEq, R, 0);
+    return emitOpImm(Opcode::CmpEq, IsZero, 0);
+  }
+
+  Reg lowerBinary(const Expr &E, Reg Target) {
+    const Expr &L = *E.Args[0];
+    const Expr &R = *E.Args[1];
+    bool FpOperands = L.Ty == lang::Type::Fp;
+
+    switch (E.BOp) {
+    case BinOp::And:
+    case BinOp::Or: {
+      Reg A = lowerBool(L);
+      Reg B = lowerBool(R);
+      return emitOp(E.BOp == BinOp::And ? Opcode::And : Opcode::Or, A, B,
+                    Target.isValid() ? Target : newInt());
+    }
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Mul:
+    case BinOp::Div: {
+      Reg A = lowerExpr(L);
+      Reg B = lowerExpr(R);
+      Opcode Op;
+      if (FpOperands) {
+        Op = E.BOp == BinOp::Add   ? Opcode::FAdd
+             : E.BOp == BinOp::Sub ? Opcode::FSub
+             : E.BOp == BinOp::Mul ? Opcode::FMul
+                                   : Opcode::FDiv;
+      } else {
+        assert(E.BOp != BinOp::Div && "checker rejects integer division");
+        Op = E.BOp == BinOp::Add   ? Opcode::IAdd
+             : E.BOp == BinOp::Sub ? Opcode::ISub
+                                   : Opcode::IMul;
+      }
+      return emitOp(Op, A, B, Target);
+    }
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      bool Swap = E.BOp == BinOp::Gt || E.BOp == BinOp::Ge;
+      bool IsLe = E.BOp == BinOp::Le || E.BOp == BinOp::Ge;
+      Reg A = lowerExpr(Swap ? R : L);
+      Reg B = lowerExpr(Swap ? L : R);
+      Opcode Op = FpOperands ? (IsLe ? Opcode::FCmpLe : Opcode::FCmpLt)
+                             : (IsLe ? Opcode::CmpLe : Opcode::CmpLt);
+      return emitOp(Op, A, B, Target.isValid() ? Target : newInt());
+    }
+    case BinOp::Eq:
+    case BinOp::Ne: {
+      Reg A = lowerExpr(L);
+      Reg B = lowerExpr(R);
+      Reg Eq = emitOp(FpOperands ? Opcode::FCmpEq : Opcode::CmpEq, A, B,
+                      E.BOp == BinOp::Eq && Target.isValid() ? Target
+                                                             : Reg());
+      if (E.BOp == BinOp::Eq)
+        return Eq;
+      return emitOpImm(Opcode::CmpEq, Eq, 0,
+                       Target.isValid() ? Target : newInt());
+    }
+    }
+    fail("lowering: unhandled binary operator");
+    return intConst(0);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement lowering
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt &S) {
+    if (!Err.empty())
+      return;
+    switch (S.Kind) {
+    case StmtKind::Assign:
+      lowerAssign(S);
+      return;
+    case StmtKind::For:
+      lowerFor(S);
+      return;
+    case StmtKind::If:
+      if (Opts.IfConversion && isPredicable(S))
+        lowerPredicatedIf(S);
+      else
+        lowerBranchyIf(S);
+      return;
+    }
+  }
+
+  void lowerAssign(const Stmt &S) {
+    if (S.Lhs->Kind == ExprKind::VarRef) {
+      Reg Dst = lookupVar(S.Lhs->Name);
+      lowerExprInto(*S.Rhs, Dst);
+      return;
+    }
+    Reg Val = lowerExpr(*S.Rhs);
+    lowerStore(*S.Lhs, Val);
+  }
+
+  void lowerPredicatedIf(const Stmt &S) {
+    Reg Cond = lowerExpr(*S.Cond);
+    const Stmt &ThenA = *S.Then[0];
+    Reg Dst = lookupVar(ThenA.Lhs->Name);
+    bool IsFp = ThenA.Lhs->Ty == lang::Type::Fp;
+    // Evaluate the then-value BEFORE the else-value is written into Dst:
+    // both arms may read the variable's old value (e.g. t = t + 1 vs
+    // t = t - 1).
+    Reg ThenVal = lowerExpr(*ThenA.Rhs);
+    if (!S.Else.empty()) {
+      // Dst = elseVal; if (cond) Dst = thenVal.
+      lowerExprInto(*S.Else[0]->Rhs, Dst);
+    }
+    Instr In;
+    In.Op = IsFp ? Opcode::FCMov : Opcode::CMov;
+    In.Dst = Dst;
+    In.SrcA = Cond;
+    In.SrcB = ThenVal;
+    emit(In);
+  }
+
+  void lowerBranchyIf(const Stmt &S) {
+    Reg Cond = lowerExpr(*S.Cond);
+    int ThenB = M.Fn.makeBlock();
+    int MergeB = M.Fn.makeBlock();
+    int ElseB = S.Else.empty() ? MergeB : M.Fn.makeBlock();
+    emitBr(Cond, ThenB, ElseB);
+
+    switchTo(ThenB);
+    for (const lang::StmtPtr &C : S.Then)
+      lowerStmt(*C);
+    emitJmp(MergeB);
+
+    if (!S.Else.empty()) {
+      switchTo(ElseB);
+      for (const lang::StmtPtr &C : S.Else)
+        lowerStmt(*C);
+      emitJmp(MergeB);
+    }
+    switchTo(MergeB);
+  }
+
+  void lowerFor(const Stmt &S) {
+    // Preheader (current block): evaluate bounds once, set up the induction
+    // register and the strength-reduction address registers, then guard.
+    Reg IVar = newInt();
+    lowerExprInto(*S.Lo, IVar);
+    Reg Hi = newInt();
+    lowerExprInto(*S.Hi, Hi);
+
+    LoopCtx Ctx;
+    Ctx.Var = S.LoopVar;
+    Ctx.VarReg = IVar;
+    Ctx.Step = S.Step;
+
+    std::vector<const Expr *> Refs;
+    scanLoopBody(S.Body, Refs, Ctx.MutatedScalars);
+
+    Loops.push_back(std::move(Ctx));
+
+    if (Opts.StrengthReduction) {
+      // NOTE: nested loops push onto Loops while the body lowers, which can
+      // reallocate the vector — never hold a LoopCtx reference across body
+      // lowering (re-fetch via Loops.back() instead).
+      LoopCtx &L = Loops.back();
+      for (const Expr *Ref : Refs) {
+        auto ArrIt = ArrayIds.find(Ref->Name);
+        if (ArrIt == ArrayIds.end())
+          continue;
+        const lang::ArrayDecl &A = P.Arrays[static_cast<size_t>(
+            ArrIt->second)];
+        AffineForm Form = addressFormOf(*Ref, A);
+        if (!Form.Valid || !termsAreStable(Form, L))
+          continue;
+        GroupKey Key{ArrIt->second, Form.Terms};
+        if (L.Groups.count(Key))
+          continue;
+        AddrGroup G;
+        AffineForm NoConst = Form;
+        NoConst.Const = 0;
+        G.AddrReg = materializeAffine(
+            static_cast<int64_t>(
+                M.Arrays[static_cast<size_t>(ArrIt->second)].Base),
+            NoConst);
+        G.InnerCoeff = Form.coeffOf(IVar.Id);
+        L.Groups.emplace(std::move(Key), G);
+      }
+    }
+
+    int BodyB = M.Fn.makeBlock();
+    int ExitB = M.Fn.makeBlock();
+
+    Reg Guard = emitOp(Opcode::CmpLt, IVar, Hi);
+    emitBr(Guard, BodyB, ExitB);
+
+    switchTo(BodyB);
+    for (const lang::StmtPtr &C : S.Body)
+      lowerStmt(*C);
+
+    // Latch: bump the address registers and the induction variable, re-test.
+    // Re-fetch the context: nested loops may have reallocated Loops.
+    LoopCtx &L = Loops.back();
+    for (auto &[Key, G] : L.Groups) {
+      (void)Key;
+      if (G.InnerCoeff != 0)
+        emitOpImm(Opcode::IAdd, G.AddrReg, G.InnerCoeff * S.Step, G.AddrReg);
+    }
+    emitOpImm(Opcode::IAdd, IVar, S.Step, IVar);
+    Reg Again = emitOp(Opcode::CmpLt, IVar, Hi);
+    emitBr(Again, BodyB, ExitB);
+
+    Loops.pop_back();
+    switchTo(ExitB);
+  }
+
+  void buildArrays() {
+    for (const lang::ArrayDecl &A : P.Arrays) {
+      ArrayInfo Info;
+      Info.Name = A.Name;
+      Info.Dims = A.Dims;
+      Info.RowMajor = A.RowMajor;
+      Info.IsOutput = A.IsOutput;
+      ArrayIds[A.Name] = M.addArray(std::move(Info));
+    }
+    M.layout();
+  }
+};
+
+/// True when every leaf of \p E is scalar (no memory access, so the arm can
+/// be executed speculatively by a conditional move).
+bool isPureScalarExpr(const Expr &E) {
+  if (E.Kind == ExprKind::ArrayRef)
+    return false;
+  for (const lang::ExprPtr &A : E.Args)
+    if (!isPureScalarExpr(*A))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool lower::isPredicable(const lang::Stmt &S) {
+  if (S.Kind != StmtKind::If)
+    return false;
+  if (S.Then.size() != 1 || S.Else.size() > 1)
+    return false;
+  const Stmt &ThenA = *S.Then[0];
+  if (ThenA.Kind != StmtKind::Assign || ThenA.Lhs->Kind != ExprKind::VarRef)
+    return false;
+  if (!isPureScalarExpr(*S.Cond) || !isPureScalarExpr(*ThenA.Rhs))
+    return false;
+  if (!S.Else.empty()) {
+    const Stmt &ElseA = *S.Else[0];
+    if (ElseA.Kind != StmtKind::Assign ||
+        ElseA.Lhs->Kind != ExprKind::VarRef ||
+        ElseA.Lhs->Name != ThenA.Lhs->Name ||
+        !isPureScalarExpr(*ElseA.Rhs))
+      return false;
+  }
+  return true;
+}
+
+LowerResult lower::lowerProgram(const Program &P, LowerOptions Opts) {
+  return Lowerer(P, Opts).run();
+}

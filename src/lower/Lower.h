@@ -1,0 +1,55 @@
+//===- lower/Lower.h - Kernel-language -> IR lowering -----------*- C++ -*-===//
+///
+/// \file
+/// Lowers a checked kernel-language program to the Alpha-like IR:
+///  - rotated (do-while) loops, so a straight-line loop body plus its
+///    induction update, compare and branch form one basic block — the
+///    scheduling region shape the paper's basic-block discussion assumes;
+///  - strength reduction of affine array addresses (induction address
+///    registers updated in the latch; same-form references share a register
+///    and differ only in the load/store displacement);
+///  - Multiflow-style if-conversion of simple scalar diamonds to conditional
+///    moves (section 4.2 footnote 2);
+///  - affine MemRef annotations enabling the scheduler's load/store
+///    disambiguation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_LOWER_LOWER_H
+#define BALSCHED_LOWER_LOWER_H
+
+#include "ir/IR.h"
+#include "lang/AST.h"
+
+#include <string>
+
+namespace bsched {
+namespace lower {
+
+struct LowerOptions {
+  bool IfConversion = true;
+  bool StrengthReduction = true;
+};
+
+struct LowerResult {
+  ir::Module M;
+  std::string Error; ///< empty on success.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Lowers \p P (which must have passed lang::checkProgram). The resulting
+/// module is laid out and verifies cleanly.
+LowerResult lowerProgram(const lang::Program &P, LowerOptions Opts = {});
+
+/// Returns true if \p S is an if-statement the lowerer can predicate into
+/// conditional moves (single scalar assignment per arm, same scalar, pure
+/// scalar operand expressions). Exposed for the unrolling pass, which must
+/// not count predicable conditionals against the paper's
+/// one-internal-branch unrolling limit.
+bool isPredicable(const lang::Stmt &S);
+
+} // namespace lower
+} // namespace bsched
+
+#endif // BALSCHED_LOWER_LOWER_H

@@ -1,0 +1,295 @@
+//===- opt/Cleanup.cpp - IR cleanup: copyprop, constfold, DCE --------------===//
+
+#include "opt/Cleanup.h"
+
+#include "ir/CFG.h"
+#include "ir/Liveness.h"
+#include "support/BitVec.h"
+
+#include <map>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::opt;
+using namespace bsched::ir;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Local copy propagation
+//===----------------------------------------------------------------------===//
+
+int propagateCopies(Function &F) {
+  int Propagated = 0;
+  for (BasicBlock &B : F.Blocks) {
+    // CopyOf[d] = s while `mov d, s` holds and neither was redefined.
+    std::map<uint32_t, Reg> CopyOf;
+    auto Invalidate = [&](Reg Def) {
+      CopyOf.erase(Def.Id);
+      for (auto It = CopyOf.begin(); It != CopyOf.end();) {
+        if (It->second == Def)
+          It = CopyOf.erase(It);
+        else
+          ++It;
+      }
+    };
+    auto Rewrite = [&](Reg &R) {
+      if (!R.isValid())
+        return;
+      auto It = CopyOf.find(R.Id);
+      if (It != CopyOf.end()) {
+        R = It->second;
+        ++Propagated;
+      }
+    };
+
+    for (Instr &I : B.Instrs) {
+      // Conditional moves also *read* Dst; never rewrite their Dst.
+      Rewrite(I.SrcA);
+      Rewrite(I.SrcB);
+      Rewrite(I.SrcC);
+      Rewrite(I.Base);
+
+      if (Reg D = I.def(); D.isValid()) {
+        Invalidate(D);
+        if ((I.Op == Opcode::Mov || I.Op == Opcode::FMov) && I.SrcA != D)
+          CopyOf[D.Id] = I.SrcA;
+      }
+    }
+  }
+  return Propagated;
+}
+
+//===----------------------------------------------------------------------===//
+// Local constant folding
+//===----------------------------------------------------------------------===//
+
+bool foldBinaryToConstant(Opcode Op, int64_t A, int64_t B, int64_t &Out) {
+  switch (Op) {
+  case Opcode::IAdd: Out = A + B; return true;
+  case Opcode::ISub: Out = A - B; return true;
+  case Opcode::IMul: Out = A * B; return true;
+  case Opcode::Sll: Out = A << (B & 63); return true;
+  case Opcode::Srl:
+    Out = static_cast<int64_t>(static_cast<uint64_t>(A) >> (B & 63));
+    return true;
+  case Opcode::And: Out = A & B; return true;
+  case Opcode::Or: Out = A | B; return true;
+  case Opcode::Xor: Out = A ^ B; return true;
+  case Opcode::CmpEq: Out = A == B ? 1 : 0; return true;
+  case Opcode::CmpLt: Out = A < B ? 1 : 0; return true;
+  case Opcode::CmpLe: Out = A <= B ? 1 : 0; return true;
+  default: return false;
+  }
+}
+
+int foldConstants(Function &F) {
+  int Folded = 0;
+  for (BasicBlock &B : F.Blocks) {
+    // Known integer constants per register within the block.
+    std::map<uint32_t, int64_t> Known;
+    for (Instr &I : B.Instrs) {
+      // Literalize a constant SrcB of an operate instruction.
+      if (I.SrcB.isValid() && opInfo(I.Op).SrcBImmOk) {
+        auto It = Known.find(I.SrcB.Id);
+        if (It != Known.end()) {
+          I.SrcB = Reg();
+          I.Imm = It->second;
+          I.HasImm = true;
+          ++Folded;
+        }
+      }
+      // Fold a fully constant operation into an immediate load.
+      if (I.HasImm && I.SrcA.isValid() && opInfo(I.Op).SrcBImmOk) {
+        auto It = Known.find(I.SrcA.Id);
+        int64_t Out;
+        if (It != Known.end() &&
+            foldBinaryToConstant(I.Op, It->second, I.Imm, Out)) {
+          Reg D = I.Dst;
+          I = Instr();
+          I.Op = Opcode::LdI;
+          I.Dst = D;
+          I.Imm = Out;
+          I.HasImm = true;
+          ++Folded;
+        }
+      }
+      // Mov of a constant becomes an immediate load.
+      if (I.Op == Opcode::Mov) {
+        auto It = Known.find(I.SrcA.Id);
+        if (It != Known.end()) {
+          Reg D = I.Dst;
+          I = Instr();
+          I.Op = Opcode::LdI;
+          I.Dst = D;
+          I.Imm = It->second;
+          I.HasImm = true;
+          ++Folded;
+        }
+      }
+
+      if (Reg D = I.def(); D.isValid()) {
+        if (I.Op == Opcode::LdI)
+          Known[D.Id] = I.Imm;
+        else
+          Known.erase(D.Id);
+      }
+    }
+  }
+  return Folded;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop-invariant code motion
+//===----------------------------------------------------------------------===//
+
+/// Pure, hoistable operation: no memory access, no control flow, and no
+/// read of its own destination (conditional moves read Dst).
+bool isHoistableOp(const Instr &I) {
+  if (I.isMem() || I.isTerminator())
+    return false;
+  if (I.Op == Opcode::CMov || I.Op == Opcode::FCMov)
+    return false;
+  return I.def().isValid();
+}
+
+int hoistLoopInvariants(Function &F) {
+  int Hoisted = 0;
+  std::vector<NaturalLoop> Loops = findNaturalLoops(F);
+  if (Loops.empty())
+    return 0;
+  Liveness L = computeLiveness(F);
+  std::vector<Reg> Uses;
+
+  for (const NaturalLoop &Loop : Loops) {
+    if (Loop.Preheader < 0)
+      continue;
+    BasicBlock &Pre = F.Blocks[Loop.Preheader];
+
+    // Registers defined anywhere in the loop, with def counts.
+    std::map<uint32_t, int> LoopDefs;
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      if (!Loop.Contains[B])
+        continue;
+      for (const Instr &I : F.Blocks[B].Instrs)
+        if (Reg D = I.def(); D.isValid())
+          ++LoopDefs[D.Id];
+    }
+
+    // Registers the preheader's terminator reads (must not be clobbered by
+    // a hoisted def inserted before it), and registers live into the
+    // preheader's non-header successors (the zero-trip path).
+    Uses.clear();
+    Pre.terminator().appendUses(Uses);
+    std::vector<Reg> GuardReads = Uses;
+    std::vector<int> OtherSuccs;
+    for (int S : Pre.successors())
+      if (S != Loop.Header)
+        OtherSuccs.push_back(S);
+
+    std::vector<Instr> HoistedInstrs;
+    for (size_t B = 0; B != F.Blocks.size(); ++B) {
+      if (!Loop.Contains[B])
+        continue;
+      std::vector<Instr> Kept;
+      Kept.reserve(F.Blocks[B].Instrs.size());
+      for (Instr &I : F.Blocks[B].Instrs) {
+        bool Hoist = isHoistableOp(I);
+        Reg D = I.def();
+        if (Hoist && LoopDefs[D.Id] != 1)
+          Hoist = false; // several defs in the loop: not invariant
+        if (Hoist && L.isLiveIn(Loop.Header, D))
+          Hoist = false; // a loop path reads the pre-loop value first
+        if (Hoist)
+          for (Reg R : GuardReads)
+            if (R == D)
+              Hoist = false; // would clobber the guard's operand
+        if (Hoist)
+          for (int S : OtherSuccs)
+            if (L.isLiveIn(S, D))
+              Hoist = false; // zero-trip path needs the old value
+        if (Hoist) {
+          Uses.clear();
+          I.appendUses(Uses);
+          for (Reg R : Uses)
+            if (LoopDefs.count(R.Id) && LoopDefs[R.Id] > 0)
+              Hoist = false; // operand varies within the loop
+        }
+        if (Hoist) {
+          HoistedInstrs.push_back(std::move(I));
+          ++Hoisted;
+        } else {
+          Kept.push_back(std::move(I));
+        }
+      }
+      F.Blocks[B].Instrs = std::move(Kept);
+    }
+    if (!HoistedInstrs.empty()) {
+      Pre.Instrs.insert(Pre.Instrs.end() - 1,
+                        std::make_move_iterator(HoistedInstrs.begin()),
+                        std::make_move_iterator(HoistedInstrs.end()));
+      // Liveness changed; recompute for subsequent loops this round.
+      L = computeLiveness(F);
+    }
+  }
+  return Hoisted;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-code elimination
+//===----------------------------------------------------------------------===//
+
+bool hasSideEffects(const Instr &I) {
+  return I.isStore() || I.isTerminator();
+}
+
+int eliminateDead(Function &F) {
+  Liveness L = computeLiveness(F);
+  int Removed = 0;
+  std::vector<Reg> Uses;
+  for (BasicBlock &B : F.Blocks) {
+    BitVec Live = L.LiveOut[B.Id];
+    std::vector<Instr> Kept;
+    Kept.reserve(B.Instrs.size());
+    for (size_t K = B.Instrs.size(); K-- > 0;) {
+      Instr &I = B.Instrs[K];
+      Reg D = I.def();
+      bool Dead =
+          !hasSideEffects(I) && D.isValid() && !Live.test(D.Id);
+      if (Dead) {
+        ++Removed;
+        continue;
+      }
+      if (D.isValid())
+        Live.reset(D.Id);
+      Uses.clear();
+      I.appendUses(Uses);
+      for (Reg R : Uses)
+        Live.set(R.Id);
+      Kept.push_back(std::move(I));
+    }
+    B.Instrs.assign(std::make_move_iterator(Kept.rbegin()),
+                    std::make_move_iterator(Kept.rend()));
+  }
+  return Removed;
+}
+
+} // namespace
+
+CleanupStats opt::cleanupModule(Module &M) {
+  CleanupStats S;
+  for (int Iter = 0; Iter != 8; ++Iter) {
+    ++S.Iterations;
+    int P = propagateCopies(M.Fn);
+    int C = foldConstants(M.Fn);
+    int H = hoistLoopInvariants(M.Fn);
+    int D = eliminateDead(M.Fn);
+    S.CopiesPropagated += P;
+    S.ConstantsFolded += C;
+    S.Hoisted += H;
+    S.DeadRemoved += D;
+    if (P + C + H + D == 0)
+      break;
+  }
+  return S;
+}

@@ -1,0 +1,48 @@
+//===- opt/Cleanup.h - IR cleanup: copyprop, constfold, DCE -----*- C++ -*-===//
+///
+/// \file
+/// Post-lowering IR cleanup, iterated to a fixpoint:
+///  - local copy propagation (uses of `mov d, s` read `s` directly while
+///    both registers hold the copied value);
+///  - local constant folding (integer ALU operations whose operands are
+///    known LdI constants become operate-with-literal forms or immediate
+///    loads);
+///  - loop-invariant code motion (pure instructions whose operands are
+///    defined outside the loop move to the preheader — constants and
+///    invariant arithmetic otherwise re-execute every iteration);
+///  - global dead-code elimination (instructions without side effects whose
+///    results are never used; dead loads are architecturally removable).
+///
+/// Runs before scheduling so the dependence DAG and the balanced-weight
+/// computation see the code the machine will actually execute — the
+/// Multiflow compiler the paper modified was "a very optimizing compiler"
+/// (section 5.5), and leaving trivially dead code in would hand the
+/// scheduler free-but-fake padding instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_OPT_CLEANUP_H
+#define BALSCHED_OPT_CLEANUP_H
+
+#include "ir/IR.h"
+
+namespace bsched {
+namespace opt {
+
+struct CleanupStats {
+  int CopiesPropagated = 0;
+  int ConstantsFolded = 0;
+  int Hoisted = 0;
+  int DeadRemoved = 0;
+  int Iterations = 0;
+};
+
+/// Cleans every block of \p M in place. The module must verify before and
+/// will verify after; program semantics (interpreter checksum) are
+/// preserved.
+CleanupStats cleanupModule(ir::Module &M);
+
+} // namespace opt
+} // namespace bsched
+
+#endif // BALSCHED_OPT_CLEANUP_H

@@ -1,0 +1,349 @@
+//===- regalloc/LinearScan.cpp - Linear-scan register allocation -----------===//
+
+#include "regalloc/LinearScan.h"
+
+#include "ir/Liveness.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::regalloc;
+using namespace bsched::ir;
+
+namespace {
+
+// Register-file conventions (per class, indices within the class):
+//  0..AllocatablePerClass-1 : allocatable (at most 28)
+//  28, 30, 31               : spill scratch
+//  29 (integer only)        : frame base for the spill area
+constexpr unsigned ScratchRegs[3] = {28, 30, 31};
+constexpr unsigned FrameBaseReg = 29;
+
+/// Conservative live interval: the hull of every position where the virtual
+/// register is live, in linearized instruction order.
+struct Interval {
+  uint32_t VReg = 0;
+  int Start = -1, End = -1;
+  RegClass Cls = RegClass::Int;
+
+  void extend(int Pos) {
+    if (Start < 0 || Pos < Start)
+      Start = Pos;
+    if (Pos > End)
+      End = Pos;
+  }
+};
+
+class Allocator {
+public:
+  Allocator(Module &M, RegAllocOptions Opts) : M(M), Opts(Opts) {}
+
+  RegAllocStats run() {
+    if (Opts.AllocatablePerClass == 0 ||
+        Opts.AllocatablePerClass > NumPhysPerClass - 4) {
+      Stats.Error = "allocatable register count out of range";
+      return Stats;
+    }
+    buildIntervals();
+    scan();
+    rewrite();
+    return Stats;
+  }
+
+private:
+  Module &M;
+  RegAllocOptions Opts;
+  RegAllocStats Stats;
+
+  std::vector<Interval> Intervals; ///< one per live virtual register.
+  /// VReg id -> physical register id, or -1 when spilled.
+  std::map<uint32_t, int> Assignment;
+  /// VReg id -> spill slot index.
+  std::map<uint32_t, int> SpillSlot;
+  int NextSlot = 0;
+  /// VReg id -> its unique constant-materializing definition (LdI/FLdI).
+  /// Spills of such registers are rematerialized: the use re-executes the
+  /// one-cycle immediate load instead of a memory restore.
+  std::map<uint32_t, Instr> RematDef;
+  std::map<uint32_t, int> DefCount;
+
+  void buildIntervals() {
+    Function &F = M.Fn;
+    Liveness L = computeLiveness(F);
+
+    std::map<uint32_t, Interval> ByReg;
+    auto Touch = [&](Reg R, int Pos) {
+      if (!R.isVirtual())
+        return;
+      Interval &I = ByReg[R.Id];
+      I.VReg = R.Id;
+      I.Cls = F.regClass(R);
+      I.extend(Pos);
+    };
+
+    int Pos = 0;
+    std::vector<Reg> Uses;
+    for (const BasicBlock &B : F.Blocks) {
+      int BlockStart = Pos;
+      int BlockEnd = Pos + static_cast<int>(B.Instrs.size()) - 1;
+      for (const Instr &In : B.Instrs) {
+        Uses.clear();
+        In.appendUses(Uses);
+        for (Reg R : Uses)
+          Touch(R, Pos);
+        Touch(In.def(), Pos);
+        if (Reg D = In.def(); D.isVirtual()) {
+          if (++DefCount[D.Id] == 1 &&
+              (In.Op == Opcode::LdI || In.Op == Opcode::FLdI))
+            RematDef[D.Id] = In;
+          else
+            RematDef.erase(D.Id);
+        }
+        ++Pos;
+      }
+      // Live-in/out registers span the whole block (conservative hull).
+      L.LiveIn[B.Id].forEach([&](unsigned Id) {
+        Touch(Reg(Id), BlockStart);
+      });
+      L.LiveOut[B.Id].forEach([&](unsigned Id) {
+        Touch(Reg(Id), BlockEnd);
+      });
+    }
+
+    Intervals.reserve(ByReg.size());
+    for (auto &[Id, I] : ByReg) {
+      (void)Id;
+      Intervals.push_back(I);
+    }
+    std::sort(Intervals.begin(), Intervals.end(),
+              [](const Interval &A, const Interval &B) {
+                if (A.Start != B.Start)
+                  return A.Start < B.Start;
+                return A.VReg < B.VReg;
+              });
+  }
+
+  void scan() {
+    // One independent scan per register class.
+    for (RegClass Cls : {RegClass::Int, RegClass::Fp}) {
+      std::vector<const Interval *> Active; // sorted by End ascending.
+      std::vector<unsigned> FreeRegs;       // class-local indices.
+      for (unsigned R = Opts.AllocatablePerClass; R-- > 0;)
+        FreeRegs.push_back(R); // pop_back hands out low indices first.
+      unsigned MaxUsed = 0;
+
+      auto PhysId = [&](unsigned ClassLocal) {
+        return Cls == RegClass::Int ? ClassLocal
+                                    : NumPhysPerClass + ClassLocal;
+      };
+
+      for (const Interval &Cur : Intervals) {
+        if (Cur.Cls != Cls)
+          continue;
+        // Expire intervals whose hull ended at or before our start: a def at
+        // the position of another value's final use may share the register
+        // (reads precede writes within an instruction).
+        while (!Active.empty() && Active.front()->End <= Cur.Start) {
+          uint32_t Freed = Active.front()->VReg;
+          FreeRegs.push_back(static_cast<unsigned>(
+              Cls == RegClass::Int ? Assignment[Freed]
+                                   : Assignment[Freed] -
+                                         static_cast<int>(NumPhysPerClass)));
+          Active.erase(Active.begin());
+        }
+        if (!FreeRegs.empty()) {
+          unsigned R = FreeRegs.back();
+          FreeRegs.pop_back();
+          MaxUsed = std::max(MaxUsed, R + 1);
+          Assignment[Cur.VReg] = static_cast<int>(PhysId(R));
+          insertActive(Active, &Cur);
+          continue;
+        }
+        // Spill the interval that ends furthest in the future.
+        const Interval *Victim = Active.empty() ? nullptr : Active.back();
+        if (Victim && Victim->End > Cur.End) {
+          int R = Assignment[Victim->VReg];
+          Assignment[Victim->VReg] = -1;
+          if (!RematDef.count(Victim->VReg))
+            SpillSlot[Victim->VReg] = NextSlot++;
+          ++Stats.SpilledVRegs;
+          Active.pop_back();
+          Assignment[Cur.VReg] = R;
+          insertActive(Active, &Cur);
+        } else {
+          Assignment[Cur.VReg] = -1;
+          if (!RematDef.count(Cur.VReg))
+            SpillSlot[Cur.VReg] = NextSlot++;
+          ++Stats.SpilledVRegs;
+        }
+      }
+      if (Cls == RegClass::Int)
+        Stats.IntRegsUsed = MaxUsed;
+      else
+        Stats.FpRegsUsed = MaxUsed;
+    }
+  }
+
+  static void insertActive(std::vector<const Interval *> &Active,
+                           const Interval *I) {
+    auto It = std::lower_bound(Active.begin(), Active.end(), I,
+                               [](const Interval *A, const Interval *B) {
+                                 return A->End < B->End;
+                               });
+    Active.insert(It, I);
+  }
+
+  Reg scratch(RegClass Cls, int K) {
+    unsigned Local = ScratchRegs[K];
+    return Cls == RegClass::Int ? physIntReg(Local) : physFpReg(Local);
+  }
+
+  /// Builds a restore (load) of \p VReg's slot into \p Into.
+  Instr makeRestore(uint32_t VReg, Reg Into, RegClass Cls) {
+    Instr In;
+    In.Op = Cls == RegClass::Int ? Opcode::Load : Opcode::FLoad;
+    In.Dst = Into;
+    In.Base = physIntReg(FrameBaseReg);
+    In.Offset = SpillSlot.at(VReg) * 8;
+    In.Mem.ArrayId = M.SpillArrayId;
+    In.Mem.HasForm = true;
+    In.Mem.Const = In.Offset;
+    In.IsRestore = true;
+    ++Stats.RestoreLoads;
+    return In;
+  }
+
+  Instr makeSpill(uint32_t VReg, Reg From, RegClass Cls) {
+    Instr In;
+    In.Op = Cls == RegClass::Int ? Opcode::Store : Opcode::FStore;
+    In.SrcA = From;
+    In.Base = physIntReg(FrameBaseReg);
+    In.Offset = SpillSlot.at(VReg) * 8;
+    In.Mem.ArrayId = M.SpillArrayId;
+    In.Mem.HasForm = true;
+    In.Mem.Const = In.Offset;
+    In.IsSpill = true;
+    ++Stats.SpillStores;
+    return In;
+  }
+
+  void rewrite() {
+    Function &F = M.Fn;
+    const ArrayInfo &SpillArea =
+        M.Arrays[static_cast<size_t>(M.SpillArrayId)];
+    if (static_cast<int64_t>(NextSlot) * 8 > SpillArea.sizeBytes()) {
+      Stats.Error = "spill area exhausted";
+      return;
+    }
+
+    for (BasicBlock &B : F.Blocks) {
+      std::vector<Instr> Out;
+      Out.reserve(B.Instrs.size());
+      for (Instr In : B.Instrs) {
+        // Restores for spilled sources; one scratch per distinct register.
+        int NextScratch[2] = {0, 0};
+        std::map<uint32_t, Reg> Replaced;
+        auto Fix = [&](Reg &R) {
+          if (!R.isVirtual())
+            return;
+          int Phys = Assignment.at(R.Id);
+          if (Phys >= 0) {
+            R = Reg(static_cast<uint32_t>(Phys));
+            return;
+          }
+          auto It = Replaced.find(R.Id);
+          if (It != Replaced.end()) {
+            R = It->second;
+            return;
+          }
+          RegClass Cls = F.regClass(R);
+          int K = NextScratch[Cls == RegClass::Fp ? 1 : 0]++;
+          Reg S = scratch(Cls, K);
+          auto RIt = RematDef.find(R.Id);
+          if (RIt != RematDef.end()) {
+            Instr Clone = RIt->second;
+            Clone.Dst = S;
+            Out.push_back(Clone);
+            ++Stats.Remats;
+          } else {
+            Out.push_back(makeRestore(R.Id, S, Cls));
+          }
+          Replaced[R.Id] = S;
+          R = S;
+        };
+
+        // CMov/FCMov reads its old destination; restore it like a source.
+        bool ReadsDst = In.Op == Opcode::CMov || In.Op == Opcode::FCMov;
+        uint32_t DstVReg =
+            In.def().isValid() && In.Dst.isVirtual() ? In.Dst.Id : Reg().Id;
+
+        Fix(In.SrcA);
+        Fix(In.SrcB);
+        Fix(In.SrcC);
+        Fix(In.Base);
+        if (ReadsDst && In.Dst.isVirtual() && Assignment.at(In.Dst.Id) < 0)
+          Fix(In.Dst); // restores old value into a scratch; spilled below.
+        else if (In.Dst.isVirtual()) {
+          int Phys = Assignment.at(In.Dst.Id);
+          if (Phys >= 0)
+            In.Dst = Reg(static_cast<uint32_t>(Phys));
+          else {
+            RegClass Cls = F.regClass(In.Dst);
+            int K = NextScratch[Cls == RegClass::Fp ? 1 : 0]++;
+            In.Dst = scratch(Cls, K);
+          }
+        }
+
+        // Remap MemRef terms so post-allocation consumers see physical ids;
+        // spilled symbols lose the exact form.
+        for (auto TIt = In.Mem.Terms.begin(); TIt != In.Mem.Terms.end();) {
+          Reg TR(TIt->RegId);
+          if (!TR.isVirtual()) {
+            ++TIt;
+            continue;
+          }
+          // A term register can be gone entirely (cleanup propagated the
+          // copy and removed the def); the symbolic form is then lost.
+          auto AIt = Assignment.find(TIt->RegId);
+          if (AIt != Assignment.end() && AIt->second >= 0) {
+            TIt->RegId = static_cast<uint32_t>(AIt->second);
+            ++TIt;
+          } else {
+            In.Mem.HasForm = false;
+            In.Mem.Terms.clear();
+            break;
+          }
+        }
+
+        Out.push_back(In);
+
+        // Spill the defined value if its vreg lives in memory; constants
+        // are rematerialized at their uses instead.
+        if (DstVReg != Reg().Id && Assignment.at(DstVReg) < 0 &&
+            !RematDef.count(DstVReg)) {
+          RegClass Cls = F.regClass(Reg(DstVReg));
+          Out.push_back(makeSpill(DstVReg, Out.back().Dst, Cls));
+        }
+      }
+      // A terminator must stay last: spills after a terminator are illegal,
+      // but terminators never define registers, so none are emitted.
+      B.Instrs = std::move(Out);
+    }
+
+    // Initialize the frame base at function entry.
+    Instr Init;
+    Init.Op = Opcode::LdI;
+    Init.Dst = physIntReg(FrameBaseReg);
+    Init.Imm = static_cast<int64_t>(SpillArea.Base);
+    Init.HasImm = true;
+    F.Blocks[0].Instrs.insert(F.Blocks[0].Instrs.begin(), Init);
+  }
+};
+
+} // namespace
+
+RegAllocStats regalloc::allocateRegisters(Module &M, RegAllocOptions Opts) {
+  return Allocator(M, Opts).run();
+}

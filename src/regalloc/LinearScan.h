@@ -1,0 +1,53 @@
+//===- regalloc/LinearScan.h - Linear-scan register allocation --*- C++ -*-===//
+///
+/// \file
+/// Global linear-scan register allocation over the Alpha-like register file
+/// (32 integer + 32 floating-point registers, of which 26 per class are
+/// allocatable after reserving spill scratch registers and a frame base).
+///
+/// Runs after scheduling, as in the paper's pipeline: spill and restore code
+/// is therefore *unscheduled*, which is exactly why aggressive unrolling can
+/// backfire — "the independent instructions, now relatively fewer in number,
+/// were less able to hide the latency of the additional spill loads"
+/// (section 5.1). Spill/restore instructions are flagged so the simulator
+/// reports them separately, matching the paper's instruction categories.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_REGALLOC_LINEARSCAN_H
+#define BALSCHED_REGALLOC_LINEARSCAN_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace bsched {
+namespace regalloc {
+
+struct RegAllocOptions {
+  /// Allocatable registers per class. The rest are reserved: three spill
+  /// scratch registers per class plus the frame base on the integer side.
+  unsigned AllocatablePerClass = 28;
+};
+
+struct RegAllocStats {
+  unsigned IntRegsUsed = 0;
+  unsigned FpRegsUsed = 0;
+  int SpilledVRegs = 0;
+  int SpillStores = 0;   ///< spill instructions inserted.
+  int RestoreLoads = 0;  ///< restore instructions inserted.
+  int Remats = 0;        ///< spilled constants re-materialized at uses.
+  std::string Error;     ///< empty on success.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Rewrites every virtual register of \p M.Fn to a physical register,
+/// inserting spill/restore code against the module's spill area when the
+/// register file is exhausted. The module must be laid out.
+RegAllocStats allocateRegisters(ir::Module &M, RegAllocOptions Opts = {});
+
+} // namespace regalloc
+} // namespace bsched
+
+#endif // BALSCHED_REGALLOC_LINEARSCAN_H

@@ -1,0 +1,171 @@
+//===- sched/DepDAG.cpp - Data-dependence DAG ------------------------------===//
+
+#include "sched/DepDAG.h"
+
+#include <cassert>
+#include <map>
+
+using namespace bsched;
+using namespace bsched::sched;
+using namespace bsched::ir;
+
+std::vector<unsigned> DepDAG::topoOrder() const {
+  unsigned N = size();
+  std::vector<unsigned> InDegree(N, 0);
+  for (unsigned I = 0; I != N; ++I)
+    InDegree[I] = static_cast<unsigned>(Preds[I].size());
+  std::vector<unsigned> Work, Order;
+  Order.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    if (InDegree[I] == 0)
+      Work.push_back(I);
+  while (!Work.empty()) {
+    unsigned I = Work.back();
+    Work.pop_back();
+    Order.push_back(I);
+    for (unsigned S : Succs[I])
+      if (--InDegree[S] == 0)
+        Work.push_back(S);
+  }
+  assert(Order.size() == N && "dependence graph has a cycle");
+  return Order;
+}
+
+std::vector<BitVec> DepDAG::reachability() const {
+  unsigned N = size();
+  std::vector<BitVec> Reach(N, BitVec(N));
+  std::vector<unsigned> Order = topoOrder();
+  // Process in reverse topological order so successors are complete.
+  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+    unsigned I = *It;
+    for (unsigned S : Succs[I]) {
+      Reach[I].set(S);
+      Reach[I].orWith(Reach[S]);
+    }
+  }
+  return Reach;
+}
+
+namespace {
+
+/// Epoch-stamped memory reference: the linear form is only comparable when
+/// the referenced registers have identical definition counts.
+struct StampedRef {
+  const MemRef *Mem = nullptr;
+  std::vector<uint32_t> Epochs; ///< parallel to Mem->Terms.
+  uint32_t BaseEpoch = 0;       ///< unused; reserved.
+};
+
+/// Returns true when the two accesses certainly touch disjoint memory.
+bool certainlyDisjoint(const StampedRef &A, const StampedRef &B) {
+  const MemRef &MA = *A.Mem;
+  const MemRef &MB = *B.Mem;
+  // Distinct named arrays never overlap.
+  if (MA.ArrayId >= 0 && MB.ArrayId >= 0 && MA.ArrayId != MB.ArrayId)
+    return true;
+  if (!MA.sameLinearForm(MB))
+    return false;
+  if (A.Epochs != B.Epochs)
+    return false;
+  int64_t Delta = MA.Const - MB.Const;
+  if (Delta < 0)
+    Delta = -Delta;
+  return Delta >= std::max(MA.Size, MB.Size);
+}
+
+} // namespace
+
+DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs) {
+  unsigned N = static_cast<unsigned>(Instrs.size());
+  DepDAG G(N);
+
+  // --- Register dependences -------------------------------------------------
+  // LastDef[r] = index of most recent writer; ReadersSinceDef[r] = readers of
+  // the current value.
+  std::map<uint32_t, unsigned> LastDef;
+  std::map<uint32_t, std::vector<unsigned>> Readers;
+  std::map<uint32_t, uint32_t> DefCount;
+
+  std::vector<StampedRef> Stamped(N);
+  std::vector<Reg> Uses;
+
+  for (unsigned I = 0; I != N; ++I) {
+    const Instr &In = *Instrs[I];
+
+    Uses.clear();
+    In.appendUses(Uses);
+    for (Reg R : Uses) {
+      auto DefIt = LastDef.find(R.Id);
+      if (DefIt != LastDef.end())
+        G.addEdge(DefIt->second, I); // true dependence
+      Readers[R.Id].push_back(I);
+    }
+
+    if (Reg D = In.def(); D.isValid()) {
+      auto DefIt = LastDef.find(D.Id);
+      if (DefIt != LastDef.end())
+        G.addEdge(DefIt->second, I); // output dependence
+      for (unsigned Rd : Readers[D.Id])
+        G.addEdge(Rd, I); // anti dependence
+      Readers[D.Id].clear();
+      LastDef[D.Id] = I;
+      ++DefCount[D.Id];
+    }
+
+    if (In.isMem()) {
+      Stamped[I].Mem = &In.Mem;
+      Stamped[I].Epochs.reserve(In.Mem.Terms.size());
+      for (const MemRef::Term &T : In.Mem.Terms)
+        Stamped[I].Epochs.push_back(DefCount[T.RegId]);
+    }
+  }
+
+  // --- Memory dependences ---------------------------------------------------
+  for (unsigned J = 0; J != N; ++J) {
+    if (!Instrs[J]->isMem())
+      continue;
+    bool JStore = Instrs[J]->isStore();
+    for (unsigned I = 0; I != J; ++I) {
+      if (!Instrs[I]->isMem())
+        continue;
+      bool IStore = Instrs[I]->isStore();
+      if (!IStore && !JStore)
+        continue; // load-load pairs are free to reorder
+      if (certainlyDisjoint(Stamped[I], Stamped[J]))
+        continue;
+      G.addEdge(I, J);
+    }
+  }
+
+  // --- Locality miss->hit arcs (section 4.2) --------------------------------
+  // "Dependence arcs were added in the code DAG between each miss load and
+  //  its corresponding hit loads to prevent the latter from floating above
+  //  the miss during scheduling."
+  std::map<int, unsigned> GroupMiss;
+  for (unsigned I = 0; I != N; ++I) {
+    const Instr &In = *Instrs[I];
+    if (!In.isLoad() || In.LocalityGroup < 0)
+      continue;
+    if (In.HM == HitMiss::Miss)
+      GroupMiss[In.LocalityGroup] = I;
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    const Instr &In = *Instrs[I];
+    if (!In.isLoad() || In.LocalityGroup < 0 || In.HM != HitMiss::Hit)
+      continue;
+    auto It = GroupMiss.find(In.LocalityGroup);
+    if (It != GroupMiss.end() && It->second < I)
+      G.addEdge(It->second, I);
+  }
+
+  return G;
+}
+
+void sched::addBlockControlEdges(DepDAG &G,
+                                 const std::vector<const Instr *> &Instrs) {
+  assert(!Instrs.empty() && Instrs.back()->isTerminator() &&
+         "region must end in the block terminator");
+  unsigned Last = static_cast<unsigned>(Instrs.size()) - 1;
+  for (unsigned I = 0; I != Last; ++I)
+    G.addEdge(I, Last);
+}

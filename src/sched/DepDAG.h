@@ -1,0 +1,72 @@
+//===- sched/DepDAG.h - Data-dependence DAG ---------------------*- C++ -*-===//
+///
+/// \file
+/// The code DAG of section 2: nodes are instructions of a scheduling region
+/// (one basic block, or a trace treated as one), edges are register
+/// dependences (true/anti/output), memory dependences (with array
+/// disambiguation from the MemRef linear forms), and the locality-analysis
+/// miss->hit ordering arcs of section 4.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SCHED_DEPDAG_H
+#define BALSCHED_SCHED_DEPDAG_H
+
+#include "ir/IR.h"
+#include "support/BitVec.h"
+
+#include <vector>
+
+namespace bsched {
+namespace sched {
+
+class DepDAG {
+public:
+  explicit DepDAG(unsigned NumNodes)
+      : Succs(NumNodes), Preds(NumNodes), Edge(NumNodes, BitVec(NumNodes)) {}
+
+  unsigned size() const { return static_cast<unsigned>(Succs.size()); }
+
+  /// Adds From -> To (deduplicated). Self-edges are ignored.
+  void addEdge(unsigned From, unsigned To) {
+    if (From == To || Edge[From].test(To))
+      return;
+    Edge[From].set(To);
+    Succs[From].push_back(To);
+    Preds[To].push_back(From);
+  }
+
+  bool hasEdge(unsigned From, unsigned To) const {
+    return Edge[From].test(To);
+  }
+
+  const std::vector<unsigned> &succs(unsigned N) const { return Succs[N]; }
+  const std::vector<unsigned> &preds(unsigned N) const { return Preds[N]; }
+
+  /// Topological order (by Kahn's algorithm); asserts the graph is acyclic.
+  std::vector<unsigned> topoOrder() const;
+
+  /// Forward reachability closure: Reach[i].test(j) iff a (non-empty) path
+  /// i -> j exists.
+  std::vector<BitVec> reachability() const;
+
+private:
+  std::vector<std::vector<unsigned>> Succs, Preds;
+  std::vector<BitVec> Edge;
+};
+
+/// Builds the dependence DAG for \p Instrs (a region in program order).
+/// Adds register, memory, and locality-group edges; the caller supplies
+/// control-flow constraints (e.g. "everything before the block terminator")
+/// via addEdge, because they differ between basic-block and trace scheduling.
+DepDAG buildDepDAG(const std::vector<const ir::Instr *> &Instrs);
+
+/// Adds the basic-block control edges: every instruction precedes the
+/// terminator, which must be the last element of \p Instrs.
+void addBlockControlEdges(DepDAG &G,
+                          const std::vector<const ir::Instr *> &Instrs);
+
+} // namespace sched
+} // namespace bsched
+
+#endif // BALSCHED_SCHED_DEPDAG_H

@@ -1,0 +1,120 @@
+//===- sched/Schedule.h - Balanced & traditional list scheduling -*- C++ -*-===//
+///
+/// \file
+/// The paper's core contribution, reimplemented: a top-down list scheduler
+/// whose load weights come either from the architecture's optimistic L1-hit
+/// latency (traditional scheduling) or from the Kerns-Eggers balanced
+/// scheduling algorithm, which measures the load-level parallelism available
+/// to each load and distributes it across competing loads (section 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SCHED_SCHEDULE_H
+#define BALSCHED_SCHED_SCHEDULE_H
+
+#include "ir/IR.h"
+#include "sched/DepDAG.h"
+
+#include <vector>
+
+namespace bsched {
+namespace sched {
+
+enum class SchedulerKind : uint8_t {
+  Traditional, ///< all loads weigh LoadHitLatency (cache-hit assumption).
+  Balanced,    ///< load weights from load-level parallelism (Kerns-Eggers).
+  /// Paper section-6 future work: "heuristics to statically choose between
+  /// the two schedulers on a basic block basis". Picks Balanced or
+  /// Traditional per region by comparing the estimated load-latency-hiding
+  /// demand against the fixed-latency demand (see effectiveKind).
+  Hybrid,
+};
+
+struct BalanceOptions {
+  /// Load-weight cap; the paper uses 50 (the main-memory latency) to limit
+  /// register pressure (section 4.2, footnote 1).
+  double WeightCap = ir::LoadWeightCap;
+  /// Loads that locality analysis proved to be cache hits keep the
+  /// optimistic latency so their padders are freed for miss loads
+  /// (section 3.3). Disabled only by ablation studies.
+  bool RespectHitAnnotations = true;
+  /// List-scheduler register-pressure ceiling (see
+  /// DefaultPressureThreshold); 0 disables it. Applies to both weight
+  /// models.
+  unsigned PressureThreshold = 24;
+  /// Paper section-6 future work: "incorporating multi-cycle instructions
+  /// with fixed latencies into the balanced scheduling algorithm". When set,
+  /// fixed multi-cycle instructions also receive balanced weights —
+  /// min(true latency, 1 + padding credit) — so scarce parallelism is
+  /// shared between loads and long fixed-latency operations instead of
+  /// being monopolized by loads.
+  bool BalanceFixedOps = false;
+  /// Expected per-load latency-hiding demand (cycles) used by the Hybrid
+  /// chooser; tuned on the workload (the fate of any static heuristic of
+  /// this kind): high enough that miss-prone blocks stay balanced, low
+  /// enough that recurrence/divide-bound blocks fall back to traditional.
+  int HybridLoadCost = 6;
+};
+
+/// Computes the Kerns-Eggers balanced weight for every node of \p G:
+/// non-loads get their fixed Table-3 latency; each load's weight is
+///
+///   w(l) = max(hit latency, 1 + sum over instructions n that can run in
+///              parallel with l of 1/|component of l among the loads
+///              parallel to n|),  capped at Opts.WeightCap.
+///
+/// Independent loads each receive full credit from a shared padding
+/// instruction; loads connected by a dependence path split it (Figure 1).
+std::vector<double>
+balancedWeights(const DepDAG &G, const std::vector<const ir::Instr *> &Instrs,
+                BalanceOptions Opts = {});
+
+/// Fixed, architecture-optimistic weights: every load LoadHitLatency, every
+/// other instruction its Table-3 latency.
+std::vector<double>
+traditionalWeights(const std::vector<const ir::Instr *> &Instrs);
+
+/// Register-pressure ceiling for the list scheduler: once the number of
+/// simultaneously live values of a class in the partial schedule reaches
+/// this, selection prefers instructions that do not grow that class's
+/// liveness. Models the register-pressure control the Multiflow compiler's
+/// integrated scheduling/allocation provides (and that the paper's
+/// consumed-minus-defined tie-breaker and 50-cycle weight cap approximate).
+/// 0 disables the ceiling (ablation).
+constexpr unsigned DefaultPressureThreshold = 24;
+
+
+/// Top-down list scheduling of \p G with the given weights. Priority of an
+/// instruction is its weight plus the maximum successor priority; ties are
+/// broken by (1) largest consumed-minus-defined register count, (2) most
+/// newly exposed successors, (3) original program order (section 4.2).
+/// Returns a permutation of node ids (a valid topological order of G).
+std::vector<unsigned>
+listSchedule(const DepDAG &G, const std::vector<double> &Weights,
+             const std::vector<const ir::Instr *> &Instrs,
+             unsigned PressureThreshold = DefaultPressureThreshold);
+
+/// Resolves the Hybrid scheduler for one region: Balanced when the loads'
+/// estimated latency-hiding demand (#balanceable loads * HybridLoadCost)
+/// meets or exceeds the fixed-latency demand (sum of latency-1 over
+/// multi-cycle non-load instructions), else Traditional. Non-hybrid kinds
+/// pass through unchanged.
+SchedulerKind effectiveKind(SchedulerKind Kind,
+                            const std::vector<const ir::Instr *> &Instrs,
+                            const BalanceOptions &Opts = {});
+
+/// Schedules every basic block of \p M in place with the given scheduler.
+void scheduleFunction(ir::Module &M, SchedulerKind Kind,
+                      BalanceOptions Opts = {});
+
+/// Schedules one region (instruction list in program order, ending in a
+/// terminator) and returns the new order. Convenience wrapper used by
+/// scheduleFunction and by tests.
+std::vector<unsigned>
+scheduleRegion(const std::vector<const ir::Instr *> &Instrs,
+               SchedulerKind Kind, BalanceOptions Opts = {});
+
+} // namespace sched
+} // namespace bsched
+
+#endif // BALSCHED_SCHED_SCHEDULE_H

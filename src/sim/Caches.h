@@ -1,0 +1,129 @@
+//===- sim/Caches.h - Cache, TLB and branch-predictor models ----*- C++ -*-===//
+///
+/// \file
+/// The memory-system building blocks of the 21164 model, separated from the
+/// pipeline so they can be unit-tested in isolation: a set-associative LRU
+/// cache (tags only — data lives in the architectural state), a
+/// fully-associative LRU TLB, and a table of 2-bit saturating branch
+/// counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SIM_CACHES_H
+#define BALSCHED_SIM_CACHES_H
+
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+namespace sim {
+
+/// Set-associative LRU cache (tags only).
+class Cache {
+public:
+  explicit Cache(const CacheConfig &C) : Config(C) {
+    NumSets = static_cast<unsigned>(C.SizeBytes / (C.LineSize * C.Assoc));
+    Tags.assign(static_cast<size_t>(NumSets) * C.Assoc, ~0ull);
+    Stamp.assign(Tags.size(), 0);
+  }
+
+  /// Returns true on hit; fills the line on miss when \p Allocate is set.
+  /// Updates recency and \p Stats either way.
+  bool access(uint64_t Addr, bool Allocate, CacheStats &Stats) {
+    ++Stats.Accesses;
+    uint64_t Line = Addr / Config.LineSize;
+    unsigned Set = static_cast<unsigned>(Line % NumSets);
+    size_t Base = static_cast<size_t>(Set) * Config.Assoc;
+    ++Clock;
+    for (unsigned W = 0; W != Config.Assoc; ++W) {
+      if (Tags[Base + W] == Line) {
+        Stamp[Base + W] = Clock;
+        return true;
+      }
+    }
+    ++Stats.Misses;
+    if (Allocate) {
+      size_t Victim = Base;
+      for (unsigned W = 1; W != Config.Assoc; ++W)
+        if (Stamp[Base + W] < Stamp[Victim])
+          Victim = Base + W;
+      Tags[Victim] = Line;
+      Stamp[Victim] = Clock;
+    }
+    return false;
+  }
+
+  /// Hit check that updates recency on hit but never allocates (the L1's
+  /// write-around behaviour for stores).
+  bool touch(uint64_t Addr, CacheStats &Stats) {
+    return access(Addr, /*Allocate=*/false, Stats);
+  }
+
+  unsigned numSets() const { return NumSets; }
+
+private:
+  CacheConfig Config;
+  unsigned NumSets;
+  std::vector<uint64_t> Tags;
+  std::vector<uint64_t> Stamp;
+  uint64_t Clock = 0;
+};
+
+/// Fully-associative LRU TLB. A miss installs the page (refill cost is the
+/// caller's concern, as the 21164's software refill blocks the pipeline).
+class Tlb {
+public:
+  Tlb(unsigned Entries, unsigned PageSize)
+      : PageSize(PageSize), Pages(Entries, ~0ull), Stamp(Entries, 0) {}
+
+  /// Returns true on hit; always leaves the page mapped.
+  bool access(uint64_t Addr) {
+    uint64_t Page = Addr / PageSize;
+    ++Clock;
+    size_t Victim = 0;
+    for (size_t I = 0; I != Pages.size(); ++I) {
+      if (Pages[I] == Page) {
+        Stamp[I] = Clock;
+        return true;
+      }
+      if (Stamp[I] < Stamp[Victim])
+        Victim = I;
+    }
+    Pages[Victim] = Page;
+    Stamp[Victim] = Clock;
+    return false;
+  }
+
+private:
+  unsigned PageSize;
+  std::vector<uint64_t> Pages;
+  std::vector<uint64_t> Stamp;
+  uint64_t Clock = 0;
+};
+
+/// Per-address 2-bit saturating counters, initialized weakly-not-taken.
+class BranchPredictor {
+public:
+  explicit BranchPredictor(unsigned Entries) : Counters(Entries, 1) {}
+
+  /// Returns true if the prediction matched \p Taken; always trains.
+  bool predictAndUpdate(uint64_t Addr, bool Taken) {
+    size_t I = (Addr >> 2) % Counters.size();
+    bool Prediction = Counters[I] >= 2;
+    if (Taken && Counters[I] < 3)
+      ++Counters[I];
+    else if (!Taken && Counters[I] > 0)
+      --Counters[I];
+    return Prediction == Taken;
+  }
+
+private:
+  std::vector<uint8_t> Counters;
+};
+
+} // namespace sim
+} // namespace bsched
+
+#endif // BALSCHED_SIM_CACHES_H

@@ -1,0 +1,96 @@
+//===- sim/Report.cpp - Simulation metrics report ---------------------------===//
+
+#include "sim/Report.h"
+
+#include "support/Str.h"
+#include "support/Table.h"
+
+using namespace bsched;
+using namespace bsched::sim;
+
+std::string sim::printReport(const SimResult &R, const std::string &Title) {
+  std::string Out;
+  if (!Title.empty())
+    Out += Title + "\n";
+  if (!R.ok())
+    return Out + "error: " + R.Error + "\n";
+  if (!R.Finished)
+    Out += "(cycle budget exhausted before completion)\n";
+
+  auto Pct = [&](uint64_t Part) {
+    return R.Cycles == 0 ? std::string("-")
+                         : fmtPercent(static_cast<double>(Part) /
+                                      static_cast<double>(R.Cycles));
+  };
+
+  Table T({"Metric", "Value", "% of cycles"});
+  T.addRow({"total cycles", fmtInt(static_cast<int64_t>(R.Cycles)), ""});
+  T.addRow({"dynamic instructions",
+            fmtInt(static_cast<int64_t>(R.Counts.total())),
+            Pct(R.Counts.total())});
+  T.addSeparator();
+  T.addRow({"load interlock cycles",
+            fmtInt(static_cast<int64_t>(R.LoadInterlockCycles)),
+            Pct(R.LoadInterlockCycles)});
+  T.addRow({"fixed-latency interlock cycles",
+            fmtInt(static_cast<int64_t>(R.FixedInterlockCycles)),
+            Pct(R.FixedInterlockCycles)});
+  T.addRow({"I-cache stall cycles",
+            fmtInt(static_cast<int64_t>(R.ICacheStallCycles)),
+            Pct(R.ICacheStallCycles)});
+  T.addRow({"I/D TLB stall cycles",
+            fmtInt(static_cast<int64_t>(R.ITlbStallCycles +
+                                        R.DTlbStallCycles)),
+            Pct(R.ITlbStallCycles + R.DTlbStallCycles)});
+  T.addRow({"branch mispredict cycles",
+            fmtInt(static_cast<int64_t>(R.BranchPenaltyCycles)),
+            Pct(R.BranchPenaltyCycles)});
+  T.addRow({"MSHR / write-buffer stalls",
+            fmtInt(static_cast<int64_t>(R.MshrStallCycles +
+                                        R.WriteBufferStallCycles)),
+            Pct(R.MshrStallCycles + R.WriteBufferStallCycles)});
+  Out += T.render();
+
+  Table C({"Instruction class", "Count"});
+  C.addRow({"short integer", fmtInt(static_cast<int64_t>(R.Counts.ShortInt))});
+  C.addRow({"long integer (multiply)",
+            fmtInt(static_cast<int64_t>(R.Counts.LongInt))});
+  C.addRow({"short floating point",
+            fmtInt(static_cast<int64_t>(R.Counts.ShortFp))});
+  C.addRow({"long floating point (divide)",
+            fmtInt(static_cast<int64_t>(R.Counts.LongFp))});
+  C.addRow({"loads", fmtInt(static_cast<int64_t>(R.Counts.Loads))});
+  C.addRow({"stores", fmtInt(static_cast<int64_t>(R.Counts.Stores))});
+  C.addRow({"branches", fmtInt(static_cast<int64_t>(R.Counts.Branches))});
+  C.addRow({"spills", fmtInt(static_cast<int64_t>(R.Counts.Spills))});
+  C.addRow({"restores", fmtInt(static_cast<int64_t>(R.Counts.Restores))});
+  Out += C.render();
+
+  Table M({"Cache / predictor", "Accesses", "Misses", "Miss rate"});
+  auto CacheRow = [&](const char *Name, const CacheStats &S) {
+    M.addRow({Name, fmtInt(static_cast<int64_t>(S.Accesses)),
+              fmtInt(static_cast<int64_t>(S.Misses)),
+              fmtPercent(S.missRate())});
+  };
+  CacheRow("L1 D", R.L1D);
+  CacheRow("L1 I", R.L1I);
+  CacheRow("L2", R.L2);
+  CacheRow("L3", R.L3);
+  M.addRow({"DTLB misses", fmtInt(static_cast<int64_t>(R.DTlbMisses))});
+  M.addRow({"branch mispredicts",
+            fmtInt(static_cast<int64_t>(R.BranchMispredicts))});
+  Out += M.render();
+  return Out;
+}
+
+std::string sim::printSummaryLine(const SimResult &R) {
+  return "cycles=" + fmtInt(static_cast<int64_t>(R.Cycles)) +
+         ", instrs=" + fmtInt(static_cast<int64_t>(R.Counts.total())) +
+         ", li=" + fmtPercent(R.loadInterlockShare()) +
+         ", fi=" +
+         fmtPercent(R.Cycles == 0
+                        ? 0.0
+                        : static_cast<double>(R.FixedInterlockCycles) /
+                              static_cast<double>(R.Cycles)) +
+         ", l1d-miss=" + fmtPercent(R.L1D.missRate());
+}

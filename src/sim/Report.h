@@ -1,0 +1,31 @@
+//===- sim/Report.h - Simulation metrics report -----------------*- C++ -*-===//
+///
+/// \file
+/// Renders a SimResult as the section-4.3 metrics report: total cycles with
+/// a full stall breakdown, and dynamic instruction counts by category
+/// ("long and short integers, long and short floating point operations,
+/// loads, stores, branches, and spill and restore instructions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SIM_REPORT_H
+#define BALSCHED_SIM_REPORT_H
+
+#include "sim/Machine.h"
+
+#include <string>
+
+namespace bsched {
+namespace sim {
+
+/// Multi-line human-readable report for \p R; \p Title heads the block.
+std::string printReport(const SimResult &R, const std::string &Title = "");
+
+/// One-line comma-separated summary (cycles, instrs, li, fi, l1d-miss%),
+/// for logs and scripts.
+std::string printSummaryLine(const SimResult &R);
+
+} // namespace sim
+} // namespace bsched
+
+#endif // BALSCHED_SIM_REPORT_H

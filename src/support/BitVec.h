@@ -1,0 +1,107 @@
+//===- support/BitVec.h - Dense bit vector ----------------------*- C++ -*-===//
+///
+/// \file
+/// A minimal dense bit vector (in the spirit of llvm::BitVector) used for
+/// liveness sets and dependence-DAG reachability closures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SUPPORT_BITVEC_H
+#define BALSCHED_SUPPORT_BITVEC_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+
+class BitVec {
+public:
+  BitVec() = default;
+  explicit BitVec(unsigned NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  unsigned size() const { return NumBits; }
+
+  void set(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= 1ull << (I % 64);
+  }
+  void reset(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(1ull << (I % 64));
+  }
+  bool test(unsigned I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= Other. Returns true if any bit changed.
+  bool orWith(const BitVec &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (std::size_t I = 0; I != Words.size(); ++I) {
+      uint64_t New = Words[I] | Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// this &= ~Other.
+  void subtract(const BitVec &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (std::size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  /// this &= Other.
+  void andWith(const BitVec &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (std::size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= Other.Words[I];
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W != 0)
+        return true;
+    return false;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const BitVec &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+  /// Calls \p Fn for each set bit index, in increasing order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (std::size_t WI = 0; WI != Words.size(); ++WI) {
+      uint64_t W = Words[WI];
+      while (W != 0) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(static_cast<unsigned>(WI * 64 + Bit));
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  unsigned NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace bsched
+
+#endif // BALSCHED_SUPPORT_BITVEC_H

@@ -1,0 +1,67 @@
+//===- support/RNG.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+///
+/// \file
+/// A small deterministic xorshift128+ generator. Used by the stochastic
+/// memory model (the simple machine model of the original balanced-scheduling
+/// study, reproduced for the paper's section 5.5 comparison) and by
+/// property-based tests. Deterministic across platforms, unlike std::rand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SUPPORT_RNG_H
+#define BALSCHED_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace bsched {
+
+/// xorshift128+ pseudo-random generator with a fixed, seedable state.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 expansion of the seed into the two state words.
+    State[0] = splitMix(Seed);
+    State[1] = splitMix(Seed + 0xbf58476d1ce4e5b9ull);
+    if (State[0] == 0 && State[1] == 0)
+      State[0] = 1;
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    uint64_t X = State[0];
+    const uint64_t Y = State[1];
+    State[0] = Y;
+    X ^= X << 23;
+    State[1] = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State[1] + Y;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability \p P.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t splitMix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  uint64_t State[2];
+};
+
+} // namespace bsched
+
+#endif // BALSCHED_SUPPORT_RNG_H

@@ -1,0 +1,55 @@
+//===- support/Str.cpp - Small string formatting helpers -----------------===//
+
+#include "support/Str.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+using namespace bsched;
+
+std::string bsched::fmtDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string bsched::fmtDoubleExact(double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  return Buf;
+}
+
+std::string bsched::fmtPercent(double Fraction, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Fraction * 100.0);
+  return Buf;
+}
+
+std::string bsched::fmtInt(int64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, Value);
+  std::string Raw(Buf);
+  bool Negative = !Raw.empty() && Raw[0] == '-';
+  std::string Digits = Negative ? Raw.substr(1) : Raw;
+  std::string Out;
+  int Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Out.push_back(',');
+    Out.push_back(*It);
+    ++Count;
+  }
+  if (Negative)
+    Out.push_back('-');
+  return std::string(Out.rbegin(), Out.rend());
+}
+
+std::string bsched::fmtMillions(uint64_t Value, int Decimals) {
+  return fmtDouble(static_cast<double>(Value) / 1.0e6, Decimals);
+}
+
+bool bsched::startsWith(const std::string &Str, const std::string &Prefix) {
+  return Str.size() >= Prefix.size() &&
+         Str.compare(0, Prefix.size(), Prefix) == 0;
+}

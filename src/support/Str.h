@@ -1,0 +1,45 @@
+//===- support/Str.h - Small string formatting helpers ---------*- C++ -*-===//
+//
+// Part of the balsched project: a reproduction of Lo & Eggers, "Improving
+// Balanced Scheduling with Compiler Optimizations that Increase
+// Instruction-Level Parallelism" (PLDI 1995).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String formatting helpers used throughout the project. We deliberately
+/// avoid <iostream> in library code (per the LLVM coding standards); these
+/// helpers build std::strings that callers print with std::fputs / printf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SUPPORT_STR_H
+#define BALSCHED_SUPPORT_STR_H
+
+#include <cstdint>
+#include <string>
+
+namespace bsched {
+
+/// Formats \p Value with \p Decimals digits after the decimal point.
+std::string fmtDouble(double Value, int Decimals = 2);
+
+/// Formats \p Value with enough significant digits (%.17g) to round-trip
+/// the exact bit pattern through strtod.
+std::string fmtDoubleExact(double Value);
+
+/// Formats \p Value as a percentage string, e.g. "23.3%".
+std::string fmtPercent(double Fraction, int Decimals = 1);
+
+/// Formats an integer with thousands separators, e.g. "1,234,567".
+std::string fmtInt(int64_t Value);
+
+/// Formats \p Value scaled to millions with one decimal, e.g. "17844.8".
+std::string fmtMillions(uint64_t Value, int Decimals = 1);
+
+/// Returns true if \p Str starts with \p Prefix.
+bool startsWith(const std::string &Str, const std::string &Prefix);
+
+} // namespace bsched
+
+#endif // BALSCHED_SUPPORT_STR_H

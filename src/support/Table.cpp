@@ -1,0 +1,69 @@
+//===- support/Table.cpp - Aligned text table printer ---------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bsched;
+
+const char *Table::separatorTag() { return "\x01sep"; }
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Row) {
+  assert(Row.size() <= Header.size() && "row has more cells than columns");
+  Row.resize(Header.size());
+  Rows.push_back(std::move(Row));
+}
+
+void Table::addSeparator() { Rows.push_back({separatorTag()}); }
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == separatorTag())
+      continue;
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+  }
+
+  auto appendRule = [&](std::string &Out) {
+    for (size_t C = 0; C != Widths.size(); ++C) {
+      Out.append(Widths[C] + 2, '-');
+      if (C + 1 != Widths.size())
+        Out.push_back('+');
+    }
+    Out.push_back('\n');
+  };
+  auto appendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Widths.size(); ++C) {
+      const std::string &Cell = C < Row.size() ? Row[C] : std::string();
+      Out.push_back(' ');
+      Out.append(Cell);
+      Out.append(Widths[C] - Cell.size() + 1, ' ');
+      if (C + 1 != Widths.size())
+        Out.push_back('|');
+    }
+    Out.push_back('\n');
+  };
+
+  std::string Out;
+  if (!Caption.empty()) {
+    Out.append(Caption);
+    Out.push_back('\n');
+  }
+  appendRow(Out, Header);
+  appendRule(Out);
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == separatorTag())
+      appendRule(Out);
+    else
+      appendRow(Out, Row);
+  }
+  return Out;
+}

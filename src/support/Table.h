@@ -1,0 +1,55 @@
+//===- support/Table.h - Aligned text table printer -------------*- C++ -*-===//
+///
+/// \file
+/// A small column-aligned table printer used by the benchmark harness to
+/// regenerate the paper's tables as plain text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SUPPORT_TABLE_H
+#define BALSCHED_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/// Builds and renders a column-aligned text table.
+///
+/// Usage:
+/// \code
+///   Table T({"Benchmark", "Speedup"});
+///   T.addRow({"ARC2D", "1.26"});
+///   std::fputs(T.render().c_str(), stdout);
+/// \endcode
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a data row. Missing cells render empty; extra cells assert.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Sets a caption printed above the table.
+  void setCaption(std::string Caption) { this->Caption = std::move(Caption); }
+
+  /// Renders the table, including header and separators.
+  std::string render() const;
+
+  unsigned numRows() const { return static_cast<unsigned>(Rows.size()); }
+  unsigned numCols() const { return static_cast<unsigned>(Header.size()); }
+
+private:
+  std::string Caption;
+  std::vector<std::string> Header;
+  // A row with the single magic cell kSeparator renders as a rule.
+  std::vector<std::vector<std::string>> Rows;
+
+  static const char *separatorTag();
+};
+
+} // namespace bsched
+
+#endif // BALSCHED_SUPPORT_TABLE_H

@@ -1,0 +1,56 @@
+//===- trace/EstimateProfile.cpp - Static frequency estimation -------------===//
+
+#include "trace/EstimateProfile.h"
+
+#include <algorithm>
+
+using namespace bsched;
+using namespace bsched::trace;
+using namespace bsched::ir;
+
+InterpResult trace::estimateProfile(const Function &F) {
+  size_t N = F.Blocks.size();
+  std::vector<int> Depth = loopDepths(F);
+  std::vector<std::vector<bool>> Back = findBackEdges(F);
+
+  InterpResult R;
+  R.Finished = true;
+  R.BlockCounts.assign(N, 0);
+  R.EdgeCounts.assign(N, {0, 0});
+
+  for (size_t B = 0; B != N; ++B) {
+    uint64_t Count = 1;
+    for (int D = 0; D != std::min(Depth[B], 6); ++D)
+      Count *= EstimatedTripCount;
+    R.BlockCounts[B] = Count;
+  }
+
+  // Edge weights: a back edge keeps (trip-1)/trip of the flow; an edge that
+  // stays at the block's depth beats one that leaves the loop; other
+  // conditional edges split evenly.
+  for (size_t B = 0; B != N; ++B) {
+    std::vector<int> Succs = F.Blocks[B].successors();
+    uint64_t Total = R.BlockCounts[B];
+    if (Succs.size() == 1) {
+      R.EdgeCounts[B][0] = Total;
+      continue;
+    }
+    if (Succs.size() != 2)
+      continue; // Ret
+    uint64_t W0;
+    bool Back0 = Back[B][0], Back1 = Back[B][1];
+    if (Back0 != Back1) {
+      W0 = Back0 ? Total * (EstimatedTripCount - 1) / EstimatedTripCount
+                 : Total / EstimatedTripCount;
+    } else if (Depth[Succs[0]] != Depth[Succs[1]]) {
+      bool DeeperFirst = Depth[Succs[0]] > Depth[Succs[1]];
+      W0 = DeeperFirst ? Total * (EstimatedTripCount - 1) / EstimatedTripCount
+                       : Total / EstimatedTripCount;
+    } else {
+      W0 = Total / 2;
+    }
+    R.EdgeCounts[B][0] = W0;
+    R.EdgeCounts[B][1] = Total - W0;
+  }
+  return R;
+}

@@ -1,0 +1,37 @@
+//===- trace/EstimateProfile.h - Static frequency estimation ----*- C++ -*-===//
+///
+/// \file
+/// Static basic-block and edge frequency estimation for trace selection.
+/// Section 3.2 allows traces to be "guided by estimated or profiled
+/// execution frequencies"; the paper's experiments profile (as does this
+/// reproduction by default), and this estimator provides the other option:
+/// classic structural heuristics — each level of loop nesting multiplies a
+/// block's expected count by a constant, loop-back and loop-staying edges
+/// are strongly favored, other conditional edges split evenly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_TRACE_ESTIMATEPROFILE_H
+#define BALSCHED_TRACE_ESTIMATEPROFILE_H
+
+#include "ir/CFG.h"
+#include "ir/IR.h"
+#include "ir/Interp.h"
+
+#include <vector>
+
+namespace bsched {
+namespace trace {
+
+/// Expected iterations per loop level used by the estimator.
+constexpr uint64_t EstimatedTripCount = 10;
+
+/// Produces an InterpResult-shaped profile (BlockCounts/EdgeCounts filled,
+/// no checksum) from static heuristics; a drop-in replacement for the
+/// interpreter profile consumed by formTraces/traceScheduleFunction.
+ir::InterpResult estimateProfile(const ir::Function &F);
+
+} // namespace trace
+} // namespace bsched
+
+#endif // BALSCHED_TRACE_ESTIMATEPROFILE_H

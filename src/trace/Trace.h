@@ -1,0 +1,71 @@
+//===- trace/Trace.h - Profile-guided trace scheduling ----------*- C++ -*-===//
+///
+/// \file
+/// Trace scheduling (section 3.2, after Fisher / the Multiflow compiler):
+/// guided by profiled basic-block and edge frequencies, group the hottest
+/// acyclic paths into traces and schedule each trace as if it were one basic
+/// block, with the code-motion rules the paper describes:
+///
+///  - traces never cross loop back edges;
+///  - branches keep their relative order;
+///  - upward motion past a split (a conditional branch whose other arm
+///    leaves the trace) is speculative and restricted to safe instructions:
+///    never a store, and never an instruction whose destination is live into
+///    the off-trace path ("speculative motion is restricted to safe
+///    operations only"); speculative loads are permitted (non-faulting
+///    loads, with the destination-liveness restriction);
+///  - upward motion past a join (an off-trace edge entering the trace) is
+///    repaired with compensation code: a copy of every crossed instruction,
+///    in original order, on each entering edge;
+///  - downward motion past a split is not performed (each instruction stays
+///    above its home block's terminator), the common restriction that avoids
+///    split compensation.
+///
+/// Blocks not covered by a multi-block trace are list-scheduled normally, so
+/// this pass subsumes sched::scheduleFunction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_TRACE_TRACE_H
+#define BALSCHED_TRACE_TRACE_H
+
+#include "ir/IR.h"
+#include "ir/Interp.h"
+#include "sched/Schedule.h"
+
+#include <vector>
+
+namespace bsched {
+namespace trace {
+
+struct TraceStats {
+  int Traces = 0;
+  int MultiBlockTraces = 0;
+  int LongestTrace = 0;       ///< in blocks.
+  int CompensationBlocks = 0;
+  int CompensationInstrs = 0;
+};
+
+/// Formed traces (block ids in control-flow order); exposed for tests and
+/// the Figure-2 example.
+using Trace = std::vector<int>;
+
+/// Picks traces from profiled block/edge counts: seeds in decreasing
+/// execution frequency, grown forward and backward along the most frequent
+/// edges, never crossing back edges or entering another trace.
+std::vector<Trace> formTraces(const ir::Function &F,
+                              const ir::InterpResult &Profile);
+
+/// Trace-schedules every trace of \p M (profile from ir::interpret on the
+/// same module), inserting compensation blocks as needed, then list-schedules
+/// the remaining single blocks. Uses the given scheduler for instruction
+/// weights.
+TraceStats traceScheduleFunction(ir::Module &M,
+                                 const ir::InterpResult &Profile,
+                                 sched::SchedulerKind Kind,
+                                 sched::BalanceOptions Opts = {});
+
+} // namespace trace
+} // namespace bsched
+
+#endif // BALSCHED_TRACE_TRACE_H

@@ -1,0 +1,338 @@
+//===- xform/Unroll.cpp - Loop unrolling and peeling ------------------------===//
+
+#include "xform/Unroll.h"
+
+#include "lower/Lower.h" // isPredicable: predicated ifs don't gate unrolling
+
+#include <cassert>
+#include <set>
+
+using namespace bsched;
+using namespace bsched::xform;
+using namespace bsched::lang;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+int xform::unrollInstrLimit(int Factor) {
+  // 64 instructions at factor 4, 128 at factor 8 (section 4.2).
+  return Factor <= 4 ? 64 : 128;
+}
+
+bool xform::isInnermostLoop(const Stmt &S) {
+  if (S.Kind != StmtKind::For)
+    return false;
+  std::function<bool(const StmtList &)> HasFor =
+      [&](const StmtList &L) -> bool {
+    for (const StmtPtr &C : L) {
+      if (C->Kind == StmtKind::For)
+        return true;
+      if (C->Kind == StmtKind::If && (HasFor(C->Then) || HasFor(C->Else)))
+        return true;
+    }
+    return false;
+  };
+  return !HasFor(S.Body);
+}
+
+int xform::countNonPredicableBranches(const StmtList &Body) {
+  int N = 0;
+  for (const StmtPtr &S : Body) {
+    if (S->Kind == StmtKind::If) {
+      if (!lower::isPredicable(*S))
+        ++N;
+      N += countNonPredicableBranches(S->Then);
+      N += countNonPredicableBranches(S->Else);
+    } else if (S->Kind == StmtKind::For) {
+      N += countNonPredicableBranches(S->Body);
+    }
+  }
+  return N;
+}
+
+namespace {
+
+/// Allocates a scalar name not used by any declaration in \p P.
+std::string freshName(Program &P, const std::string &Stem) {
+  for (int K = 0;; ++K) {
+    std::string Name = "__" + Stem + std::to_string(K);
+    if (!P.findVar(Name) && !P.findArray(Name))
+      return Name;
+  }
+}
+
+void collectReadsExpr(const Expr &E, std::set<std::string> &Reads) {
+  if (E.Kind == ExprKind::VarRef)
+    Reads.insert(E.Name);
+  for (const ExprPtr &A : E.Args)
+    collectReadsExpr(*A, Reads);
+}
+
+void collectAccesses(const Stmt &S, std::set<std::string> &Reads,
+                     std::set<std::string> &Writes) {
+  switch (S.Kind) {
+  case StmtKind::Assign:
+    collectReadsExpr(*S.Rhs, Reads);
+    if (S.Lhs->Kind == ExprKind::ArrayRef)
+      collectReadsExpr(*S.Lhs, Reads);
+    else
+      Writes.insert(S.Lhs->Name);
+    return;
+  case StmtKind::If:
+    collectReadsExpr(*S.Cond, Reads);
+    for (const StmtPtr &C : S.Then)
+      collectAccesses(*C, Reads, Writes);
+    for (const StmtPtr &C : S.Else)
+      collectAccesses(*C, Reads, Writes);
+    return;
+  case StmtKind::For:
+    collectReadsExpr(*S.Lo, Reads);
+    collectReadsExpr(*S.Hi, Reads);
+    for (const StmtPtr &C : S.Body)
+      collectAccesses(*C, Reads, Writes);
+    return;
+  }
+}
+
+/// Scalars the unroller may rename per body copy (Multiflow-style register
+/// renaming): dead on loop entry because every iteration writes them before
+/// any read. Conservatively requires the first access to be an unconditional
+/// top-level assignment whose RHS does not read the scalar; anything touched
+/// first inside control flow is treated as read-first.
+std::set<std::string> privatizableScalars(const Program &P,
+                                          const StmtList &Body) {
+  std::set<std::string> ReadFirst, WrittenFirst;
+  for (const StmtPtr &S : Body) {
+    std::set<std::string> Reads, Writes;
+    if (S->Kind == StmtKind::Assign && S->Lhs->Kind == ExprKind::VarRef) {
+      collectReadsExpr(*S->Rhs, Reads);
+      for (const std::string &R : Reads)
+        if (!WrittenFirst.count(R))
+          ReadFirst.insert(R);
+      if (!ReadFirst.count(S->Lhs->Name))
+        WrittenFirst.insert(S->Lhs->Name);
+      continue;
+    }
+    // Control flow (or array stores): every scalar accessed inside counts
+    // as read-first unless already known write-first.
+    collectAccesses(*S, Reads, Writes);
+    Reads.insert(Writes.begin(), Writes.end());
+    for (const std::string &R : Reads)
+      if (!WrittenFirst.count(R))
+        ReadFirst.insert(R);
+  }
+  // Only declared fp/int scalars (never loop variables, which reach here as
+  // plain names too).
+  std::set<std::string> Out;
+  for (const std::string &W : WrittenFirst)
+    if (P.findVar(W))
+      Out.insert(W);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Unrolling
+//===----------------------------------------------------------------------===//
+
+bool xform::unrollForStmt(Program &P, StmtList &Parent, size_t Idx,
+                          int Factor, const CopyCallback &OnCopy) {
+  assert(Idx < Parent.size() && "bad statement index");
+  Stmt &S = *Parent[Idx];
+  if (S.Kind != StmtKind::For || Factor < 2)
+    return false;
+
+  const std::string &IV = S.LoopVar;
+  int64_t Step = S.Step;
+
+  // Cursor scalar carrying the first not-yet-executed iteration out of the
+  // main loop into the remainder chain.
+  VarDecl NextDecl;
+  NextDecl.Name = freshName(P, "next");
+  NextDecl.Ty = Type::Int;
+  P.Vars.push_back(NextDecl);
+  const std::string &Next = NextDecl.Name;
+
+  // Main loop: for (i = lo; i < hi - (F-1)*step; i += F*step).
+  auto MainFor = std::make_unique<Stmt>();
+  MainFor->Kind = StmtKind::For;
+  MainFor->LoopVar = IV;
+  MainFor->Lo = S.Lo->clone();
+  MainFor->Hi = binary(BinOp::Sub, S.Hi->clone(),
+                       intLit(static_cast<int64_t>(Factor - 1) * Step));
+  MainFor->Step = Step * Factor;
+  MainFor->NoUnroll = true;
+  // Multiflow-style renaming: iteration-private temporaries get a fresh name
+  // in every main copy but the last, removing the false anti-dependences
+  // that would otherwise serialize the unrolled copies. The last copy keeps
+  // the original names so post-loop reads still see the final iteration's
+  // values (the remainder chain also writes the originals).
+  std::set<std::string> Private = privatizableScalars(P, S.Body);
+  for (int K = 0; K != Factor; ++K) {
+    StmtList Copy = cloneList(S.Body);
+    if (K != 0)
+      for (StmtPtr &C : Copy)
+        addToVarRefs(*C, IV, static_cast<int64_t>(K) * Step);
+    if (K + 1 != Factor) {
+      for (const std::string &Scalar : Private) {
+        const VarDecl *Orig = P.findVar(Scalar);
+        VarDecl Priv;
+        Priv.Name = freshName(P, Scalar + "_c" + std::to_string(K) + "_");
+        Priv.Ty = Orig->Ty;
+        P.Vars.push_back(Priv);
+        ExprPtr NewRef = varRef(Priv.Name);
+        for (StmtPtr &C : Copy)
+          replaceVarRefs(*C, Scalar, *NewRef);
+      }
+    }
+    if (OnCopy)
+      OnCopy(K, Copy);
+    for (StmtPtr &C : Copy)
+      MainFor->Body.push_back(std::move(C));
+  }
+  // next = i + F*step, so after the loop `next` points at the remainder.
+  MainFor->Body.push_back(
+      assign(varRef(Next), binary(BinOp::Add, varRef(IV),
+                                  intLit(static_cast<int64_t>(Factor) *
+                                         Step))));
+
+  // Remainder: Figure-4 postconditioning — a chain of F-1 guarded copies
+  // with the cursor bumped between them, never a second loop ("we cannot
+  // simply use another for loop ... because we must be able to mark the load
+  // instructions as cache hits or misses").
+  StmtPtr Chain;
+  for (int K = Factor - 2; K >= 0; --K) {
+    StmtList Guarded;
+    StmtList Copy = cloneList(S.Body);
+    for (StmtPtr &C : Copy) {
+      ExprPtr NextRef = varRef(Next);
+      replaceVarRefs(*C, IV, *NextRef);
+    }
+    if (OnCopy)
+      OnCopy(K, Copy);
+    for (StmtPtr &C : Copy)
+      Guarded.push_back(std::move(C));
+    if (Chain) {
+      Guarded.push_back(
+          assign(varRef(Next), binary(BinOp::Add, varRef(Next),
+                                      intLit(Step))));
+      Guarded.push_back(std::move(Chain));
+    }
+    Chain = ifStmt(binary(BinOp::Lt, varRef(Next), S.Hi->clone()),
+                   std::move(Guarded));
+  }
+
+  // Splice: next = lo; main loop; chain.
+  StmtList Replacement;
+  Replacement.push_back(assign(varRef(Next), S.Lo->clone()));
+  Replacement.push_back(std::move(MainFor));
+  if (Chain)
+    Replacement.push_back(std::move(Chain));
+
+  Parent.erase(Parent.begin() + static_cast<long>(Idx));
+  Parent.insert(Parent.begin() + static_cast<long>(Idx),
+                std::make_move_iterator(Replacement.begin()),
+                std::make_move_iterator(Replacement.end()));
+  return true;
+}
+
+namespace {
+
+struct UnrollWalker {
+  Program &P;
+  int Factor;
+  UnrollStats Stats;
+
+  void walk(StmtList &L) {
+    for (size_t I = 0; I < L.size(); ++I) {
+      Stmt &S = *L[I];
+      switch (S.Kind) {
+      case StmtKind::Assign:
+        break;
+      case StmtKind::If:
+        walk(S.Then);
+        walk(S.Else);
+        break;
+      case StmtKind::For: {
+        if (!isInnermostLoop(S) || S.NoUnroll) {
+          walk(S.Body);
+          break;
+        }
+        ++Stats.LoopsConsidered;
+        if (countNonPredicableBranches(S.Body) > 1) {
+          ++Stats.LoopsSkippedBranches;
+          break;
+        }
+        // Clamp the factor so the unrolled body stays within the limit.
+        int BodyCost = lang::estimateCost(S.Body);
+        int Limit = unrollInstrLimit(Factor);
+        int F = Factor;
+        while (F >= 2 && F * BodyCost > Limit)
+          --F;
+        if (F < 2) {
+          ++Stats.LoopsSkippedSize;
+          break;
+        }
+        if (unrollForStmt(P, L, I, F)) {
+          ++Stats.LoopsUnrolled;
+          if (F == Factor)
+            ++Stats.LoopsFullyUnrolled;
+          // Skip over the three spliced statements; the main loop is tagged
+          // NoUnroll, so even a rescan would leave it alone.
+          I += 2;
+        }
+        break;
+      }
+      }
+    }
+  }
+};
+
+} // namespace
+
+UnrollStats xform::unrollLoops(Program &P, int Factor) {
+  UnrollWalker W{P, Factor, {}};
+  if (Factor > 1)
+    W.walk(P.Body);
+  return W.Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Peeling
+//===----------------------------------------------------------------------===//
+
+bool xform::peelFirstIteration(
+    Program &P, StmtList &Parent, size_t Idx,
+    const std::function<void(StmtList &)> &OnPeeled) {
+  (void)P;
+  assert(Idx < Parent.size() && "bad statement index");
+  Stmt &S = *Parent[Idx];
+  if (S.Kind != StmtKind::For)
+    return false;
+
+  // Peeled copy: body with i replaced by lo, guarded by (lo < hi).
+  StmtList Peeled = cloneList(S.Body);
+  for (StmtPtr &C : Peeled)
+    replaceVarRefs(*C, S.LoopVar, *S.Lo);
+  if (OnPeeled)
+    OnPeeled(Peeled);
+  StmtPtr Guard = ifStmt(binary(BinOp::Lt, S.Lo->clone(), S.Hi->clone()),
+                         std::move(Peeled));
+
+  // Residual loop starts one step later.
+  auto Rest = std::make_unique<Stmt>();
+  Rest->Kind = StmtKind::For;
+  Rest->LoopVar = S.LoopVar;
+  Rest->Lo = binary(BinOp::Add, S.Lo->clone(), intLit(S.Step));
+  Rest->Hi = S.Hi->clone();
+  Rest->Step = S.Step;
+  Rest->Body = cloneList(S.Body);
+  Rest->NoUnroll = S.NoUnroll;
+
+  Parent.erase(Parent.begin() + static_cast<long>(Idx));
+  Parent.insert(Parent.begin() + static_cast<long>(Idx), std::move(Rest));
+  Parent.insert(Parent.begin() + static_cast<long>(Idx), std::move(Guard));
+  return true;
+}

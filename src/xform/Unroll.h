@@ -1,0 +1,75 @@
+//===- xform/Unroll.h - Loop unrolling and peeling ---------------*- C++ -*-===//
+///
+/// \file
+/// Source-level loop transformations of sections 3.1 and 3.3:
+///  - loop unrolling with a postconditioned remainder (the Figure-4 shape: a
+///    main loop stepping factor*step, followed by a chain of guarded body
+///    copies, so every main-loop chunk starts on the same alignment);
+///  - first-iteration peeling (Figure 5) for temporal locality.
+///
+/// The paper's unrolling policy is implemented in unrollLoops: unroll
+/// innermost loops, clamp the factor so the unrolled block stays under 64
+/// instructions at factor 4 / 128 at factor 8, and skip loops with more than
+/// one internal conditional branch that cannot be predicated (section 4.2,
+/// footnote 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_XFORM_UNROLL_H
+#define BALSCHED_XFORM_UNROLL_H
+
+#include "lang/AST.h"
+
+#include <functional>
+
+namespace bsched {
+namespace xform {
+
+/// Invoked for every body copy the unroller creates (main loop and remainder
+/// chain alike) so the locality pass can mark per-copy cache behaviour.
+using CopyCallback = std::function<void(int CopyIdx, lang::StmtList &Copy)>;
+
+/// Statistics for the paper's per-benchmark discussion.
+struct UnrollStats {
+  int LoopsConsidered = 0;
+  int LoopsUnrolled = 0;       ///< unrolled by some factor >= 2.
+  int LoopsFullyUnrolled = 0;  ///< unrolled by the requested factor.
+  int LoopsSkippedBranches = 0;///< >1 non-predicable internal conditional.
+  int LoopsSkippedSize = 0;    ///< instruction limit left factor < 2.
+};
+
+/// The paper's unrolled-block instruction limit for a given factor
+/// (64 at 4, 128 at 8; proportional in between).
+int unrollInstrLimit(int Factor);
+
+/// Unrolls the loop at \p Parent[Idx] by exactly \p Factor, replacing the
+/// statement with { next = lo; main loop; remainder chain }. \p OnCopy (if
+/// set) is called for each body copy. Returns false (no change) if the
+/// statement is not a For or Factor < 2. Fresh scalars are appended to
+/// \p P.Vars. The created main loop is tagged NoUnroll so later passes leave
+/// it alone.
+bool unrollForStmt(lang::Program &P, lang::StmtList &Parent, size_t Idx,
+                   int Factor, const CopyCallback &OnCopy = nullptr);
+
+/// Applies the paper's unrolling policy to every innermost loop of \p P.
+/// Factor <= 1 is a no-op. Re-run lang::checkProgram afterwards.
+UnrollStats unrollLoops(lang::Program &P, int Factor);
+
+/// Peels the first iteration of the loop at \p Parent[Idx] (Figure 5),
+/// replacing it with { if (lo < hi) peeled-body; for (i = lo+step; ...) }.
+/// \p OnPeeled is called with the peeled copy. Returns false if not a For.
+bool peelFirstIteration(lang::Program &P, lang::StmtList &Parent, size_t Idx,
+                        const std::function<void(lang::StmtList &)> &OnPeeled
+                        = nullptr);
+
+/// Counts conditionals in \p Body (recursively) that cannot be predicated
+/// into conditional moves; the unrolling gate uses this.
+int countNonPredicableBranches(const lang::StmtList &Body);
+
+/// True if \p S is a For containing no nested For.
+bool isInnermostLoop(const lang::Stmt &S);
+
+} // namespace xform
+} // namespace bsched
+
+#endif // BALSCHED_XFORM_UNROLL_H

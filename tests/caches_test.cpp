@@ -1,0 +1,125 @@
+//===- tests/caches_test.cpp - Cache / TLB / predictor unit tests ---------===//
+
+#include "sim/Caches.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::sim;
+
+namespace {
+
+CacheConfig smallCache(uint64_t Size = 256, unsigned Line = 32,
+                       unsigned Assoc = 2) {
+  return CacheConfig{Size, Line, Assoc, 2};
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit) {
+  Cache C(smallCache());
+  CacheStats S;
+  EXPECT_FALSE(C.access(0x100, true, S));
+  EXPECT_TRUE(C.access(0x100, true, S));
+  EXPECT_TRUE(C.access(0x11f, true, S)) << "same 32-byte line";
+  EXPECT_FALSE(C.access(0x120, true, S)) << "next line";
+  EXPECT_EQ(S.Accesses, 4u);
+  EXPECT_EQ(S.Misses, 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  // 256B / 32B / 2-way = 4 sets; lines mapping to set 0 are 0, 4, 8, ...
+  Cache C(smallCache());
+  ASSERT_EQ(C.numSets(), 4u);
+  CacheStats S;
+  auto LineAddr = [](uint64_t Line) { return Line * 32; };
+  C.access(LineAddr(0), true, S);  // set 0, way A
+  C.access(LineAddr(4), true, S);  // set 0, way B
+  C.access(LineAddr(0), true, S);  // touch A: B becomes LRU
+  C.access(LineAddr(8), true, S);  // evicts B (line 4)
+  EXPECT_TRUE(C.access(LineAddr(0), true, S));
+  EXPECT_FALSE(C.access(LineAddr(4), true, S)) << "line 4 was evicted";
+}
+
+TEST(Cache, DirectMappedConflicts) {
+  Cache C(smallCache(256, 32, 1)); // 8 sets, direct mapped
+  CacheStats S;
+  C.access(0, true, S);
+  C.access(256, true, S); // same set, evicts
+  EXPECT_FALSE(C.access(0, true, S));
+}
+
+TEST(Cache, TouchNeverAllocates) {
+  Cache C(smallCache());
+  CacheStats S;
+  EXPECT_FALSE(C.touch(0x40, S));
+  EXPECT_FALSE(C.touch(0x40, S)) << "touch must not have filled the line";
+  C.access(0x40, true, S);
+  EXPECT_TRUE(C.touch(0x40, S));
+}
+
+TEST(Cache, StatsMissRate) {
+  CacheStats S;
+  EXPECT_DOUBLE_EQ(S.missRate(), 0.0);
+  S.Accesses = 8;
+  S.Misses = 2;
+  EXPECT_DOUBLE_EQ(S.missRate(), 0.25);
+}
+
+TEST(Tlb, HitAfterInstall) {
+  Tlb T(4, 8192);
+  EXPECT_FALSE(T.access(0));
+  EXPECT_TRUE(T.access(100)) << "same page";
+  EXPECT_FALSE(T.access(8192)) << "next page";
+  EXPECT_TRUE(T.access(8192 + 4096));
+}
+
+TEST(Tlb, LruReplacement) {
+  Tlb T(2, 8192);
+  T.access(0 * 8192);
+  T.access(1 * 8192);
+  T.access(0 * 8192);  // page 0 most recent
+  T.access(2 * 8192);  // evicts page 1
+  EXPECT_TRUE(T.access(0 * 8192));
+  EXPECT_FALSE(T.access(1 * 8192));
+}
+
+TEST(Predictor, LearnsAlwaysTaken) {
+  BranchPredictor P(16);
+  uint64_t Addr = 0x1000;
+  // Weakly-not-taken start: the first taken outcomes mispredict, then lock.
+  P.predictAndUpdate(Addr, true);
+  P.predictAndUpdate(Addr, true);
+  for (int K = 0; K != 20; ++K)
+    EXPECT_TRUE(P.predictAndUpdate(Addr, true));
+}
+
+TEST(Predictor, AlternatingPatternMispredicts) {
+  BranchPredictor P(16);
+  uint64_t Addr = 0x2000;
+  int Wrong = 0;
+  for (int K = 0; K != 100; ++K)
+    Wrong += !P.predictAndUpdate(Addr, K % 2 == 0);
+  EXPECT_GT(Wrong, 40) << "2-bit counters cannot track strict alternation";
+}
+
+TEST(Predictor, HysteresisSurvivesOneExit) {
+  BranchPredictor P(16);
+  uint64_t Addr = 0x3000;
+  for (int K = 0; K != 8; ++K)
+    P.predictAndUpdate(Addr, true);
+  P.predictAndUpdate(Addr, false); // loop exit
+  EXPECT_TRUE(P.predictAndUpdate(Addr, true))
+      << "one not-taken must not flip a saturated counter";
+}
+
+TEST(Predictor, IndexedByAddress) {
+  BranchPredictor P(1024);
+  // Different (word-aligned) addresses train independently.
+  for (int K = 0; K != 4; ++K) {
+    P.predictAndUpdate(0x4000, true);
+    P.predictAndUpdate(0x4004, false);
+  }
+  EXPECT_TRUE(P.predictAndUpdate(0x4000, true));
+  EXPECT_TRUE(P.predictAndUpdate(0x4004, false));
+}

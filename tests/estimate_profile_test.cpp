@@ -1,0 +1,147 @@
+//===- tests/estimate_profile_test.cpp - Static frequency estimation ------===//
+
+#include "driver/Experiment.h"
+#include "driver/Workloads.h"
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "ir/CFG.h"
+#include "trace/EstimateProfile.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::trace;
+
+namespace {
+
+Module lowerBranchy(const std::string &Src) {
+  lang::ParseResult PR = lang::parseProgram(Src);
+  EXPECT_TRUE(PR.ok()) << PR.Error;
+  EXPECT_EQ(lang::checkProgram(PR.Prog), "");
+  lower::LowerOptions LOpts;
+  LOpts.IfConversion = false;
+  lower::LowerResult LR = lower::lowerProgram(PR.Prog, LOpts);
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  return std::move(LR.M);
+}
+
+const char *NestedLoops = R"(
+array A[16][16] output;
+for (i = 0; i < 16; i += 1) {
+  for (j = 0; j < 16; j += 1) {
+    A[i][j] = i + j;
+  }
+  A[i][0] = A[i][0] * 2.0;
+}
+A[0][0] = 1.0;
+)";
+
+} // namespace
+
+TEST(LoopDepths, ReflectsNesting) {
+  Module M = lowerBranchy(NestedLoops);
+  std::vector<int> Depth = loopDepths(M.Fn);
+  // Entry is depth 0; some block is depth 1 (outer body) and some depth 2
+  // (inner body).
+  EXPECT_EQ(Depth[0], 0);
+  int MaxDepth = 0;
+  for (int D : Depth)
+    MaxDepth = std::max(MaxDepth, D);
+  EXPECT_EQ(MaxDepth, 2);
+}
+
+TEST(EstimateProfile, DeeperBlocksGetHigherCounts) {
+  Module M = lowerBranchy(NestedLoops);
+  InterpResult Est = estimateProfile(M.Fn);
+  std::vector<int> Depth = loopDepths(M.Fn);
+  for (size_t A = 0; A != Depth.size(); ++A)
+    for (size_t B = 0; B != Depth.size(); ++B)
+      if (Depth[A] > Depth[B]) {
+        EXPECT_GT(Est.BlockCounts[A], Est.BlockCounts[B])
+            << "blocks " << A << " vs " << B;
+      }
+}
+
+TEST(EstimateProfile, EdgeCountsConserveFlow) {
+  Module M = lowerBranchy(NestedLoops);
+  InterpResult Est = estimateProfile(M.Fn);
+  for (const BasicBlock &B : M.Fn.Blocks) {
+    std::vector<int> Succs = B.successors();
+    if (Succs.empty())
+      continue;
+    uint64_t Out = Est.EdgeCounts[B.Id][0] + Est.EdgeCounts[B.Id][1];
+    EXPECT_EQ(Out, Est.BlockCounts[B.Id]) << "block " << B.Id;
+  }
+}
+
+TEST(EstimateProfile, BackEdgesDominateLoopBranches) {
+  Module M = lowerBranchy("array A[64] output;\n"
+                          "for (i = 0; i < 64; i += 1) { A[i] = i; }\n");
+  InterpResult Est = estimateProfile(M.Fn);
+  std::vector<std::vector<bool>> Back = findBackEdges(M.Fn);
+  for (const BasicBlock &B : M.Fn.Blocks) {
+    std::vector<int> Succs = B.successors();
+    for (size_t K = 0; K != Succs.size(); ++K)
+      if (Back[B.Id][K] && Succs.size() == 2) {
+        size_t Other = 1 - K;
+        EXPECT_GT(Est.EdgeCounts[B.Id][K], Est.EdgeCounts[B.Id][Other]);
+      }
+  }
+}
+
+TEST(EstimateProfile, DrivesTraceFormationLikeAProfile) {
+  // On a biased diamond, the estimator cannot know the bias (50/50 split),
+  // but its traces must still be valid paths covering every block once.
+  Module M = lowerBranchy(R"(
+array A[128] output;
+var t = 0.0;
+for (i = 0; i < 128; i += 1) {
+  if (i < 120) { t = t + 1.0; A[i] = t; } else { A[i] = 0.0; }
+  A[i] = A[i] + 1.0;
+}
+)");
+  InterpResult Est = estimateProfile(M.Fn);
+  std::vector<Trace> Traces = formTraces(M.Fn, Est);
+  std::vector<int> Seen(M.Fn.Blocks.size(), 0);
+  for (const Trace &T : Traces)
+    for (int B : T)
+      ++Seen[B];
+  for (size_t B = 0; B != Seen.size(); ++B)
+    EXPECT_EQ(Seen[B], 1);
+}
+
+TEST(EstimateProfile, TraceSchedulingWithEstimatesPreservesSemantics) {
+  for (const char *Name : {"DYFESM", "doduc", "hydro2d", "mdljdp2"}) {
+    lang::Program P = driver::parseWorkload(*driver::findWorkload(Name));
+    lang::EvalResult Ref = lang::evalProgram(P);
+    driver::CompileOptions O;
+    O.TraceScheduling = true;
+    O.UseEstimatedProfile = true;
+    O.UnrollFactor = 4;
+    driver::CompileResult C = driver::compileProgram(P, O);
+    ASSERT_TRUE(C.ok()) << Name << ": " << C.Error;
+    EXPECT_EQ(interpret(C.M).Checksum, Ref.Checksum) << Name;
+  }
+}
+
+TEST(EstimateProfile, CloseToProfiledPerformance) {
+  // The estimator should give up little versus real profiles on loop-biased
+  // code (its weak spot is data-dependent branches like DYFESM's).
+  const driver::Workload &W = *driver::findWorkload("hydro2d");
+  driver::CompileOptions Prof;
+  Prof.TraceScheduling = true;
+  Prof.UnrollFactor = 4;
+  driver::CompileOptions Est = Prof;
+  Est.UseEstimatedProfile = true;
+  driver::RunResult RP = driver::runWorkload(W, Prof);
+  driver::RunResult RE = driver::runWorkload(W, Est);
+  ASSERT_TRUE(RP.ok()) << RP.Error;
+  ASSERT_TRUE(RE.ok()) << RE.Error;
+  double Ratio = static_cast<double>(RE.Sim.Cycles) /
+                 static_cast<double>(RP.Sim.Cycles);
+  EXPECT_LT(Ratio, 1.15) << "estimated-profile traces lost too much";
+}

@@ -1,0 +1,311 @@
+//===- tests/extensions_test.cpp - Section-6 future-work extensions --------===//
+//
+// Tests for the three extensions the paper names as future work:
+//  1. wider-issue (superscalar) simulation,
+//  2. balanced weights for fixed-latency multi-cycle instructions,
+//  3. per-block choice between the balanced and traditional schedulers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "driver/Workloads.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "sched/DepDAG.h"
+#include "sched/Schedule.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::sched;
+
+namespace {
+
+lang::Program parseOk(const std::string &Src) {
+  lang::ParseResult R = lang::parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  std::string CheckErr = lang::checkProgram(R.Prog);
+  EXPECT_EQ(CheckErr, "");
+  return std::move(R.Prog);
+}
+
+Module compileFor(const lang::Program &P, SchedulerKind K,
+                  driver::CompileOptions Extra = {}) {
+  Extra.Scheduler = K;
+  driver::CompileResult C = driver::compileProgram(P, Extra);
+  EXPECT_TRUE(C.ok()) << C.Error;
+  return std::move(C.M);
+}
+
+const char *MixedKernel = R"(
+array A[8192];
+array Out[8] output;
+var s = 0.0;
+var t = 1.0;
+for (i = 0; i < 8192; i += 1) { A[i] = i * 0.3; }
+for (i = 0; i < 8184; i += 1) {
+  s = s + A[i] * 2.0 + A[i + 5] * 0.5;
+  t = t * 1.000001 + s * 0.000001;
+}
+Out[0] = s;
+Out[1] = t;
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// 1. Superscalar issue
+//===----------------------------------------------------------------------===//
+
+TEST(Superscalar, WiderIssueIsFasterAndEquivalent) {
+  lang::Program P = parseOk(MixedKernel);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  Module M = compileFor(P, SchedulerKind::Balanced);
+
+  uint64_t Width1 = 0, Prev = ~0ull;
+  for (unsigned W : {1u, 2u, 4u}) {
+    sim::MachineConfig C;
+    C.IssueWidth = W;
+    sim::SimResult R = sim::simulate(M, C);
+    ASSERT_TRUE(R.Finished);
+    EXPECT_EQ(R.Checksum, Ref.Checksum) << "width " << W;
+    // Wider never hurts; once the kernel is dependence- or memory-bound,
+    // extra width may tie (2 -> 4 often does).
+    EXPECT_LE(R.Cycles, Prev) << "width " << W;
+    Prev = R.Cycles;
+    if (W == 1)
+      Width1 = R.Cycles;
+  }
+  EXPECT_LT(Prev, Width1) << "width 4 must beat single issue";
+}
+
+TEST(Superscalar, MemorySlotLimitBinds) {
+  // A store-dominated kernel: with one memory op per cycle, width 4 cannot
+  // beat the number of memory operations.
+  lang::Program P = parseOk(R"(
+array A[4096] output;
+for (i = 0; i < 4096; i += 1) { A[i] = 1.0; }
+)");
+  Module M = compileFor(P, SchedulerKind::Balanced);
+  sim::MachineConfig C;
+  C.IssueWidth = 4;
+  sim::SimResult R = sim::simulate(M, C);
+  ASSERT_TRUE(R.Finished);
+  EXPECT_GE(R.Cycles, R.Counts.Loads + R.Counts.Stores);
+}
+
+TEST(Superscalar, WidthOneMatchesLegacyAccounting) {
+  lang::Program P = parseOk(MixedKernel);
+  Module M = compileFor(P, SchedulerKind::Balanced);
+  sim::SimResult R = sim::simulate(M);
+  uint64_t Stalls = R.LoadInterlockCycles + R.FixedInterlockCycles +
+                    R.ICacheStallCycles + R.ITlbStallCycles +
+                    R.DTlbStallCycles + R.BranchPenaltyCycles +
+                    R.MshrStallCycles + R.WriteBufferStallCycles;
+  EXPECT_EQ(R.Cycles, R.Counts.total() + Stalls);
+}
+
+TEST(Superscalar, BalancedAdvantageHoldsAtWidthFour) {
+  // The paper's motivation for the extension: wider issue consumes ILP
+  // faster, so schedules matter at least as much.
+  lang::Program P = parseOk(MixedKernel);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  Module MB = compileFor(P, SchedulerKind::Balanced);
+  Module MT = compileFor(P, SchedulerKind::Traditional);
+  sim::MachineConfig C;
+  C.IssueWidth = 4;
+  sim::SimResult RB = sim::simulate(MB, C);
+  sim::SimResult RT = sim::simulate(MT, C);
+  ASSERT_TRUE(RB.Finished);
+  ASSERT_TRUE(RT.Finished);
+  EXPECT_EQ(RB.Checksum, Ref.Checksum);
+  EXPECT_EQ(RT.Checksum, Ref.Checksum);
+  EXPECT_LE(RB.LoadInterlockCycles, RT.LoadInterlockCycles);
+}
+
+TEST(Superscalar, AllWorkloadsRunAtWidthFour) {
+  for (const driver::Workload &W : driver::workloads()) {
+    lang::Program P = driver::parseWorkload(W);
+    lang::EvalResult Ref = lang::evalProgram(P);
+    Module M = compileFor(P, SchedulerKind::Balanced);
+    sim::MachineConfig C;
+    C.IssueWidth = 4;
+    sim::SimResult R = sim::simulate(M, C);
+    ASSERT_TRUE(R.Finished) << W.Name;
+    EXPECT_EQ(R.Checksum, Ref.Checksum) << W.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Balancing fixed-latency operations
+//===----------------------------------------------------------------------===//
+
+TEST(BalanceFixed, FixedWeightsNeverExceedTrueLatency) {
+  // Block: one load, one FDiv, one FMul, several independent int padders.
+  lang::Program P = parseOk(R"(
+array A[64];
+array Out[8] output;
+var x = 3.0;
+var y = 7.0;
+var n int = 0;
+for (i = 0; i < 60; i += 1) {
+  x = x / (A[i] * 0.25 + 1.5);
+  y = y * 1.25 + A[i + 2];
+}
+Out[0] = x + y + n;
+)");
+  driver::CompileOptions O;
+  O.StopBeforeRegAlloc = true;
+  driver::CompileResult C = driver::compileProgram(P, O);
+  ASSERT_TRUE(C.ok()) << C.Error;
+
+  for (const BasicBlock &B : C.M.Fn.Blocks) {
+    if (B.Instrs.size() < 8)
+      continue;
+    std::vector<const Instr *> Ptrs;
+    for (const Instr &I : B.Instrs)
+      Ptrs.push_back(&I);
+    DepDAG G = buildDepDAG(Ptrs);
+    addBlockControlEdges(G, Ptrs);
+    BalanceOptions Opts;
+    Opts.BalanceFixedOps = true;
+    std::vector<double> W = balancedWeights(G, Ptrs, Opts);
+    for (size_t K = 0; K != Ptrs.size(); ++K) {
+      if (Ptrs[K]->isLoad() || Ptrs[K]->isTerminator())
+        continue;
+      int TrueLat = opInfo(Ptrs[K]->Op).Latency;
+      if (TrueLat > 1) {
+        EXPECT_LE(W[K], static_cast<double>(TrueLat)) << printInstr(*Ptrs[K]);
+        EXPECT_GE(W[K], 1.0);
+      } else {
+        EXPECT_DOUBLE_EQ(W[K], static_cast<double>(TrueLat));
+      }
+    }
+  }
+}
+
+TEST(BalanceFixed, DisabledLeavesFixedWeightsAlone) {
+  lang::Program P = parseOk(MixedKernel);
+  driver::CompileOptions O;
+  O.StopBeforeRegAlloc = true;
+  driver::CompileResult C = driver::compileProgram(P, O);
+  ASSERT_TRUE(C.ok());
+  for (const BasicBlock &B : C.M.Fn.Blocks) {
+    std::vector<const Instr *> Ptrs;
+    for (const Instr &I : B.Instrs)
+      Ptrs.push_back(&I);
+    if (Ptrs.size() < 3)
+      continue;
+    DepDAG G = buildDepDAG(Ptrs);
+    addBlockControlEdges(G, Ptrs);
+    std::vector<double> W = balancedWeights(G, Ptrs); // default options
+    for (size_t K = 0; K != Ptrs.size(); ++K) {
+      if (!Ptrs[K]->isLoad()) {
+        EXPECT_DOUBLE_EQ(W[K],
+                         static_cast<double>(opInfo(Ptrs[K]->Op).Latency));
+      }
+    }
+  }
+}
+
+TEST(BalanceFixed, SemanticsPreservedOnWorkloads) {
+  for (const char *Name : {"MDG", "ear", "dnasa7"}) {
+    lang::Program P = driver::parseWorkload(*driver::findWorkload(Name));
+    lang::EvalResult Ref = lang::evalProgram(P);
+    driver::CompileOptions O;
+    O.Balance.BalanceFixedOps = true;
+    O.UnrollFactor = 4;
+    driver::CompileResult C = driver::compileProgram(P, O);
+    ASSERT_TRUE(C.ok()) << Name << ": " << C.Error;
+    EXPECT_EQ(interpret(C.M).Checksum, Ref.Checksum) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// 3. Hybrid per-block scheduler choice
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a tiny region with the given number of unknown loads and FDivs.
+std::vector<Instr> makeRegion(Function &F, int Loads, int Divs) {
+  std::vector<Instr> Out;
+  Reg Base = F.makeReg(RegClass::Int);
+  for (int K = 0; K != Loads; ++K) {
+    Instr I;
+    I.Op = Opcode::FLoad;
+    I.Dst = F.makeReg(RegClass::Fp);
+    I.Base = Base;
+    I.Offset = K * 8;
+    I.Mem.ArrayId = 0;
+    Out.push_back(I);
+  }
+  Reg X = F.makeReg(RegClass::Fp);
+  for (int K = 0; K != Divs; ++K) {
+    Instr I;
+    I.Op = Opcode::FDiv;
+    I.Dst = X;
+    I.SrcA = X;
+    I.SrcB = X;
+    Out.push_back(I);
+  }
+  Instr T;
+  T.Op = Opcode::Ret;
+  Out.push_back(T);
+  return Out;
+}
+
+} // namespace
+
+TEST(Hybrid, PicksBalancedForLoadHeavyRegions) {
+  Function F;
+  std::vector<Instr> Region = makeRegion(F, /*Loads=*/6, /*Divs=*/0);
+  std::vector<const Instr *> Ptrs;
+  for (const Instr &I : Region)
+    Ptrs.push_back(&I);
+  EXPECT_EQ(effectiveKind(SchedulerKind::Hybrid, Ptrs),
+            SchedulerKind::Balanced);
+}
+
+TEST(Hybrid, PicksTraditionalForDivideHeavyRegions) {
+  Function F;
+  std::vector<Instr> Region = makeRegion(F, /*Loads=*/1, /*Divs=*/3);
+  std::vector<const Instr *> Ptrs;
+  for (const Instr &I : Region)
+    Ptrs.push_back(&I);
+  EXPECT_EQ(effectiveKind(SchedulerKind::Hybrid, Ptrs),
+            SchedulerKind::Traditional);
+}
+
+TEST(Hybrid, NonHybridKindsPassThrough) {
+  Function F;
+  std::vector<Instr> Region = makeRegion(F, 1, 3);
+  std::vector<const Instr *> Ptrs;
+  for (const Instr &I : Region)
+    Ptrs.push_back(&I);
+  EXPECT_EQ(effectiveKind(SchedulerKind::Balanced, Ptrs),
+            SchedulerKind::Balanced);
+  EXPECT_EQ(effectiveKind(SchedulerKind::Traditional, Ptrs),
+            SchedulerKind::Traditional);
+}
+
+TEST(Hybrid, SemanticsPreservedAcrossWorkloads) {
+  for (const char *Name : {"MDG", "ARC2D", "spice2g6", "ora"}) {
+    lang::Program P = driver::parseWorkload(*driver::findWorkload(Name));
+    lang::EvalResult Ref = lang::evalProgram(P);
+    driver::CompileOptions O;
+    O.Scheduler = SchedulerKind::Hybrid;
+    O.UnrollFactor = 4;
+    driver::CompileResult C = driver::compileProgram(P, O);
+    ASSERT_TRUE(C.ok()) << Name << ": " << C.Error;
+    EXPECT_EQ(interpret(C.M).Checksum, Ref.Checksum) << Name;
+  }
+}
+
+TEST(Hybrid, TagSpellsHY) {
+  driver::CompileOptions O;
+  O.Scheduler = SchedulerKind::Hybrid;
+  EXPECT_EQ(O.tag(), "HY");
+}

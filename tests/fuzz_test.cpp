@@ -1,0 +1,115 @@
+//===- tests/fuzz_test.cpp - Differential fuzzing of the whole pipeline ----===//
+//
+// Property-based testing: for randomly generated (but deterministic,
+// seed-indexed) kernel programs, every compiler configuration must produce
+// code whose interpreted output checksum matches the AST evaluator's. This
+// sweeps code shapes the hand-written tests and the 17 workloads miss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Generate.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+
+class FuzzPipeline : public ::testing::TestWithParam<uint64_t> {};
+
+/// The configurations that exercise distinct code paths.
+std::vector<driver::CompileOptions> fuzzConfigs() {
+  std::vector<driver::CompileOptions> Cs;
+  for (auto Kind : {sched::SchedulerKind::Traditional,
+                    sched::SchedulerKind::Balanced}) {
+    auto Add = [&](int LU, bool TrS, bool LA) {
+      driver::CompileOptions O;
+      O.Scheduler = Kind;
+      O.UnrollFactor = LU;
+      O.TraceScheduling = TrS;
+      O.LocalityAnalysis = LA;
+      Cs.push_back(O);
+    };
+    Add(1, false, false);
+    Add(4, false, false);
+    Add(8, true, true);
+  }
+  // Estimated-profile trace scheduling (exercises the static estimator on
+  // arbitrary CFGs) and the hybrid per-block chooser.
+  driver::CompileOptions Est;
+  Est.TraceScheduling = true;
+  Est.UseEstimatedProfile = true;
+  Est.UnrollFactor = 4;
+  Cs.push_back(Est);
+  driver::CompileOptions Hy;
+  Hy.Scheduler = sched::SchedulerKind::Hybrid;
+  Cs.push_back(Hy);
+  // Lowering options off (exercises the generic code paths).
+  driver::CompileOptions Plain;
+  Plain.Lower.StrengthReduction = false;
+  Plain.Lower.IfConversion = false;
+  Cs.push_back(Plain);
+  // Tight register file (exercises spilling on every program).
+  driver::CompileOptions Tight;
+  Tight.UnrollFactor = 4;
+  Tight.RegAlloc.AllocatablePerClass = 6;
+  Cs.push_back(Tight);
+  return Cs;
+}
+
+} // namespace
+
+TEST_P(FuzzPipeline, EveryConfigMatchesOracle) {
+  lang::Program P = lang::generateProgram(GetParam());
+
+  lang::EvalResult Ref = lang::evalProgram(P);
+  ASSERT_TRUE(Ref.ok()) << "seed " << GetParam() << ": oracle failed: "
+                        << Ref.Error << "\n"
+                        << lang::printProgram(P);
+
+  for (const driver::CompileOptions &Opts : fuzzConfigs()) {
+    driver::CompileResult C = driver::compileProgram(P, Opts);
+    ASSERT_TRUE(C.ok()) << "seed " << GetParam() << " [" << Opts.tag()
+                        << "]: " << C.Error << "\n"
+                        << lang::printProgram(P);
+    ir::InterpResult I = ir::interpret(C.M);
+    ASSERT_TRUE(I.Finished) << "seed " << GetParam();
+    ASSERT_EQ(I.Checksum, Ref.Checksum)
+        << "seed " << GetParam() << " [" << Opts.tag() << "] miscompiled:\n"
+        << lang::printProgram(P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<uint64_t>(0, 150));
+
+TEST(Generator, DeterministicPerSeed) {
+  lang::Program A = lang::generateProgram(42);
+  lang::Program B = lang::generateProgram(42);
+  EXPECT_EQ(lang::printProgram(A), lang::printProgram(B));
+  lang::Program C = lang::generateProgram(43);
+  EXPECT_NE(lang::printProgram(A), lang::printProgram(C));
+}
+
+TEST(Generator, ProgramsAreReparseable) {
+  for (uint64_t Seed = 0; Seed != 20; ++Seed) {
+    lang::Program P = lang::generateProgram(Seed);
+    std::string Text = lang::printProgram(P);
+    lang::ParseResult R = lang::parseProgram(Text);
+    ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Error << "\n" << Text;
+    EXPECT_EQ(lang::checkProgram(R.Prog), "");
+  }
+}
+
+TEST(Generator, ProgramsTerminateQuickly) {
+  for (uint64_t Seed = 0; Seed != 40; ++Seed) {
+    lang::Program P = lang::generateProgram(Seed);
+    lang::EvalResult R = lang::evalProgram(P, /*MaxStmts=*/2000000);
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << " ran away";
+  }
+}
+

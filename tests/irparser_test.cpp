@@ -1,0 +1,157 @@
+//===- tests/irparser_test.cpp - Textual IR round-trip tests ---------------===//
+
+#include "ir/IRParser.h"
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Generate.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "regalloc/LinearScan.h"
+#include "sched/Schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::ir;
+
+namespace {
+
+const char *HandWritten = R"(
+array A 16
+array Out 4 output
+func demo
+b0:
+  ldi v0, 0
+  ldi v1, 64
+  ldi v2, 16
+  jmp b1
+b1:
+  cmplt v3, v0, v2
+  br v3, b2, b3
+b2:
+  sll v4, v0, #3
+  add v5, v1, v4
+  itof v6, v0
+  fst v6, 0(v5)
+  add v0, v0, #1
+  jmp b1
+b3:
+  fld v7, 0(v1)
+  fld v8, 8(v1)
+  fadd v9, v7, v8
+  ldi v10, 192
+  fst v9, 0(v10)
+  ret
+)";
+
+} // namespace
+
+TEST(IRParser, ParsesHandWrittenModule) {
+  ParseIRResult R = parseModule(HandWritten);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.M.Fn.Name, "demo");
+  EXPECT_EQ(R.M.Fn.Blocks.size(), 4u);
+  // A at 64, Out at 64 + 16*8 = 192 (32-byte aligned layout).
+  EXPECT_EQ(R.M.Arrays[0].Base, 64u);
+  EXPECT_EQ(R.M.Arrays[1].Base, 192u);
+  InterpResult I = interpret(R.M);
+  ASSERT_TRUE(I.Finished);
+  // Out[0] = A[0] + A[1] = 0.0 + 1.0.
+  EXPECT_GT(I.DynInstrs, 16u * 6);
+}
+
+TEST(IRParser, InfersRegisterClasses) {
+  ParseIRResult R = parseModule(HandWritten);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // v6 is written by itof -> fp; v0 by ldi -> int.
+  EXPECT_EQ(R.M.Fn.regClass(Reg(NumPhysTotal + 6)), RegClass::Fp);
+  EXPECT_EQ(R.M.Fn.regClass(Reg(NumPhysTotal + 0)), RegClass::Int);
+}
+
+TEST(IRParser, RejectsClassConflicts) {
+  ParseIRResult R = parseModule("func f\nb0:\n  ldi v0, 1\n"
+                                "  fadd v1, v0, v0\n  ret\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("class conflict"), std::string::npos);
+}
+
+TEST(IRParser, RejectsUnknownOpcode) {
+  ParseIRResult R = parseModule("func f\nb0:\n  frobnicate v0\n  ret\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(IRParser, RejectsOutOfOrderLabels) {
+  ParseIRResult R = parseModule("func f\nb1:\n  ret\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(IRParser, RejectsInstructionOutsideBlock) {
+  ParseIRResult R = parseModule("func f\n  ldi v0, 1\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(IRParser, RejectsBadBranchTarget) {
+  ParseIRResult R = parseModule("func f\nb0:\n  ldi v0, 1\n"
+                                "  br v0, b7, b0\n");
+  EXPECT_FALSE(R.ok()) << "verifier must reject the dangling target";
+}
+
+TEST(IRParser, AnnotationsRoundTrip) {
+  const char *Src = "array A 8\nfunc f\nb0:\n"
+                    "  ldi v0, 64\n"
+                    "  fld v1, 0(v0)  ; miss\n"
+                    "  fld v2, 8(v0)  ; hit\n"
+                    "  fst v1, 16(v0) ; spill\n"
+                    "  ld v3, 24(v0)  ; restore\n"
+                    "  ret\n";
+  ParseIRResult R = parseModule(Src);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const auto &Is = R.M.Fn.Blocks[0].Instrs;
+  EXPECT_EQ(Is[1].HM, HitMiss::Miss);
+  EXPECT_EQ(Is[2].HM, HitMiss::Hit);
+  EXPECT_TRUE(Is[3].IsSpill);
+  EXPECT_TRUE(Is[4].IsRestore);
+}
+
+TEST(IRParser, PrintParseReprintIsStable) {
+  ParseIRResult R1 = parseModule(HandWritten);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  std::string Text1 = printModule(R1.M);
+  ParseIRResult R2 = parseModule(Text1);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\n" << Text1;
+  EXPECT_EQ(printModule(R2.M), Text1);
+}
+
+TEST(IRParser, FuzzedLoweredModulesRoundTripFunctionally) {
+  // print -> parse loses only aliasing metadata; interpretation must agree
+  // with the AST oracle exactly.
+  for (uint64_t Seed = 400; Seed != 430; ++Seed) {
+    lang::Program P = lang::generateProgram(Seed);
+    lang::EvalResult Ref = lang::evalProgram(P);
+    ASSERT_TRUE(Ref.ok());
+    lower::LowerResult LR = lower::lowerProgram(P);
+    ASSERT_TRUE(LR.ok());
+    std::string Text = printModule(LR.M);
+    ParseIRResult R = parseModule(Text);
+    ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Error;
+    InterpResult I = interpret(R.M);
+    ASSERT_TRUE(I.Finished) << "seed " << Seed;
+    EXPECT_EQ(I.Checksum, Ref.Checksum) << "seed " << Seed;
+  }
+}
+
+TEST(IRParser, ReparsedCodeSchedulesAndAllocates) {
+  // The full back end runs on re-parsed IR (conservatively, since the
+  // aliasing metadata is gone).
+  lang::Program P = lang::generateProgram(5);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok());
+  ParseIRResult R = parseModule(printModule(LR.M));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  sched::scheduleFunction(R.M, sched::SchedulerKind::Balanced);
+  regalloc::RegAllocStats S = regalloc::allocateRegisters(R.M);
+  ASSERT_TRUE(S.ok()) << S.Error;
+  ASSERT_EQ(verify(R.M), "");
+  EXPECT_EQ(interpret(R.M).Checksum, Ref.Checksum);
+}

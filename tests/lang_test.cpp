@@ -1,0 +1,215 @@
+//===- tests/lang_test.cpp - Parser / checker / AST utility tests ---------===//
+
+#include "lang/AST.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::lang;
+
+namespace {
+
+Program parseOk(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  std::string CheckErr = checkProgram(R.Prog);
+  EXPECT_EQ(CheckErr, "");
+  return std::move(R.Prog);
+}
+
+} // namespace
+
+TEST(Parser, ParsesDeclarations) {
+  Program P = parseOk("array A[4][8] output;\n"
+                      "array idx[16] int;\n"
+                      "array F[10] colmajor;\n"
+                      "var x = 1.5;\n"
+                      "var n int = 42;\n");
+  ASSERT_EQ(P.Arrays.size(), 3u);
+  EXPECT_EQ(P.Arrays[0].Name, "A");
+  EXPECT_EQ(P.Arrays[0].Dims, (std::vector<int64_t>{4, 8}));
+  EXPECT_TRUE(P.Arrays[0].IsOutput);
+  EXPECT_EQ(P.Arrays[1].ElemTy, Type::Int);
+  EXPECT_FALSE(P.Arrays[2].RowMajor);
+  ASSERT_EQ(P.Vars.size(), 2u);
+  EXPECT_DOUBLE_EQ(P.Vars[0].FpInit, 1.5);
+  EXPECT_EQ(P.Vars[1].IntInit, 42);
+}
+
+TEST(Parser, ParsesLoopNest) {
+  Program P = parseOk("array A[8][8];\n"
+                      "array C[8][8] output;\n"
+                      "for (i = 0; i < 8; i += 1) {\n"
+                      "  for (j = 0; j < 8; j += 2) {\n"
+                      "    C[i][j] = A[i][j] + 1.0;\n"
+                      "  }\n"
+                      "}\n");
+  ASSERT_EQ(P.Body.size(), 1u);
+  const Stmt &Outer = *P.Body[0];
+  EXPECT_EQ(Outer.Kind, StmtKind::For);
+  EXPECT_EQ(Outer.LoopVar, "i");
+  ASSERT_EQ(Outer.Body.size(), 1u);
+  EXPECT_EQ(Outer.Body[0]->Step, 2);
+}
+
+TEST(Parser, ParsesIfElseChain) {
+  Program P = parseOk("var x = 0.0;\n"
+                      "if (x < 1.0) { x = 1.0; }\n"
+                      "else if (x < 2.0) { x = 2.0; }\n"
+                      "else { x = 3.0; }\n");
+  const Stmt &If = *P.Body[0];
+  EXPECT_EQ(If.Kind, StmtKind::If);
+  ASSERT_EQ(If.Else.size(), 1u);
+  EXPECT_EQ(If.Else[0]->Kind, StmtKind::If);
+  EXPECT_EQ(If.Else[0]->Else.size(), 1u);
+}
+
+TEST(Parser, PlusAssignDesugarsToAdd) {
+  Program P = parseOk("var s = 0.0;\ns += 2.5;\n");
+  const Stmt &S = *P.Body[0];
+  EXPECT_EQ(S.Kind, StmtKind::Assign);
+  EXPECT_EQ(S.Rhs->Kind, ExprKind::Binary);
+  EXPECT_EQ(S.Rhs->BOp, BinOp::Add);
+}
+
+TEST(Parser, Precedence) {
+  Program P = parseOk("var a = 0.0;\na = 1.0 + 2.0 * 3.0;\n");
+  const Expr &R = *P.Body[0]->Rhs;
+  ASSERT_EQ(R.Kind, ExprKind::Binary);
+  EXPECT_EQ(R.BOp, BinOp::Add);
+  EXPECT_EQ(R.Args[1]->BOp, BinOp::Mul);
+}
+
+TEST(Parser, Comments) {
+  Program P = parseOk("# a comment\nvar x = 1.0; # trailing\n");
+  EXPECT_EQ(P.Vars.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  ParseResult R = parseProgram("var x = 1.0;\nfor (i = 0; j < 8; i += 1) {}");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos);
+}
+
+TEST(Parser, RejectsNonPositiveStep) {
+  ParseResult R = parseProgram("for (i = 0; i < 8; i += 0) {}");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Parser, RejectsUnknownAttribute) {
+  ParseResult R = parseProgram("array A[4] wobble;");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Checker, InsertsIntToFpConversion) {
+  Program P = parseOk("var x = 0.0;\nx = 1 + x;\n");
+  const Expr &R = *P.Body[0]->Rhs;
+  ASSERT_EQ(R.Kind, ExprKind::Binary);
+  EXPECT_EQ(R.Ty, Type::Fp);
+  EXPECT_EQ(R.Args[0]->Kind, ExprKind::Unary);
+  EXPECT_EQ(R.Args[0]->UOp, UnOp::IToF);
+}
+
+TEST(Checker, RejectsFpToIntAssignment) {
+  ParseResult R = parseProgram("var n int = 0;\nn = 1.5;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(checkProgram(R.Prog), "");
+}
+
+TEST(Checker, RejectsUnknownNames) {
+  ParseResult R = parseProgram("x = 1.0;");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(checkProgram(R.Prog), "");
+}
+
+TEST(Checker, RejectsWrongSubscriptCount) {
+  ParseResult R = parseProgram("array A[4][4];\nA[1] = 0.0;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(checkProgram(R.Prog), "");
+}
+
+TEST(Checker, RejectsAssignToLoopVar) {
+  ParseResult R = parseProgram("var y = 0.0;\n"
+                               "for (i = 0; i < 4; i += 1) { i = 2; }\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(checkProgram(R.Prog), "");
+}
+
+TEST(Checker, RejectsFpSubscript) {
+  ParseResult R = parseProgram("array A[4];\nvar x = 1.0;\nA[x] = 0.0;\n");
+  ASSERT_TRUE(R.ok());
+  EXPECT_NE(checkProgram(R.Prog), "");
+}
+
+TEST(Checker, IsIdempotent) {
+  Program P = parseOk("var x = 0.0;\nx = 1 + x;\n");
+  EXPECT_EQ(checkProgram(P), "");
+  // No double promotion: the IToF stays a single level.
+  const Expr &L = *P.Body[0]->Rhs->Args[0];
+  EXPECT_EQ(L.UOp, UnOp::IToF);
+  EXPECT_EQ(L.Args[0]->Kind, ExprKind::IntLit);
+}
+
+TEST(AST, CloneIsDeep) {
+  Program P = parseOk("array A[4] output;\n"
+                      "for (i = 0; i < 4; i += 1) { A[i] = 1.0; }\n");
+  Program Q = P; // copy ctor clones
+  Q.Body[0]->Body[0]->Rhs->FpVal = 9.0;
+  EXPECT_DOUBLE_EQ(P.Body[0]->Body[0]->Rhs->FpVal, 1.0);
+}
+
+TEST(AST, AddToVarRefsRewritesUses) {
+  Program P = parseOk("array A[16] output;\n"
+                      "for (i = 0; i < 16; i += 1) { A[i] = 1.0; }\n");
+  Stmt &Body = *P.Body[0]->Body[0];
+  addToVarRefs(Body, "i", 3);
+  std::string S = printStmt(Body);
+  EXPECT_NE(S.find("(i + 3)"), std::string::npos);
+}
+
+TEST(AST, AddToVarRefsRespectsShadowing) {
+  Program P = parseOk("array A[4][4] output;\n"
+                      "for (i = 0; i < 4; i += 1) {\n"
+                      "  for (i = 0; i < 4; i += 1) { A[i][i] = 1.0; }\n"
+                      "}\n");
+  Stmt &Outer = *P.Body[0];
+  // Rewriting the outer i must not touch the inner loop's shadowed uses.
+  addToVarRefs(*Outer.Body[0], "i", 1);
+  std::string S = printStmt(*Outer.Body[0]);
+  EXPECT_EQ(S.find("(i + 1)"), std::string::npos);
+}
+
+TEST(AST, ReplaceVarRefs) {
+  Program P = parseOk("array A[16] output;\n"
+                      "for (i = 0; i < 16; i += 1) { A[i] = 1.0; }\n");
+  Stmt &Body = *P.Body[0]->Body[0];
+  ExprPtr Zero = intLit(0);
+  replaceVarRefs(Body, "i", *Zero);
+  std::string S = printStmt(Body);
+  EXPECT_NE(S.find("A[0]"), std::string::npos);
+}
+
+TEST(AST, EstimateCostGrowsWithBody) {
+  Program P1 = parseOk("array A[8] output;\n"
+                       "for (i = 0; i < 8; i += 1) { A[i] = 1.0; }\n");
+  Program P2 = parseOk("array A[8] output;\narray B[8];\n"
+                       "for (i = 0; i < 8; i += 1) {"
+                       " A[i] = B[i] * 2.0 + 1.0; A[i] = A[i] + B[i]; }\n");
+  EXPECT_GT(estimateCost(*P2.Body[0]), estimateCost(*P1.Body[0]));
+}
+
+TEST(AST, PrintRoundTripReparses) {
+  Program P = parseOk("array A[4][4];\narray C[4][4] output;\nvar t = 0.5;\n"
+                      "for (i = 0; i < 4; i += 1) {\n"
+                      "  for (j = 0; j < 4; j += 1) {\n"
+                      "    C[i][j] = A[i][j] * t + 1.0;\n"
+                      "  }\n"
+                      "  if (C[i][0] < 2.0) { t = t + 0.25; }\n"
+                      "}\n");
+  std::string Printed = printProgram(P);
+  ParseResult R2 = parseProgram(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\n" << Printed;
+  EXPECT_EQ(checkProgram(R2.Prog), "");
+  EXPECT_EQ(printProgram(R2.Prog), Printed);
+}

@@ -1,0 +1,323 @@
+//===- tests/lower_test.cpp - Lowering correctness tests ------------------===//
+//
+// Differential tests: for each program, the lowered IR run under the IR
+// interpreter must produce the same output checksum as the AST evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+namespace {
+
+lang::Program parseOk(const std::string &Src) {
+  lang::ParseResult R = lang::parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  std::string CheckErr = lang::checkProgram(R.Prog);
+  EXPECT_EQ(CheckErr, "");
+  return std::move(R.Prog);
+}
+
+/// Lowers with the given options and checks the interpreter's checksum
+/// matches the AST evaluator's.
+void expectEquivalent(const std::string &Src, lower::LowerOptions Opts = {}) {
+  lang::Program P = parseOk(Src);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+  lower::LowerResult LR = lower::lowerProgram(P, Opts);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  ir::InterpResult IR = ir::interpret(LR.M);
+  ASSERT_TRUE(IR.Finished);
+  EXPECT_EQ(IR.Checksum, Ref.Checksum) << lang::printProgram(P);
+}
+
+const char *InitAndSum = R"(
+array A[32] output;
+var s = 0.0;
+for (i = 0; i < 32; i += 1) { A[i] = i * 2 + 1; }
+for (i = 0; i < 32; i += 1) { s = s + A[i]; }
+A[0] = s;
+)";
+
+const char *Mat2D = R"(
+array A[8][12];
+array B[8][12];
+array C[8][12] output;
+for (i = 0; i < 8; i += 1) {
+  for (j = 0; j < 12; j += 1) {
+    A[i][j] = i + j * 3;
+    B[i][j] = i * j;
+  }
+}
+for (i = 0; i < 8; i += 1) {
+  for (j = 0; j < 12; j += 1) {
+    C[i][j] = A[i][j] * 2.0 + B[i][j];
+  }
+}
+)";
+
+const char *ColMajor = R"(
+array F[6][10] colmajor output;
+for (i = 0; i < 6; i += 1) {
+  for (j = 0; j < 10; j += 1) {
+    F[i][j] = i * 100 + j;
+  }
+}
+)";
+
+const char *Branchy = R"(
+array A[64] output;
+var t = 0.0;
+for (i = 0; i < 64; i += 1) {
+  if (i - (i / 2.0 + i / 2.0) < 0.5) { t = 1.0; } else { t = 2.0; }
+  if (i < 32) {
+    A[i] = t + i;
+  } else {
+    A[i] = t - i;
+    if (i > 50) { A[i] = A[i] * 2.0; }
+  }
+}
+)";
+
+const char *IndexArray = R"(
+array idx[16] int;
+array A[16] output;
+for (i = 0; i < 16; i += 1) { idx[i] = 15 - i; }
+for (i = 0; i < 16; i += 1) { A[idx[i]] = i * 1.5; }
+)";
+
+const char *TriangularLoop = R"(
+array A[12][12] output;
+for (i = 0; i < 12; i += 1) {
+  for (j = i; j < 12; j += 1) {
+    A[i][j] = i * 12 + j;
+  }
+}
+)";
+
+const char *LogicalOps = R"(
+array A[40] output;
+for (i = 0; i < 40; i += 1) {
+  if ((i > 3 && i < 10) || i == 20 || !(i < 35)) {
+    A[i] = 1.0;
+  }
+}
+)";
+
+const char *StridedLoop = R"(
+array A[64] output;
+for (i = 0; i < 64; i += 4) { A[i] = i + 0.5; }
+)";
+
+const char *EmptyTripLoop = R"(
+array A[4] output;
+var n int = 0;
+for (i = 3; i < n; i += 1) { A[0] = 9.0; }
+A[1] = 1.0;
+)";
+
+const char *ScalarMixing = R"(
+array Out[4] output;
+var x = 1.5;
+var n int = 7;
+var m int = 3;
+Out[0] = n * m + x;
+Out[1] = n / 2.0;
+Out[2] = -x;
+Out[3] = n - m * 2;
+)";
+
+} // namespace
+
+TEST(Lower, InitAndSum) { expectEquivalent(InitAndSum); }
+TEST(Lower, Mat2D) { expectEquivalent(Mat2D); }
+TEST(Lower, ColMajor) { expectEquivalent(ColMajor); }
+TEST(Lower, Branchy) { expectEquivalent(Branchy); }
+TEST(Lower, IndexArray) { expectEquivalent(IndexArray); }
+TEST(Lower, TriangularLoop) { expectEquivalent(TriangularLoop); }
+TEST(Lower, LogicalOps) { expectEquivalent(LogicalOps); }
+TEST(Lower, StridedLoop) { expectEquivalent(StridedLoop); }
+TEST(Lower, EmptyTripLoop) { expectEquivalent(EmptyTripLoop); }
+TEST(Lower, ScalarMixing) { expectEquivalent(ScalarMixing); }
+
+TEST(Lower, OptionsOffStillCorrect) {
+  lower::LowerOptions Opts;
+  Opts.IfConversion = false;
+  Opts.StrengthReduction = false;
+  expectEquivalent(InitAndSum, Opts);
+  expectEquivalent(Mat2D, Opts);
+  expectEquivalent(Branchy, Opts);
+  expectEquivalent(TriangularLoop, Opts);
+}
+
+TEST(Lower, StrengthReductionSharesAddressRegisters) {
+  // A[i] and A[i+1] must use the same base register with different
+  // displacements.
+  lang::Program P = parseOk("array A[32];\narray B[32] output;\n"
+                            "for (i = 0; i < 31; i += 1) {"
+                            " B[i] = A[i] + A[i + 1]; }\n");
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  // Find the two loads from A in the loop body and compare bases.
+  std::vector<const ir::Instr *> Loads;
+  for (const ir::BasicBlock &B : LR.M.Fn.Blocks)
+    for (const ir::Instr &I : B.Instrs)
+      if (I.Op == ir::Opcode::FLoad && I.Mem.ArrayId == 0)
+        Loads.push_back(&I);
+  ASSERT_EQ(Loads.size(), 2u);
+  EXPECT_EQ(Loads[0]->Base, Loads[1]->Base);
+  EXPECT_EQ(Loads[1]->Offset - Loads[0]->Offset, 8);
+}
+
+TEST(Lower, AffineMemRefsAreExact) {
+  lang::Program P = parseOk("array A[8][8];\narray C[8][8] output;\n"
+                            "for (i = 0; i < 8; i += 1) {"
+                            " for (j = 0; j < 8; j += 1) {"
+                            "  C[i][j] = A[i][j]; } }\n");
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  int ExactMemOps = 0;
+  for (const ir::BasicBlock &B : LR.M.Fn.Blocks)
+    for (const ir::Instr &I : B.Instrs)
+      if (I.isMem() && I.Mem.HasForm)
+        ++ExactMemOps;
+  EXPECT_EQ(ExactMemOps, 2);
+}
+
+TEST(Lower, NonAffineMemRefKeepsArrayIdentity) {
+  lang::Program P = parseOk("array idx[8] int;\narray A[8] output;\n"
+                            "for (i = 0; i < 8; i += 1) {"
+                            " A[idx[i]] = 1.0; }\n");
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  bool FoundInexactStore = false;
+  for (const ir::BasicBlock &B : LR.M.Fn.Blocks)
+    for (const ir::Instr &I : B.Instrs)
+      if (I.Op == ir::Opcode::FStore && !I.Mem.HasForm && I.Mem.ArrayId == 1)
+        FoundInexactStore = true;
+  EXPECT_TRUE(FoundInexactStore);
+}
+
+TEST(Lower, PredicableIfBecomesCMov) {
+  lang::Program P = parseOk("array Out[8] output;\nvar t = 0.0;\n"
+                            "for (i = 0; i < 8; i += 1) {"
+                            " if (i < 4) { t = 1.0; } else { t = 2.0; }"
+                            " Out[i] = t; }\n");
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  bool HasCMov = false;
+  bool HasBranchDiamond = LR.M.Fn.Blocks.size() > 4;
+  for (const ir::BasicBlock &B : LR.M.Fn.Blocks)
+    for (const ir::Instr &I : B.Instrs)
+      if (I.Op == ir::Opcode::FCMov)
+        HasCMov = true;
+  EXPECT_TRUE(HasCMov);
+  EXPECT_FALSE(HasBranchDiamond) << "diamond should have been predicated";
+}
+
+TEST(Lower, NonPredicableIfStaysBranchy) {
+  // Arm touches an array: must not be speculated by a conditional move.
+  lang::Program P = parseOk("array Out[8] output;\n"
+                            "for (i = 0; i < 8; i += 1) {"
+                            " if (i < 4) { Out[i] = 1.0; } }\n");
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  for (const ir::BasicBlock &B : LR.M.Fn.Blocks)
+    for (const ir::Instr &I : B.Instrs)
+      EXPECT_NE(I.Op, ir::Opcode::FCMov);
+}
+
+TEST(Lower, RotatedLoopShape) {
+  // A straight-line loop body must be a single block ending in a conditional
+  // branch back to itself.
+  lang::Program P = parseOk("array A[16] output;\n"
+                            "for (i = 0; i < 16; i += 1) { A[i] = i; }\n");
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  bool FoundSelfLoop = false;
+  for (const ir::BasicBlock &B : LR.M.Fn.Blocks) {
+    const ir::Instr &T = B.terminator();
+    if (T.Op == ir::Opcode::Br && T.Target0 == B.Id)
+      FoundSelfLoop = true;
+  }
+  EXPECT_TRUE(FoundSelfLoop);
+}
+
+TEST(Lower, VerifiesAndInterpretsLargeNest) {
+  expectEquivalent(R"(
+array A[16][16];
+array B[16][16];
+array C[16][16] output;
+var alpha = 0.25;
+for (i = 0; i < 16; i += 1) {
+  for (j = 0; j < 16; j += 1) {
+    A[i][j] = i - j;
+    B[i][j] = i + 2 * j;
+  }
+}
+for (i = 0; i < 16; i += 1) {
+  for (k = 0; k < 16; k += 1) {
+    for (j = 0; j < 16; j += 1) {
+      C[i][j] = C[i][j] + A[i][k] * B[k][j] * alpha;
+    }
+  }
+}
+)");
+}
+
+TEST(Lower, IsPredicableClassifier) {
+  lang::Program P =
+      parseOk("var t = 0.0;\narray A[4] output;\n"
+              "if (t < 1.0) { t = 2.0; }\n"              // predicable
+              "if (t < 1.0) { t = 2.0; } else { t = 3.0; }\n" // predicable
+              "if (t < 1.0) { A[0] = 2.0; }\n"           // array store: no
+              "if (t < A[1]) { t = 2.0; }\n"             // array load: no
+              "if (t < 1.0) { t = 1.0; A[0] = t; }\n");  // two stmts: no
+  EXPECT_TRUE(lower::isPredicable(*P.Body[0]));
+  EXPECT_TRUE(lower::isPredicable(*P.Body[1]));
+  EXPECT_FALSE(lower::isPredicable(*P.Body[2]));
+  EXPECT_FALSE(lower::isPredicable(*P.Body[3]));
+  EXPECT_FALSE(lower::isPredicable(*P.Body[4]));
+}
+
+TEST(Lower, OuterLoopRefsAfterInnerLoop) {
+  // Regression: strength-reduced address registers of an OUTER loop must be
+  // advanced in its latch even when the body contains nested loops (the
+  // nested lowering used to invalidate the outer loop's context).
+  expectEquivalent(R"(
+array Y[8] output;
+var acc = 0.0;
+for (i = 0; i < 8; i += 1) {
+  acc = 0.0;
+  for (j = 0; j < 5; j += 1) { acc = acc + j * 0.5; }
+  Y[i] = acc + i;
+}
+)");
+  expectEquivalent(R"(
+array Y[8] output;
+for (i = 0; i < 8; i += 1) {
+  for (j = 0; j < 3; j += 1) { Y[0] = Y[0] + 1.0; }
+  Y[i] = Y[i] + 5.0;
+}
+)");
+}
+
+TEST(Lower, PredicatedArmsReadOldValue) {
+  // Regression: both arms of a predicated if may read the destination's old
+  // value; the then-value must be computed before the else-value overwrites
+  // the variable.
+  expectEquivalent(R"(
+array A[32] output;
+var t = 0.0;
+for (i = 0; i < 32; i += 1) {
+  if (i < 10) { t = t + 1.5; } else { t = t - 0.5; }
+  A[i] = t * i;
+}
+)");
+}

@@ -1,0 +1,219 @@
+//===- tests/opt_test.cpp - IR cleanup pass tests --------------------------===//
+
+#include "driver/Compiler.h"
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Generate.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "opt/Cleanup.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::opt;
+
+namespace {
+
+Module lowerOk(const std::string &Src, lower::LowerOptions Opts = {}) {
+  lang::ParseResult PR = lang::parseProgram(Src);
+  EXPECT_TRUE(PR.ok()) << PR.Error;
+  EXPECT_EQ(lang::checkProgram(PR.Prog), "");
+  lower::LowerResult LR = lower::lowerProgram(PR.Prog, Opts);
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  return std::move(LR.M);
+}
+
+uint64_t instrCount(const Module &M) {
+  uint64_t N = 0;
+  for (const BasicBlock &B : M.Fn.Blocks)
+    N += B.Instrs.size();
+  return N;
+}
+
+} // namespace
+
+TEST(Cleanup, PreservesSemanticsAndShrinksCode) {
+  const char *Src = R"(
+array A[32];
+array Out[32] output;
+var s = 0.0;
+var t = 0.0;
+for (i = 0; i < 32; i += 1) { A[i] = i * 1.5; }
+for (i = 0; i < 32; i += 1) {
+  t = A[i];
+  s = t;
+  Out[i] = s * 2.0;
+}
+)";
+  Module M = lowerOk(Src);
+  uint64_t Ref = interpret(M).Checksum;
+  uint64_t Before = instrCount(M);
+  CleanupStats S = cleanupModule(M);
+  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(interpret(M).Checksum, Ref);
+  EXPECT_GT(S.CopiesPropagated, 0);
+  EXPECT_GT(S.DeadRemoved, 0);
+  EXPECT_LT(instrCount(M), Before);
+}
+
+TEST(Cleanup, FoldsConstantChains) {
+  // n*m with literal-int scalars folds down to immediate loads.
+  const char *Src = R"(
+array Out[4] output;
+var a int = 6;
+var b int = 7;
+Out[0] = a * b + 0.0;
+)";
+  Module M = lowerOk(Src);
+  uint64_t Ref = interpret(M).Checksum;
+  CleanupStats S = cleanupModule(M);
+  EXPECT_GT(S.ConstantsFolded, 0);
+  EXPECT_EQ(interpret(M).Checksum, Ref);
+  // No integer multiply should survive: 6*7 folded at compile time.
+  for (const BasicBlock &B : M.Fn.Blocks)
+    for (const Instr &I : B.Instrs)
+      EXPECT_NE(I.Op, Opcode::IMul);
+}
+
+TEST(Cleanup, RemovesDeadLoads) {
+  const char *Src = R"(
+array A[16];
+array Out[4] output;
+var t = 0.0;
+for (i = 0; i < 16; i += 1) {
+  t = A[i];
+}
+Out[0] = 1.0;
+)";
+  // t is dead after the loop; without if-conversion nothing else reads it.
+  Module M = lowerOk(Src);
+  cleanupModule(M);
+  int Loads = 0;
+  for (const BasicBlock &B : M.Fn.Blocks)
+    for (const Instr &I : B.Instrs)
+      Loads += I.isLoad();
+  EXPECT_EQ(Loads, 0) << "the dead A[i] loads must disappear";
+}
+
+TEST(Cleanup, KeepsStoresAndLiveCode) {
+  const char *Src = R"(
+array Out[8] output;
+for (i = 0; i < 8; i += 1) { Out[i] = i * 2.0; }
+)";
+  Module M = lowerOk(Src);
+  uint64_t Ref = interpret(M).Checksum;
+  cleanupModule(M);
+  int Stores = 0;
+  for (const BasicBlock &B : M.Fn.Blocks)
+    for (const Instr &I : B.Instrs)
+      Stores += I.isStore();
+  EXPECT_EQ(Stores, 1);
+  EXPECT_EQ(interpret(M).Checksum, Ref);
+}
+
+TEST(Cleanup, CMovOldValueSurvives) {
+  // The conditional move reads its old destination; cleanup must not treat
+  // the prior write as dead.
+  const char *Src = R"(
+array Out[8] output;
+var t = 0.0;
+for (i = 0; i < 8; i += 1) {
+  if (i < 4) { t = 1.0; } else { t = 2.0; }
+  Out[i] = t;
+}
+)";
+  Module M = lowerOk(Src);
+  uint64_t Ref = interpret(M).Checksum;
+  CleanupStats S = cleanupModule(M);
+  (void)S;
+  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(interpret(M).Checksum, Ref);
+}
+
+TEST(Cleanup, IdempotentAtFixpoint) {
+  Module M = lowerOk(R"(
+array A[32];
+array Out[32] output;
+for (i = 0; i < 32; i += 1) { Out[i] = A[i] + 1.0; }
+)");
+  cleanupModule(M);
+  CleanupStats Second = cleanupModule(M);
+  EXPECT_EQ(Second.CopiesPropagated, 0);
+  EXPECT_EQ(Second.ConstantsFolded, 0);
+  EXPECT_EQ(Second.DeadRemoved, 0);
+}
+
+TEST(Cleanup, FuzzedProgramsSurviveCleanup) {
+  for (uint64_t Seed = 200; Seed != 240; ++Seed) {
+    lang::Program P = lang::generateProgram(Seed);
+    lang::EvalResult Ref = lang::evalProgram(P);
+    ASSERT_TRUE(Ref.ok());
+    lower::LowerResult LR = lower::lowerProgram(P);
+    ASSERT_TRUE(LR.ok());
+    cleanupModule(LR.M);
+    ASSERT_EQ(verify(LR.M), "") << "seed " << Seed;
+    EXPECT_EQ(interpret(LR.M).Checksum, Ref.Checksum) << "seed " << Seed;
+  }
+}
+
+TEST(Cleanup, DriverAblationToggle) {
+  lang::Program P = lang::generateProgram(7);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  driver::CompileOptions On, Off;
+  On.StopBeforeRegAlloc = true; // compare pre-allocation code size: LICM
+  Off.StopBeforeRegAlloc = true; // lengthens live ranges, so spill code can
+  Off.CleanupIR = false;         // grow the post-allocation count.
+  driver::CompileResult ROn = driver::compileProgram(P, On);
+  driver::CompileResult ROff = driver::compileProgram(P, Off);
+  ASSERT_TRUE(ROn.ok());
+  ASSERT_TRUE(ROff.ok());
+  EXPECT_EQ(interpret(ROn.M).Checksum, Ref.Checksum);
+  EXPECT_EQ(interpret(ROff.M).Checksum, Ref.Checksum);
+  EXPECT_LE(instrCount(ROn.M), instrCount(ROff.M));
+}
+
+TEST(Cleanup, HoistsLoopInvariants) {
+  // The fp constant and the invariant product move to the preheader; the
+  // loop body keeps only the varying work.
+  Module M = lowerOk(R"(
+array A[64] output;
+var c = 3.0;
+for (i = 0; i < 64; i += 1) {
+  A[i] = i * (c * c + 1.5);
+}
+)");
+  uint64_t Ref = interpret(M).Checksum;
+  CleanupStats S = cleanupModule(M);
+  EXPECT_GT(S.Hoisted, 0);
+  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(interpret(M).Checksum, Ref);
+  // No FLdI or FMul of invariants may remain in a block that branches back
+  // to itself (the loop body).
+  for (const BasicBlock &B : M.Fn.Blocks) {
+    const Instr &T = B.Instrs.back();
+    bool SelfLoop = T.Op == Opcode::Br && T.Target0 == B.Id;
+    if (!SelfLoop)
+      continue;
+    for (const Instr &I : B.Instrs)
+      EXPECT_NE(I.Op, Opcode::FLdI)
+          << "invariant constant left in the loop body";
+  }
+}
+
+TEST(Cleanup, DoesNotHoistLoopVaryingOrZeroTripUnsafe) {
+  // s is read after a loop that may run zero times; the in-loop def of s
+  // must not be hoisted over the guard.
+  Module M = lowerOk(R"(
+array A[8] output;
+var s = 1.0;
+var n int = 0;
+for (i = 0; i < n; i += 1) { s = 2.0; A[i] = s; }
+A[7] = s;
+)");
+  uint64_t Ref = interpret(M).Checksum;
+  cleanupModule(M);
+  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(interpret(M).Checksum, Ref) << "zero-trip value of s clobbered";
+}

@@ -1,0 +1,261 @@
+//===- tests/regalloc_test.cpp - Register allocation tests ----------------===//
+
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "regalloc/LinearScan.h"
+#include "sched/Schedule.h"
+#include "xform/Unroll.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::regalloc;
+
+namespace {
+
+lang::Program parseOk(const std::string &Src) {
+  lang::ParseResult R = lang::parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  std::string CheckErr = lang::checkProgram(R.Prog);
+  EXPECT_EQ(CheckErr, "");
+  return std::move(R.Prog);
+}
+
+void expectNoVirtualRegs(const Module &M) {
+  std::vector<Reg> Uses;
+  for (const BasicBlock &B : M.Fn.Blocks)
+    for (const Instr &I : B.Instrs) {
+      Uses.clear();
+      I.appendUses(Uses);
+      for (Reg R : Uses)
+        EXPECT_TRUE(R.isPhys()) << printInstr(I);
+      if (Reg D = I.def(); D.isValid()) {
+        EXPECT_TRUE(D.isPhys()) << printInstr(I);
+      }
+    }
+}
+
+/// Full check: allocate, verify, and compare the checksum to the AST oracle.
+RegAllocStats allocateAndCheck(const std::string &Src,
+                               RegAllocOptions Opts = {},
+                               bool Unroll8 = false) {
+  lang::Program P = parseOk(Src);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  EXPECT_TRUE(Ref.ok()) << Ref.Error;
+  if (Unroll8)
+    xform::unrollLoops(P, 8);
+  EXPECT_EQ(lang::checkProgram(P), "");
+  lower::LowerResult LR = lower::lowerProgram(P);
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  sched::scheduleFunction(LR.M, sched::SchedulerKind::Balanced);
+  RegAllocStats Stats = allocateRegisters(LR.M, Opts);
+  EXPECT_TRUE(Stats.ok()) << Stats.Error;
+  EXPECT_EQ(verify(LR.M), "");
+  expectNoVirtualRegs(LR.M);
+  EXPECT_EQ(interpret(LR.M).Checksum, Ref.Checksum) << Src;
+  return Stats;
+}
+
+const char *SmallKernel = R"(
+array A[32] output;
+var s = 0.0;
+for (i = 0; i < 32; i += 1) { A[i] = i * 2 + 1; s = s + A[i]; }
+A[0] = s;
+)";
+
+// Many simultaneously live accumulators force spilling under a small file.
+std::string pressureKernel(int Accs) {
+  std::string Src = "array A[64];\narray Out[32] output;\n";
+  for (int K = 0; K != Accs; ++K)
+    Src += "var s" + std::to_string(K) + " = 0.0;\n";
+  Src += "for (i = 0; i < 32; i += 1) {\n";
+  for (int K = 0; K != Accs; ++K)
+    Src += "  s" + std::to_string(K) + " = s" + std::to_string(K) +
+           " + A[i] * " + std::to_string(K + 1) + ".0;\n";
+  Src += "}\n";
+  for (int K = 0; K != Accs; ++K)
+    Src += "Out[" + std::to_string(K) + "] = s" + std::to_string(K) + ";\n";
+  return Src;
+}
+
+} // namespace
+
+TEST(RegAlloc, SimpleKernelNoSpills) {
+  RegAllocStats S = allocateAndCheck(SmallKernel);
+  EXPECT_EQ(S.SpilledVRegs, 0);
+  EXPECT_GT(S.IntRegsUsed, 0u);
+  EXPECT_GT(S.FpRegsUsed, 0u);
+  EXPECT_LE(S.IntRegsUsed, 28u);
+}
+
+TEST(RegAlloc, PressureForcesSpills) {
+  RegAllocOptions Tight;
+  Tight.AllocatablePerClass = 8;
+  RegAllocStats S = allocateAndCheck(pressureKernel(20), Tight);
+  EXPECT_GT(S.SpilledVRegs, 0);
+  EXPECT_GT(S.SpillStores, 0);
+  EXPECT_GT(S.RestoreLoads, 0);
+}
+
+TEST(RegAlloc, FullFileHoldsModeratePressure) {
+  // 8 accumulators + the hoisted load temps fit the 26-register fp file.
+  RegAllocStats S = allocateAndCheck(pressureKernel(8));
+  EXPECT_EQ(S.SpilledVRegs, 0);
+}
+
+TEST(RegAlloc, UnrollingIncreasesPressure) {
+  // The paper's section 5.1 mechanism: unrolling by 8 adds spill code that
+  // plain code does not need.
+  std::string Src = pressureKernel(16);
+  RegAllocOptions Tight;
+  Tight.AllocatablePerClass = 18;
+  RegAllocStats Plain = allocateAndCheck(Src, Tight, /*Unroll8=*/false);
+  RegAllocStats Unrolled = allocateAndCheck(Src, Tight, /*Unroll8=*/true);
+  EXPECT_GE(Unrolled.SpillStores + Unrolled.RestoreLoads,
+            Plain.SpillStores + Plain.RestoreLoads);
+}
+
+TEST(RegAlloc, SpillsAreFlaggedAndTargetSpillArea) {
+  lang::Program P = parseOk(pressureKernel(20));
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok());
+  RegAllocOptions Tight;
+  Tight.AllocatablePerClass = 6;
+  RegAllocStats S = allocateRegisters(LR.M, Tight);
+  ASSERT_TRUE(S.ok()) << S.Error;
+  int Spills = 0, Restores = 0;
+  for (const BasicBlock &B : LR.M.Fn.Blocks)
+    for (const Instr &I : B.Instrs) {
+      if (I.IsSpill) {
+        ++Spills;
+        EXPECT_TRUE(I.isStore());
+        EXPECT_EQ(I.Mem.ArrayId, LR.M.SpillArrayId);
+      }
+      if (I.IsRestore) {
+        ++Restores;
+        EXPECT_TRUE(I.isLoad());
+        EXPECT_EQ(I.Mem.ArrayId, LR.M.SpillArrayId);
+      }
+    }
+  EXPECT_EQ(Spills, S.SpillStores);
+  EXPECT_EQ(Restores, S.RestoreLoads);
+}
+
+TEST(RegAlloc, DistinctSpillSlotsDisambiguate) {
+  lang::Program P = parseOk(pressureKernel(20));
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok());
+  RegAllocOptions Tight;
+  Tight.AllocatablePerClass = 6;
+  ASSERT_TRUE(allocateRegisters(LR.M, Tight).ok());
+  // Spill memrefs keep exact forms so the DAG can disambiguate slots.
+  for (const BasicBlock &B : LR.M.Fn.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.IsSpill || I.IsRestore) {
+        EXPECT_TRUE(I.Mem.HasForm);
+        EXPECT_TRUE(I.Mem.Terms.empty());
+      }
+}
+
+TEST(RegAlloc, WorksAcrossSchedulersAndBranches) {
+  const char *Src = R"(
+array A[32] output;
+var t = 0.0;
+for (i = 0; i < 32; i += 1) {
+  if (i < 10) { t = t + 1.5; } else { t = t - 0.5; }
+  A[i] = t * i;
+}
+)";
+  lang::Program P = parseOk(Src);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  for (auto K :
+       {sched::SchedulerKind::Traditional, sched::SchedulerKind::Balanced}) {
+    lower::LowerResult LR = lower::lowerProgram(P);
+    ASSERT_TRUE(LR.ok());
+    sched::scheduleFunction(LR.M, K);
+    RegAllocOptions Tight;
+    Tight.AllocatablePerClass = 8;
+    ASSERT_TRUE(allocateRegisters(LR.M, Tight).ok());
+    ASSERT_EQ(verify(LR.M), "");
+    EXPECT_EQ(interpret(LR.M).Checksum, Ref.Checksum);
+  }
+}
+
+TEST(RegAlloc, CMovWithSpilledOperands) {
+  // Force heavy pressure on the int side so conditional-move operands and
+  // destinations end up spilled; semantics must survive.
+  std::string Src = "array Out[20] output;\n";
+  for (int K = 0; K != 18; ++K)
+    Src += "var n" + std::to_string(K) + " int = " + std::to_string(K) +
+           ";\n";
+  Src += "var t int = 0;\n";
+  Src += "for (i = 0; i < 20; i += 1) {\n";
+  Src += "  if (i < 10) { t = 1; } else { t = 2; }\n";
+  for (int K = 0; K != 18; ++K)
+    Src += "  n" + std::to_string(K) + " = n" + std::to_string(K) +
+           " + t + i;\n";
+  Src += "}\n";
+  for (int K = 0; K != 18; ++K)
+    Src += "Out[" + std::to_string(K) + "] = n" + std::to_string(K) +
+           " + 0.0;\n";
+  lang::Program P = parseOk(Src);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  ASSERT_TRUE(Ref.ok());
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok());
+  bool HasCMov = false;
+  for (const BasicBlock &B : LR.M.Fn.Blocks)
+    for (const Instr &I : B.Instrs)
+      HasCMov |= I.Op == Opcode::CMov;
+  ASSERT_TRUE(HasCMov);
+  RegAllocOptions Tight;
+  Tight.AllocatablePerClass = 4;
+  RegAllocStats S = allocateRegisters(LR.M, Tight);
+  ASSERT_TRUE(S.ok()) << S.Error;
+  ASSERT_EQ(verify(LR.M), "");
+  EXPECT_GT(S.SpilledVRegs, 0);
+  EXPECT_EQ(interpret(LR.M).Checksum, Ref.Checksum);
+}
+
+TEST(RegAlloc, RejectsBadOptions) {
+  lang::Program P = parseOk(SmallKernel);
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok());
+  RegAllocOptions Bad;
+  Bad.AllocatablePerClass = 30; // would collide with reserved registers
+  EXPECT_FALSE(allocateRegisters(LR.M, Bad).ok());
+}
+
+TEST(RegAlloc, PhysicalRegistersStayInBounds) {
+  lang::Program P = parseOk(pressureKernel(20));
+  lower::LowerResult LR = lower::lowerProgram(P);
+  ASSERT_TRUE(LR.ok());
+  RegAllocOptions Tight;
+  Tight.AllocatablePerClass = 10;
+  ASSERT_TRUE(allocateRegisters(LR.M, Tight).ok());
+  std::set<uint32_t> IntUsed, FpUsed;
+  std::vector<Reg> Uses;
+  for (const BasicBlock &B : LR.M.Fn.Blocks)
+    for (const Instr &I : B.Instrs) {
+      Uses.clear();
+      I.appendUses(Uses);
+      if (Reg D = I.def(); D.isValid())
+        Uses.push_back(D);
+      for (Reg R : Uses) {
+        ASSERT_TRUE(R.isPhys());
+        if (R.Id < NumPhysPerClass)
+          IntUsed.insert(R.Id);
+        else
+          FpUsed.insert(R.Id - NumPhysPerClass);
+      }
+    }
+  // Allocatable 0..9, scratch 28/30/31, frame base 29 (int only).
+  for (uint32_t R : IntUsed)
+    EXPECT_TRUE(R < 10 || R == 28 || R == 29 || R == 30 || R == 31) << R;
+  for (uint32_t R : FpUsed)
+    EXPECT_TRUE(R < 10 || R == 28 || R == 30 || R == 31) << R;
+}

@@ -1,0 +1,560 @@
+//===- tests/sched_test.cpp - DAG and scheduler unit tests ----------------===//
+
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "sched/DepDAG.h"
+#include "sched/Schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::sched;
+
+namespace {
+
+/// Instruction factory owning its storage so tests can build regions.
+struct RegionBuilder {
+  Function F;
+  std::vector<Instr> Storage;
+
+  Reg newInt() { return F.makeReg(RegClass::Int); }
+  Reg newFp() { return F.makeReg(RegClass::Fp); }
+
+  unsigned fload(Reg Dst, Reg Base, int64_t Off, int ArrayId = 0,
+                 HitMiss HM = HitMiss::Unknown, int Group = -1,
+                 bool ExactForm = true) {
+    Instr I;
+    I.Op = Opcode::FLoad;
+    I.Dst = Dst;
+    I.Base = Base;
+    I.Offset = Off;
+    I.Mem.ArrayId = ArrayId;
+    I.Mem.HasForm = ExactForm;
+    I.Mem.Const = Off;
+    I.HM = HM;
+    I.LocalityGroup = Group;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  unsigned fstore(Reg Val, Reg Base, int64_t Off, int ArrayId = 0,
+                  bool ExactForm = true) {
+    Instr I;
+    I.Op = Opcode::FStore;
+    I.SrcA = Val;
+    I.Base = Base;
+    I.Offset = Off;
+    I.Mem.ArrayId = ArrayId;
+    I.Mem.HasForm = ExactForm;
+    I.Mem.Const = Off;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  unsigned fadd(Reg Dst, Reg A, Reg B) {
+    Instr I;
+    I.Op = Opcode::FAdd;
+    I.Dst = Dst;
+    I.SrcA = A;
+    I.SrcB = B;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  unsigned iadd(Reg Dst, Reg A, int64_t Imm) {
+    Instr I;
+    I.Op = Opcode::IAdd;
+    I.Dst = Dst;
+    I.SrcA = A;
+    I.Imm = Imm;
+    I.HasImm = true;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  unsigned ret() {
+    Instr I;
+    I.Op = Opcode::Ret;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  std::vector<const Instr *> ptrs() const {
+    std::vector<const Instr *> P;
+    for (const Instr &I : Storage)
+      P.push_back(&I);
+    return P;
+  }
+};
+
+/// Asserts that \p Order is a permutation of [0,N) respecting all edges.
+void expectValidTopo(const DepDAG &G, const std::vector<unsigned> &Order) {
+  ASSERT_EQ(Order.size(), G.size());
+  std::vector<unsigned> Pos(G.size());
+  std::vector<bool> Seen(G.size(), false);
+  for (unsigned K = 0; K != Order.size(); ++K) {
+    ASSERT_LT(Order[K], G.size());
+    ASSERT_FALSE(Seen[Order[K]]) << "duplicate node in schedule";
+    Seen[Order[K]] = true;
+    Pos[Order[K]] = K;
+  }
+  for (unsigned I = 0; I != G.size(); ++I)
+    for (unsigned S : G.succs(I))
+      EXPECT_LT(Pos[I], Pos[S]) << "edge " << I << "->" << S << " violated";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DAG construction
+//===----------------------------------------------------------------------===//
+
+TEST(DepDAG, RegisterDependences) {
+  RegionBuilder B;
+  Reg X = B.newFp(), Y = B.newFp(), Z = B.newFp(), Base = B.newInt();
+  unsigned L = B.fload(X, Base, 0);
+  unsigned A1 = B.fadd(Y, X, X); // true dep on L
+  unsigned A2 = B.fadd(X, Y, Y); // anti dep on A1's read, output dep on L
+  unsigned A3 = B.fadd(Z, Y, Y); // true dep on A1
+  unsigned T = B.ret();
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_TRUE(G.hasEdge(L, A1));  // true
+  EXPECT_TRUE(G.hasEdge(A1, A2)); // anti (Y read before X redef? no: X)
+  EXPECT_TRUE(G.hasEdge(L, A2));  // output on X
+  EXPECT_TRUE(G.hasEdge(A1, A3)); // true on Y
+  EXPECT_FALSE(G.hasEdge(A2, A3));
+  EXPECT_FALSE(G.hasEdge(L, T));
+}
+
+TEST(DepDAG, BlockControlEdges) {
+  RegionBuilder B;
+  Reg X = B.newFp(), Base = B.newInt();
+  B.fload(X, Base, 0);
+  unsigned T = B.ret();
+  auto P = B.ptrs();
+  DepDAG G = buildDepDAG(P);
+  addBlockControlEdges(G, P);
+  EXPECT_TRUE(G.hasEdge(0, T));
+}
+
+TEST(DepDAG, DisambiguatesDistinctOffsets) {
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg V = B.newFp(), W = B.newFp();
+  unsigned S0 = B.fstore(V, Base, 0);
+  unsigned L8 = B.fload(W, Base, 8);
+  unsigned L0 = B.fload(V, Base, 0);
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_FALSE(G.hasEdge(S0, L8)) << "A[0] store vs A[1] load must not alias";
+  EXPECT_TRUE(G.hasEdge(S0, L0)) << "same address must be ordered";
+}
+
+TEST(DepDAG, DistinctArraysNeverAlias) {
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg V = B.newFp(), W = B.newFp();
+  unsigned S = B.fstore(V, Base, 0, /*ArrayId=*/0, /*ExactForm=*/false);
+  unsigned L = B.fload(W, Base, 0, /*ArrayId=*/1, HitMiss::Unknown, -1,
+                       /*ExactForm=*/false);
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_FALSE(G.hasEdge(S, L));
+}
+
+TEST(DepDAG, InexactFormsOnSameArrayAlias) {
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg V = B.newFp(), W = B.newFp();
+  unsigned S = B.fstore(V, Base, 0, 0, /*ExactForm=*/false);
+  unsigned L = B.fload(W, Base, 8, 0, HitMiss::Unknown, -1,
+                       /*ExactForm=*/false);
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_TRUE(G.hasEdge(S, L));
+}
+
+TEST(DepDAG, EpochChangeForcesConservatism) {
+  // fload A[form(i)]; i += 1; fstore A[form(i)]: the linear forms match
+  // syntactically but i changed, so a dependence edge must exist.
+  RegionBuilder B;
+  Reg I = B.newInt();
+  Reg Base = B.newInt();
+  Reg V = B.newFp();
+  Instr Ld;
+  Ld.Op = Opcode::FLoad;
+  Ld.Dst = V;
+  Ld.Base = Base;
+  Ld.Mem.ArrayId = 0;
+  Ld.Mem.HasForm = true;
+  Ld.Mem.Terms = {{I.Id, 8}};
+  Ld.Mem.Const = 0;
+  B.Storage.push_back(Ld);
+  B.iadd(I, I, 1);
+  Instr St;
+  St.Op = Opcode::FStore;
+  St.SrcA = V;
+  St.Base = Base;
+  St.Mem.ArrayId = 0;
+  St.Mem.HasForm = true;
+  St.Mem.Terms = {{I.Id, 8}};
+  St.Mem.Const = 0; // same form, new epoch -> may overlap the load
+  B.Storage.push_back(St);
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_TRUE(G.hasEdge(0, 2));
+}
+
+TEST(DepDAG, SameEpochDistinctConstNoAlias) {
+  RegionBuilder B;
+  Reg I = B.newInt();
+  Reg Base = B.newInt();
+  Reg V = B.newFp(), W = B.newFp();
+  auto Mk = [&](int64_t C) {
+    MemRef M;
+    M.ArrayId = 0;
+    M.HasForm = true;
+    M.Terms = {{I.Id, 8}};
+    M.Const = C;
+    return M;
+  };
+  Instr St;
+  St.Op = Opcode::FStore;
+  St.SrcA = V;
+  St.Base = Base;
+  St.Mem = Mk(0);
+  B.Storage.push_back(St);
+  Instr Ld;
+  Ld.Op = Opcode::FLoad;
+  Ld.Dst = W;
+  Ld.Base = Base;
+  Ld.Mem = Mk(8);
+  B.Storage.push_back(Ld);
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_FALSE(G.hasEdge(0, 1));
+}
+
+TEST(DepDAG, LoadLoadNeverOrdered) {
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg V = B.newFp(), W = B.newFp();
+  unsigned L0 = B.fload(V, Base, 0);
+  unsigned L1 = B.fload(W, Base, 0); // same address, both loads
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_FALSE(G.hasEdge(L0, L1));
+}
+
+TEST(DepDAG, LocalityMissToHitArcs) {
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg A = B.newFp(), C = B.newFp(), D = B.newFp();
+  unsigned Miss = B.fload(A, Base, 0, 0, HitMiss::Miss, /*Group=*/7);
+  unsigned Hit1 = B.fload(C, Base, 8, 0, HitMiss::Hit, 7);
+  unsigned Hit2 = B.fload(D, Base, 16, 0, HitMiss::Hit, 7);
+  DepDAG G = buildDepDAG(B.ptrs());
+  EXPECT_TRUE(G.hasEdge(Miss, Hit1));
+  EXPECT_TRUE(G.hasEdge(Miss, Hit2));
+  EXPECT_FALSE(G.hasEdge(Hit1, Hit2));
+}
+
+TEST(DepDAG, ReachabilityClosure) {
+  RegionBuilder B;
+  Reg X = B.newFp(), Y = B.newFp(), Z = B.newFp(), Base = B.newInt();
+  B.fload(X, Base, 0);
+  B.fadd(Y, X, X);
+  B.fadd(Z, Y, Y);
+  DepDAG G = buildDepDAG(B.ptrs());
+  std::vector<BitVec> R = G.reachability();
+  EXPECT_TRUE(R[0].test(2)) << "transitive reachability";
+  EXPECT_FALSE(R[2].test(0));
+  EXPECT_FALSE(R[0].test(0)) << "no self reachability without a cycle";
+}
+
+//===----------------------------------------------------------------------===//
+// Balanced weights (Figure 1 of the paper)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the Figure-1 situation: independent loads L0 and L1, serial loads
+/// L2 -> L3, and two independent non-load instructions X1, X2.
+struct Figure1 {
+  RegionBuilder B;
+  unsigned L0, L1, L2, L3, X1, X2, T;
+  std::vector<const Instr *> Ptrs;
+
+  Figure1() {
+    Reg Base = B.newInt();
+    Reg R0 = B.newFp(), R1 = B.newFp(), R2 = B.newFp(), R3 = B.newFp();
+    Reg Addr2 = B.newInt();
+    Reg U = B.newFp(), V = B.newFp(), W = B.newFp();
+    L0 = B.fload(R0, Base, 0);
+    L1 = B.fload(R1, Base, 64);
+    L2 = B.fload(R2, Base, 128);
+    // L3 depends on L2 through its address register.
+    {
+      Instr I;
+      I.Op = Opcode::FtoI;
+      I.Dst = Addr2;
+      I.SrcA = R2;
+      B.Storage.push_back(I);
+    }
+    unsigned Conv = static_cast<unsigned>(B.Storage.size() - 1);
+    (void)Conv;
+    L3 = B.fload(R3, Addr2, 0, /*ArrayId=*/1);
+    X1 = B.fadd(V, U, U);
+    X2 = B.fadd(W, V, V);
+    T = B.ret();
+    Ptrs = B.ptrs();
+  }
+};
+
+} // namespace
+
+TEST(Balance, Figure1Weights) {
+  Figure1 F;
+  DepDAG G = buildDepDAG(F.Ptrs);
+  addBlockControlEdges(G, F.Ptrs);
+  std::vector<double> W = balancedWeights(G, F.Ptrs);
+
+  // X2 depends on X1 (through V), so for each of X1/X2/FtoI the available
+  // load sets differ; the key property from the paper: independent loads
+  // (L0, L1) end up with strictly larger weights than the serialized pair
+  // (L2, L3), which split their padders.
+  EXPECT_GT(W[F.L0], W[F.L2]);
+  EXPECT_GT(W[F.L1], W[F.L3]);
+  EXPECT_DOUBLE_EQ(W[F.L0], W[F.L1]);
+  // Serial loads share every padder equally.
+  EXPECT_NEAR(W[F.L2], W[F.L3], 1e-9);
+  // Non-loads keep fixed latencies.
+  EXPECT_DOUBLE_EQ(W[F.X1], 4.0);
+  EXPECT_DOUBLE_EQ(W[F.T], 2.0);
+}
+
+TEST(Balance, ExactCreditAccounting) {
+  // Minimal example with hand-computed weights: loads LA, LB independent,
+  // load LC -> LD serial chain, one independent int op X.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg A = B.newFp(), Bv = B.newFp(), C = B.newFp(), D = B.newFp();
+  Reg AddrC = B.newInt();
+  Reg U = B.newInt();
+  unsigned LA = B.fload(A, Base, 0);
+  unsigned LB = B.fload(Bv, Base, 64);
+  unsigned LC = B.fload(C, Base, 128);
+  Instr Conv;
+  Conv.Op = Opcode::FtoI;
+  Conv.Dst = AddrC;
+  Conv.SrcA = C;
+  B.Storage.push_back(Conv);
+  unsigned LD = B.fload(D, AddrC, 0, 1);
+  [[maybe_unused]] unsigned X = B.iadd(U, U, 1);
+  DepDAG G = buildDepDAG(B.ptrs());
+  std::vector<double> W = balancedWeights(G, B.ptrs());
+
+  // Padding credit for LA: from LB (1), LC (1), LD (1), Conv (1), X (1)
+  //   - as part of node-iteration: for node X, avail = {LA,LB,LC,LD},
+  //     components {LA},{LB},{LC,LD}: LA gets 1.
+  //   - node LB: avail {LA, LC, LD} -> LA += 1. node LC: avail {LA,LB} ->
+  //     LA += 1. node LD: avail {LA,LB} -> +1. node Conv: avail {LA,LB} ->
+  //     +1. Total extra(LA) = 5 -> weight 6.
+  EXPECT_NEAR(W[LA], 6.0, 1e-9);
+  EXPECT_NEAR(W[LB], 6.0, 1e-9);
+  // extra(LC): node X gives 1/2, node LA gives 1/2, node LB gives 1/2
+  //   -> 1.5 -> weight 2.5.
+  EXPECT_NEAR(W[LC], 2.5, 1e-9);
+  EXPECT_NEAR(W[LD], 2.5, 1e-9);
+}
+
+TEST(Balance, NoParallelismFallsBackToHitLatency) {
+  // A single load with everything dependent on it: weight stays 2.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp(), Y = B.newFp();
+  unsigned L = B.fload(X, Base, 0);
+  B.fadd(Y, X, X);
+  auto P = B.ptrs();
+  DepDAG G = buildDepDAG(P);
+  std::vector<double> W = balancedWeights(G, P);
+  EXPECT_DOUBLE_EQ(W[L], static_cast<double>(LoadHitLatency));
+}
+
+TEST(Balance, WeightCapApplies) {
+  // 100 independent int ops padding one load would give weight 101; the cap
+  // clamps it.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp();
+  unsigned L = B.fload(X, Base, 0);
+  for (int K = 0; K != 100; ++K) {
+    Reg U = B.newInt();
+    B.iadd(U, U, 1);
+  }
+  auto P = B.ptrs();
+  DepDAG G = buildDepDAG(P);
+  std::vector<double> W = balancedWeights(G, P);
+  EXPECT_DOUBLE_EQ(W[L], static_cast<double>(LoadWeightCap));
+  BalanceOptions NoCap;
+  NoCap.WeightCap = 1e9;
+  std::vector<double> W2 = balancedWeights(G, P, NoCap);
+  EXPECT_DOUBLE_EQ(W2[L], 101.0);
+}
+
+TEST(Balance, HitAnnotatedLoadsKeepOptimisticWeight) {
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp(), Y = B.newFp();
+  unsigned Miss = B.fload(X, Base, 0, 0, HitMiss::Miss, 1);
+  unsigned Hit = B.fload(Y, Base, 8, 0, HitMiss::Hit, 1);
+  for (int K = 0; K != 10; ++K) {
+    Reg U = B.newInt();
+    B.iadd(U, U, 1);
+  }
+  auto P = B.ptrs();
+  DepDAG G = buildDepDAG(P);
+  std::vector<double> W = balancedWeights(G, P);
+  EXPECT_DOUBLE_EQ(W[Hit], static_cast<double>(LoadHitLatency));
+  EXPECT_GT(W[Miss], static_cast<double>(LoadHitLatency));
+}
+
+TEST(Balance, LoadsPadOtherLoads) {
+  // Two independent loads with no other instructions: each is the other's
+  // only padder (non-blocking loads can issue back to back).
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp(), Y = B.newFp();
+  unsigned L0 = B.fload(X, Base, 0);
+  unsigned L1 = B.fload(Y, Base, 64);
+  auto P = B.ptrs();
+  DepDAG G = buildDepDAG(P);
+  std::vector<double> W = balancedWeights(G, P);
+  EXPECT_DOUBLE_EQ(W[L0], 2.0); // 1 + 1 (credit from L1), floor at 2
+  EXPECT_DOUBLE_EQ(W[L1], 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// List scheduling
+//===----------------------------------------------------------------------===//
+
+TEST(ListSched, RespectsDependences) {
+  Figure1 F;
+  DepDAG G = buildDepDAG(F.Ptrs);
+  addBlockControlEdges(G, F.Ptrs);
+  std::vector<unsigned> Order =
+      listSchedule(G, balancedWeights(G, F.Ptrs), F.Ptrs);
+  expectValidTopo(G, Order);
+  EXPECT_EQ(Order.back(), F.T) << "terminator must stay last";
+}
+
+TEST(ListSched, HigherPriorityIssuesFirst) {
+  // Load (weight ~ big under balancing) should come before the independent
+  // adds, because its critical path is longest.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp(), Y = B.newFp();
+  Reg U = B.newInt();
+  unsigned A1 = B.iadd(U, U, 1);
+  unsigned L = B.fload(X, Base, 0);
+  unsigned C = B.fadd(Y, X, X); // consumer of the load
+  (void)C;
+  unsigned T = B.ret();
+  (void)T;
+  auto P = B.ptrs();
+  DepDAG G = buildDepDAG(P);
+  addBlockControlEdges(G, P);
+  std::vector<unsigned> Order = listSchedule(G, balancedWeights(G, P), P);
+  std::vector<unsigned> Pos(P.size());
+  for (unsigned K = 0; K != Order.size(); ++K)
+    Pos[Order[K]] = K;
+  EXPECT_LT(Pos[L], Pos[A1]) << "load should be hoisted above the filler";
+}
+
+TEST(ListSched, OriginalOrderBreaksFullTies) {
+  // Identical independent instructions: schedule preserves program order.
+  RegionBuilder B;
+  std::vector<unsigned> Ids;
+  for (int K = 0; K != 5; ++K) {
+    Reg U = B.newInt();
+    Ids.push_back(B.iadd(U, U, 1));
+  }
+  auto P = B.ptrs();
+  DepDAG G = buildDepDAG(P);
+  std::vector<unsigned> Order = listSchedule(G, traditionalWeights(P), P);
+  EXPECT_EQ(Order, Ids);
+}
+
+TEST(ListSched, BalancedAndTraditionalDiverge) {
+  // Construct a block where a miss-prone load competes with a long fixed
+  // latency op; balanced scheduling hoists the load earlier than
+  // traditional's optimistic weight would.
+  lang::ParseResult PR = lang::parseProgram(R"(
+array A[256];
+array Out[8] output;
+var s = 0.0;
+var t = 0.0;
+for (i = 0; i < 250; i += 1) {
+  s = s + A[i] * 2.0 + A[i + 3];
+  t = t * 1.000001 + s * s;
+}
+Out[0] = s + t;
+)");
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  ASSERT_EQ(lang::checkProgram(PR.Prog), "");
+  lower::LowerResult LR = lower::lowerProgram(PR.Prog);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+
+  Module MBal = LR.M;
+  Module MTrad = LR.M;
+  scheduleFunction(MBal, SchedulerKind::Balanced);
+  scheduleFunction(MTrad, SchedulerKind::Traditional);
+  EXPECT_EQ(verify(MBal), "");
+  EXPECT_EQ(verify(MTrad), "");
+  EXPECT_NE(printFunction(MBal.Fn), printFunction(MTrad.Fn));
+  // Both still compute the same result.
+  uint64_t Ref = interpret(LR.M).Checksum;
+  EXPECT_EQ(interpret(MBal).Checksum, Ref);
+  EXPECT_EQ(interpret(MTrad).Checksum, Ref);
+}
+
+TEST(ListSched, ScheduleFunctionPreservesSemantics) {
+  const char *Sources[] = {
+      R"(
+array A[64] output;
+for (i = 0; i < 64; i += 1) { A[i] = i * 2 + 1; }
+)",
+      R"(
+array A[16][16];
+array C[16][16] output;
+for (i = 0; i < 16; i += 1) {
+  for (j = 0; j < 16; j += 1) { A[i][j] = i - j; }
+}
+for (i = 0; i < 16; i += 1) {
+  for (j = 0; j < 16; j += 1) { C[i][j] = A[i][j] * 3.0 + 1.0; }
+}
+)",
+      R"(
+array idx[32] int;
+array A[32] output;
+var t = 0.0;
+for (i = 0; i < 32; i += 1) { idx[i] = 31 - i; }
+for (i = 0; i < 32; i += 1) {
+  if (i < 16) { t = 1.0; } else { t = -1.0; }
+  A[idx[i]] = t * i;
+}
+)",
+  };
+  for (const char *Src : Sources) {
+    lang::ParseResult PR = lang::parseProgram(Src);
+    ASSERT_TRUE(PR.ok()) << PR.Error;
+    ASSERT_EQ(lang::checkProgram(PR.Prog), "");
+    lang::EvalResult Ref = lang::evalProgram(PR.Prog);
+    ASSERT_TRUE(Ref.ok());
+    for (SchedulerKind K :
+         {SchedulerKind::Traditional, SchedulerKind::Balanced}) {
+      lower::LowerResult LR = lower::lowerProgram(PR.Prog);
+      ASSERT_TRUE(LR.ok()) << LR.Error;
+      scheduleFunction(LR.M, K);
+      ASSERT_EQ(verify(LR.M), "");
+      EXPECT_EQ(interpret(LR.M).Checksum, Ref.Checksum) << Src;
+    }
+  }
+}

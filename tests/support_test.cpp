@@ -1,0 +1,169 @@
+//===- tests/support_test.cpp - Unit tests for the support library --------===//
+
+#include "support/BitVec.h"
+#include "support/RNG.h"
+#include "support/Str.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+
+TEST(Str, FmtDouble) {
+  EXPECT_EQ(fmtDouble(1.234, 2), "1.23");
+  EXPECT_EQ(fmtDouble(1.0, 2), "1.00");
+  EXPECT_EQ(fmtDouble(-0.5, 1), "-0.5");
+}
+
+TEST(Str, FmtPercent) {
+  EXPECT_EQ(fmtPercent(0.233), "23.3%");
+  EXPECT_EQ(fmtPercent(-0.121), "-12.1%");
+  EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Str, FmtInt) {
+  EXPECT_EQ(fmtInt(0), "0");
+  EXPECT_EQ(fmtInt(999), "999");
+  EXPECT_EQ(fmtInt(1000), "1,000");
+  EXPECT_EQ(fmtInt(1234567), "1,234,567");
+  EXPECT_EQ(fmtInt(-1234567), "-1,234,567");
+}
+
+TEST(Str, FmtMillions) {
+  EXPECT_EQ(fmtMillions(17844800000ull), "17844.8");
+  EXPECT_EQ(fmtMillions(500000), "0.5");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_TRUE(startsWith("hello", ""));
+  EXPECT_FALSE(startsWith("he", "hello"));
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table T({"Name", "Value"});
+  T.addRow({"a", "1"});
+  T.addRow({"long-name", "2"});
+  std::string Out = T.render();
+  // Header present, all rows present, rows have equal width.
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("long-name"), std::string::npos);
+  size_t FirstNL = Out.find('\n');
+  ASSERT_NE(FirstNL, std::string::npos);
+  // All lines equal length (aligned table).
+  size_t Width = FirstNL;
+  size_t Pos = 0;
+  while (Pos < Out.size()) {
+    size_t NL = Out.find('\n', Pos);
+    ASSERT_NE(NL, std::string::npos);
+    EXPECT_EQ(NL - Pos, Width);
+    Pos = NL + 1;
+  }
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table T({"A", "B", "C"});
+  T.addRow({"x"});
+  EXPECT_EQ(T.numRows(), 1u);
+  EXPECT_NE(T.render().find('x'), std::string::npos);
+}
+
+TEST(Table, CaptionIsFirstLine) {
+  Table T({"A"});
+  T.setCaption("Table 1: caption");
+  EXPECT_TRUE(startsWith(T.render(), "Table 1: caption\n"));
+}
+
+TEST(RNG, Deterministic) {
+  RNG A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(RNG, DoubleInUnitInterval) {
+  RNG R(7);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, BoolProbabilityRoughlyMatches) {
+  RNG R(11);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I != N; ++I)
+    Hits += R.nextBool(0.3);
+  double P = static_cast<double>(Hits) / N;
+  EXPECT_NEAR(P, 0.3, 0.02);
+}
+
+TEST(RNG, NextBelowInRange) {
+  RNG R(3);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(BitVec, SetTestReset) {
+  BitVec V(130);
+  EXPECT_FALSE(V.any());
+  V.set(0);
+  V.set(64);
+  V.set(129);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(129));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 3u);
+  V.reset(64);
+  EXPECT_FALSE(V.test(64));
+  EXPECT_EQ(V.count(), 2u);
+}
+
+TEST(BitVec, OrSubtractAnd) {
+  BitVec A(100), B(100);
+  A.set(3);
+  B.set(3);
+  B.set(70);
+  EXPECT_TRUE(A.orWith(B));
+  EXPECT_TRUE(A.test(70));
+  EXPECT_FALSE(A.orWith(B)); // No change second time.
+  A.subtract(B);
+  EXPECT_FALSE(A.any());
+  A.set(5);
+  A.set(6);
+  B.clear();
+  B.set(6);
+  A.andWith(B);
+  EXPECT_FALSE(A.test(5));
+  EXPECT_TRUE(A.test(6));
+}
+
+TEST(BitVec, ForEachVisitsInOrder) {
+  BitVec V(200);
+  V.set(1);
+  V.set(63);
+  V.set(64);
+  V.set(199);
+  std::vector<unsigned> Seen;
+  V.forEach([&](unsigned I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<unsigned>{1, 63, 64, 199}));
+}
+
+TEST(BitVec, Equality) {
+  BitVec A(10), B(10);
+  EXPECT_TRUE(A == B);
+  A.set(9);
+  EXPECT_FALSE(A == B);
+  B.set(9);
+  EXPECT_TRUE(A == B);
+}

@@ -1,0 +1,301 @@
+//===- tests/trace_test.cpp - Trace formation / scheduling tests ----------===//
+
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "regalloc/LinearScan.h"
+#include "sim/Machine.h"
+#include "trace/Trace.h"
+#include "xform/Unroll.h"
+
+#include <gtest/gtest.h>
+#include <algorithm>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::trace;
+
+namespace {
+
+lang::Program parseOk(const std::string &Src) {
+  lang::ParseResult R = lang::parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  std::string CheckErr = lang::checkProgram(R.Prog);
+  EXPECT_EQ(CheckErr, "");
+  return std::move(R.Prog);
+}
+
+/// Lowers without if-conversion so conditionals stay as branches (the
+/// interesting case for trace scheduling).
+Module lowerBranchy(const lang::Program &P) {
+  lower::LowerOptions Opts;
+  Opts.IfConversion = false;
+  lower::LowerResult LR = lower::lowerProgram(P, Opts);
+  EXPECT_TRUE(LR.ok()) << LR.Error;
+  return std::move(LR.M);
+}
+
+/// The full equivalence gauntlet: profile, trace-schedule with both weight
+/// models, verify, and compare interpreter checksums; then register-allocate
+/// and run the timing simulator for the same check.
+void expectTraceEquivalence(const std::string &Src) {
+  lang::Program P = parseOk(Src);
+  lang::EvalResult Ref = lang::evalProgram(P);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+  for (auto Kind : {sched::SchedulerKind::Traditional,
+                    sched::SchedulerKind::Balanced}) {
+    Module M = lowerBranchy(P);
+    InterpResult Profile = interpret(M);
+    ASSERT_TRUE(Profile.Finished);
+    traceScheduleFunction(M, Profile, Kind);
+    ASSERT_EQ(verify(M), "") << printFunction(M.Fn);
+    InterpResult After = interpret(M);
+    ASSERT_TRUE(After.Finished);
+    EXPECT_EQ(After.Checksum, Ref.Checksum) << Src;
+
+    regalloc::RegAllocStats RA = regalloc::allocateRegisters(M);
+    ASSERT_TRUE(RA.ok()) << RA.Error;
+    ASSERT_EQ(verify(M), "");
+    sim::SimResult SR = sim::simulate(M);
+    ASSERT_TRUE(SR.Finished);
+    EXPECT_EQ(SR.Checksum, Ref.Checksum) << Src;
+  }
+}
+
+/// Biased diamond in a loop: the Figure-2 shape (split, two arms, join,
+/// tail) with a dominant path.
+const char *BiasedDiamond = R"(
+array A[256] output;
+var t = 0.0;
+for (i = 0; i < 256; i += 1) {
+  if (i < 240) {
+    t = t + 1.0;
+    A[i] = t * 2.0;
+  } else {
+    t = t - 1.0;
+    A[i] = t * 0.5;
+  }
+  A[i] = A[i] + i;
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Trace formation
+//===----------------------------------------------------------------------===//
+
+TEST(TraceForm, FollowsDominantPath) {
+  lang::Program P = parseOk(BiasedDiamond);
+  Module M = lowerBranchy(P);
+  InterpResult Profile = interpret(M);
+  std::vector<Trace> Traces = formTraces(M.Fn, Profile);
+
+  // Find the block of the hot arm (the one executed 240 times) and the cold
+  // arm (16 times); the hottest trace must contain the hot arm and not the
+  // cold one.
+  int Hot = -1, Cold = -1;
+  for (size_t B = 0; B != Profile.BlockCounts.size(); ++B) {
+    if (Profile.BlockCounts[B] == 240)
+      Hot = static_cast<int>(B);
+    if (Profile.BlockCounts[B] == 16)
+      Cold = static_cast<int>(B);
+  }
+  ASSERT_GE(Hot, 0);
+  ASSERT_GE(Cold, 0);
+
+  const Trace *HotTrace = nullptr;
+  for (const Trace &T : Traces)
+    if (std::find(T.begin(), T.end(), Hot) != T.end())
+      HotTrace = &T;
+  ASSERT_NE(HotTrace, nullptr);
+  EXPECT_GE(HotTrace->size(), 2u) << "hot path should form a multi-block trace";
+  EXPECT_EQ(std::find(HotTrace->begin(), HotTrace->end(), Cold),
+            HotTrace->end())
+      << "cold arm must not join the hot trace";
+}
+
+TEST(TraceForm, EveryBlockInExactlyOneTrace) {
+  lang::Program P = parseOk(BiasedDiamond);
+  Module M = lowerBranchy(P);
+  InterpResult Profile = interpret(M);
+  std::vector<Trace> Traces = formTraces(M.Fn, Profile);
+  std::vector<int> Seen(M.Fn.Blocks.size(), 0);
+  for (const Trace &T : Traces)
+    for (int B : T)
+      ++Seen[B];
+  for (size_t B = 0; B != Seen.size(); ++B)
+    EXPECT_EQ(Seen[B], 1) << "block " << B;
+}
+
+TEST(TraceForm, TracesAreControlFlowPaths) {
+  lang::Program P = parseOk(BiasedDiamond);
+  Module M = lowerBranchy(P);
+  InterpResult Profile = interpret(M);
+  for (const Trace &T : formTraces(M.Fn, Profile))
+    for (size_t K = 0; K + 1 != T.size(); ++K) {
+      std::vector<int> Succs = M.Fn.Blocks[T[K]].successors();
+      EXPECT_NE(std::find(Succs.begin(), Succs.end(), T[K + 1]), Succs.end())
+          << "trace hops a non-edge";
+    }
+}
+
+TEST(TraceForm, NeverCrossesBackEdges) {
+  // A simple loop: the body block's back edge to itself must not produce a
+  // trace containing the block twice, and the loop body must not chain into
+  // a prior block through the back edge.
+  lang::Program P = parseOk("array A[64] output;\n"
+                            "for (i = 0; i < 64; i += 1) { A[i] = i; }\n");
+  Module M = lowerBranchy(P);
+  InterpResult Profile = interpret(M);
+  for (const Trace &T : formTraces(M.Fn, Profile)) {
+    std::vector<int> Sorted = T;
+    std::sort(Sorted.begin(), Sorted.end());
+    EXPECT_EQ(std::adjacent_find(Sorted.begin(), Sorted.end()), Sorted.end())
+        << "a block appears twice in a trace";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Trace scheduling: semantics
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSched, BiasedDiamondEquivalent) {
+  expectTraceEquivalence(BiasedDiamond);
+}
+
+TEST(TraceSched, NestedConditionals) {
+  expectTraceEquivalence(R"(
+array A[128] output;
+var t = 0.0;
+for (i = 0; i < 128; i += 1) {
+  if (i < 100) {
+    if (i < 50) { t = t + 1.0; } else { t = t + 2.0; }
+    A[i] = t;
+  } else {
+    A[i] = t - i;
+  }
+}
+)");
+}
+
+TEST(TraceSched, FiftyFiftyBranches) {
+  // DYFESM-style: no dominant path; traces are short and compensation
+  // hurts, but semantics must hold.
+  expectTraceEquivalence(R"(
+array A[200] output;
+var t = 1.0;
+for (i = 0; i < 200; i += 2) {
+  if (A[i] < 1.0) { t = t * 1.001; A[i] = t + i; }
+  if (A[i + 1] < t) { A[i + 1] = t - i; } else { A[i + 1] = 2.0; }
+}
+)");
+}
+
+TEST(TraceSched, StraightLineCode) {
+  expectTraceEquivalence(R"(
+array Out[16] output;
+var a = 1.0;
+var b = 2.0;
+Out[0] = a + b;
+Out[1] = a * b;
+Out[2] = a - b;
+Out[3] = a / b;
+)");
+}
+
+TEST(TraceSched, SequentialLoopsAndTails) {
+  expectTraceEquivalence(R"(
+array A[64];
+array B[64] output;
+var s = 0.0;
+for (i = 0; i < 64; i += 1) { A[i] = i * 1.5; }
+for (i = 0; i < 64; i += 1) { B[i] = A[i] + 1.0; s = s + B[i]; }
+B[0] = s;
+if (s < 100.0) { B[1] = 7.0; } else { B[2] = 8.0; }
+)");
+}
+
+TEST(TraceSched, DeepLoopNest) {
+  expectTraceEquivalence(R"(
+array C[8][8][4] output;
+for (i = 0; i < 8; i += 1) {
+  for (j = 0; j < 8; j += 1) {
+    for (k = 0; k < 4; k += 1) {
+      if (k < 2) { C[i][j][k] = i + j + k; } else { C[i][j][k] = i * j; }
+    }
+  }
+}
+)");
+}
+
+//===----------------------------------------------------------------------===//
+// Trace scheduling: structure
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSched, ReportsStats) {
+  lang::Program P = parseOk(BiasedDiamond);
+  Module M = lowerBranchy(P);
+  InterpResult Profile = interpret(M);
+  TraceStats S = traceScheduleFunction(M, Profile,
+                                       sched::SchedulerKind::Balanced);
+  EXPECT_GT(S.Traces, 0);
+  EXPECT_GT(S.MultiBlockTraces, 0);
+  EXPECT_GE(S.LongestTrace, 2);
+}
+
+TEST(TraceSched, CompensationPreservesColdPath) {
+  // Force motion above a join: the tail statement's code can hoist into the
+  // hot arm, requiring a compensation copy on the cold arm's entry.
+  lang::Program P = parseOk(BiasedDiamond);
+  Module M = lowerBranchy(P);
+  size_t BlocksBefore = M.Fn.Blocks.size();
+  InterpResult Profile = interpret(M);
+  TraceStats S = traceScheduleFunction(M, Profile,
+                                       sched::SchedulerKind::Balanced);
+  ASSERT_EQ(verify(M), "");
+  if (S.CompensationBlocks > 0) {
+    EXPECT_GT(M.Fn.Blocks.size(), BlocksBefore);
+    EXPECT_GT(S.CompensationInstrs, 0);
+  }
+  // Either way the program still computes the same thing (checked via
+  // interpreter against the AST oracle).
+  lang::EvalResult Ref = lang::evalProgram(P);
+  EXPECT_EQ(interpret(M).Checksum, Ref.Checksum);
+}
+
+TEST(TraceSched, BranchOrderPreservedInSegments) {
+  lang::Program P = parseOk(BiasedDiamond);
+  Module M = lowerBranchy(P);
+  InterpResult Profile = interpret(M);
+  traceScheduleFunction(M, Profile, sched::SchedulerKind::Balanced);
+  // Every block still ends in exactly one terminator (verify checks this,
+  // but assert directly for clarity).
+  for (const BasicBlock &B : M.Fn.Blocks) {
+    ASSERT_FALSE(B.Instrs.empty());
+    for (size_t K = 0; K != B.Instrs.size(); ++K)
+      EXPECT_EQ(B.Instrs[K].isTerminator(), K + 1 == B.Instrs.size());
+  }
+}
+
+TEST(TraceSched, WorksAfterUnrolling) {
+  // The paper's main use: traces over unrolled loops with internal
+  // conditionals.
+  lang::Program P = parseOk(R"(
+array A[128] output;
+var t = 0.0;
+for (i = 0; i < 126; i += 1) {
+  if (i < 120) { t = t + 1.0; A[i] = t; } else { A[i] = 0.5 * i; t = 0.0; }
+}
+)");
+  lang::EvalResult Ref = lang::evalProgram(P);
+  xform::UnrollStats U = xform::unrollLoops(P, 4);
+  (void)U;
+  ASSERT_EQ(lang::checkProgram(P), "");
+  Module M = lowerBranchy(P);
+  InterpResult Profile = interpret(M);
+  traceScheduleFunction(M, Profile, sched::SchedulerKind::Balanced);
+  ASSERT_EQ(verify(M), "");
+  EXPECT_EQ(interpret(M).Checksum, Ref.Checksum);
+}

@@ -1,0 +1,249 @@
+//===- tests/xform_test.cpp - Unrolling / peeling tests -------------------===//
+
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "xform/Unroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace bsched;
+using namespace bsched::lang;
+using namespace bsched::xform;
+
+namespace {
+
+Program parseOk(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  std::string CheckErr = checkProgram(R.Prog);
+  EXPECT_EQ(CheckErr, "");
+  return std::move(R.Prog);
+}
+
+/// Checks that a transformed program still evaluates (AST oracle) and lowers
+/// + interprets to the same checksum as the original.
+void expectSemanticsPreserved(const Program &Original,
+                              Program &Transformed) {
+  EvalResult Ref = evalProgram(Original);
+  ASSERT_TRUE(Ref.ok()) << Ref.Error;
+  ASSERT_EQ(checkProgram(Transformed), "");
+  EvalResult Ast = evalProgram(Transformed);
+  ASSERT_TRUE(Ast.ok()) << Ast.Error;
+  EXPECT_EQ(Ast.Checksum, Ref.Checksum) << printProgram(Transformed);
+  lower::LowerResult LR = lower::lowerProgram(Transformed);
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  ir::InterpResult IR = ir::interpret(LR.M);
+  ASSERT_TRUE(IR.Finished);
+  EXPECT_EQ(IR.Checksum, Ref.Checksum);
+}
+
+} // namespace
+
+TEST(Unroll, PreservesSemanticsExactMultiple) {
+  Program P = parseOk("array A[32] output;\n"
+                      "for (i = 0; i < 32; i += 1) { A[i] = i * 2 + 1; }\n");
+  Program Q = P;
+  UnrollStats S = unrollLoops(Q, 4);
+  EXPECT_EQ(S.LoopsUnrolled, 1);
+  expectSemanticsPreserved(P, Q);
+}
+
+TEST(Unroll, PreservesSemanticsWithRemainder) {
+  for (int N : {1, 2, 3, 5, 7, 30, 31, 33}) {
+    Program P = parseOk("array A[40] output;\nvar s = 0.0;\n"
+                        "for (i = 0; i < " + std::to_string(N) +
+                        "; i += 1) { A[i] = i + 0.5; s = s + A[i]; }\n"
+                        "A[39] = s;\n");
+    Program Q = P;
+    unrollLoops(Q, 4);
+    expectSemanticsPreserved(P, Q);
+  }
+}
+
+TEST(Unroll, FactorEight) {
+  Program P = parseOk("array A[50] output;\n"
+                      "for (i = 0; i < 43; i += 1) { A[i] = i; }\n");
+  Program Q = P;
+  UnrollStats S = unrollLoops(Q, 8);
+  EXPECT_EQ(S.LoopsFullyUnrolled, 1);
+  expectSemanticsPreserved(P, Q);
+}
+
+TEST(Unroll, NonUnitStep) {
+  Program P = parseOk("array A[64] output;\n"
+                      "for (i = 0; i < 61; i += 3) { A[i] = i; }\n");
+  Program Q = P;
+  unrollLoops(Q, 4);
+  expectSemanticsPreserved(P, Q);
+}
+
+TEST(Unroll, DynamicBounds) {
+  Program P = parseOk("array A[64] output;\nvar n int = 37;\nvar b int = 3;\n"
+                      "for (i = b; i < n; i += 1) { A[i] = i * i; }\n");
+  Program Q = P;
+  unrollLoops(Q, 4);
+  expectSemanticsPreserved(P, Q);
+}
+
+TEST(Unroll, OnlyInnermostLoopsUnroll) {
+  Program P = parseOk("array A[8][8] output;\n"
+                      "for (i = 0; i < 8; i += 1) {\n"
+                      "  for (j = 0; j < 8; j += 1) { A[i][j] = i + j; }\n"
+                      "}\n");
+  Program Q = P;
+  UnrollStats S = unrollLoops(Q, 4);
+  EXPECT_EQ(S.LoopsConsidered, 1) << "only the j loop is innermost";
+  EXPECT_EQ(S.LoopsUnrolled, 1);
+  expectSemanticsPreserved(P, Q);
+}
+
+TEST(Unroll, SkipsLoopsWithTwoNonPredicableBranches) {
+  Program P = parseOk(R"(
+array A[16] output;
+for (i = 0; i < 16; i += 1) {
+  if (i < 4) { A[i] = 1.0; }
+  if (i > 8) { A[i] = 2.0; }
+}
+)");
+  Program Q = P;
+  UnrollStats S = unrollLoops(Q, 4);
+  EXPECT_EQ(S.LoopsSkippedBranches, 1);
+  EXPECT_EQ(S.LoopsUnrolled, 0);
+}
+
+TEST(Unroll, PredicableBranchesDoNotGateUnrolling) {
+  // Both conditionals can become conditional moves, so the loop unrolls
+  // (section 4.2 footnote 2).
+  Program P = parseOk(R"(
+array A[16] output;
+var t = 0.0;
+var u = 0.0;
+for (i = 0; i < 16; i += 1) {
+  if (i < 4) { t = 1.0; } else { t = 2.0; }
+  if (i > 8) { u = 3.0; }
+  A[i] = t + u;
+}
+)");
+  Program Q = P;
+  UnrollStats S = unrollLoops(Q, 4);
+  EXPECT_EQ(S.LoopsUnrolled, 1);
+  expectSemanticsPreserved(P, Q);
+}
+
+TEST(Unroll, InstructionLimitClampsFactor) {
+  // A large body: cost > 16 means factor 4 would exceed 64 instructions and
+  // must be clamped (partially unrolled), mirroring swm256's behaviour.
+  std::string Body;
+  for (int K = 0; K != 4; ++K)
+    Body += "  A[i] = A[i] + B[i] * " + std::to_string(K) + ".5;\n";
+  Program P = parseOk("array A[32] output;\narray B[32];\n"
+                      "for (i = 0; i < 32; i += 1) {\n" + Body + "}\n");
+  Program Q = P;
+  UnrollStats S4 = unrollLoops(Q, 4);
+  EXPECT_EQ(S4.LoopsUnrolled, 1);
+  EXPECT_EQ(S4.LoopsFullyUnrolled, 0) << "factor must be clamped below 4";
+  expectSemanticsPreserved(P, Q);
+
+  // The higher limit at factor 8 allows more unrolling than at 4.
+  Program Q8 = P;
+  UnrollStats S8 = unrollLoops(Q8, 8);
+  EXPECT_EQ(S8.LoopsUnrolled, 1);
+  expectSemanticsPreserved(P, Q8);
+}
+
+TEST(Unroll, HugeBodyDisablesUnrolling) {
+  std::string Body;
+  for (int K = 0; K != 40; ++K)
+    Body += "  A[i] = A[i] + " + std::to_string(K) + ".0;\n";
+  Program P = parseOk("array A[8] output;\n"
+                      "for (i = 0; i < 8; i += 1) {\n" + Body + "}\n");
+  Program Q = P;
+  UnrollStats S = unrollLoops(Q, 4);
+  EXPECT_EQ(S.LoopsSkippedSize, 1);
+  EXPECT_EQ(S.LoopsUnrolled, 0);
+}
+
+TEST(Unroll, CopyCallbackSeesEveryCopy) {
+  Program P = parseOk("array A[32] output;\n"
+                      "for (i = 0; i < 30; i += 1) { A[i] = i; }\n");
+  std::vector<int> Copies;
+  bool Changed = unrollForStmt(P, P.Body, 0, 4,
+                               [&](int K, StmtList &) { Copies.push_back(K); });
+  ASSERT_TRUE(Changed);
+  // 4 main copies (0..3), then the remainder chain copies; the chain is
+  // built innermost-first, so its callbacks arrive as 2, 1, 0. Only the
+  // copy index matters for marking, not the call order.
+  EXPECT_EQ(Copies, (std::vector<int>{0, 1, 2, 3, 2, 1, 0}));
+}
+
+TEST(Unroll, MarksMainLoopNoUnroll) {
+  Program P = parseOk("array A[32] output;\n"
+                      "for (i = 0; i < 32; i += 1) { A[i] = i; }\n");
+  unrollLoops(P, 4);
+  int ForCount = 0;
+  for (const StmtPtr &S : P.Body)
+    if (S->Kind == StmtKind::For) {
+      ++ForCount;
+      EXPECT_TRUE(S->NoUnroll);
+    }
+  EXPECT_EQ(ForCount, 1);
+  // A second unrolling pass is a no-op.
+  Program Q = P;
+  UnrollStats S = unrollLoops(Q, 4);
+  EXPECT_EQ(S.LoopsUnrolled, 0);
+}
+
+TEST(Peel, PreservesSemantics) {
+  for (int N : {0, 1, 2, 9}) {
+    Program P = parseOk("array A[16] output;\nvar s = 0.0;\n"
+                        "for (i = 0; i < " + std::to_string(N) +
+                        "; i += 1) { s = s + i; A[i] = s; }\n");
+    Program Q = P;
+    ASSERT_TRUE(peelFirstIteration(Q, Q.Body, 0));
+    expectSemanticsPreserved(P, Q);
+  }
+}
+
+TEST(Peel, ProducesGuardAndResidualLoop) {
+  Program P = parseOk("array A[8] output;\n"
+                      "for (i = 0; i < 8; i += 1) { A[i] = i; }\n");
+  ASSERT_TRUE(peelFirstIteration(P, P.Body, 0));
+  ASSERT_EQ(P.Body.size(), 2u);
+  EXPECT_EQ(P.Body[0]->Kind, StmtKind::If);
+  EXPECT_EQ(P.Body[1]->Kind, StmtKind::For);
+  // Residual loop starts at lo + step.
+  std::string S = printStmt(*P.Body[1]);
+  EXPECT_NE(S.find("i = (0 + 1)"), std::string::npos) << S;
+}
+
+TEST(Peel, CallbackSeesPeeledCopy) {
+  Program P = parseOk("array A[8] output;\n"
+                      "for (i = 0; i < 8; i += 1) { A[i] = i; }\n");
+  bool Called = false;
+  peelFirstIteration(P, P.Body, 0, [&](StmtList &Peeled) {
+    Called = true;
+    EXPECT_EQ(Peeled.size(), 1u);
+  });
+  EXPECT_TRUE(Called);
+}
+
+TEST(Unroll, NestedLoopProgramEndToEnd) {
+  Program P = parseOk(R"(
+array A[12][12];
+array C[12][12] output;
+for (i = 0; i < 12; i += 1) {
+  for (j = 0; j < 12; j += 1) { A[i][j] = i * 3 - j; }
+}
+for (i = 0; i < 12; i += 1) {
+  for (j = 0; j < 11; j += 1) { C[i][j] = A[i][j] + A[i][j + 1]; }
+}
+)");
+  for (int F : {2, 4, 8}) {
+    Program Q = P;
+    UnrollStats S = unrollLoops(Q, F);
+    EXPECT_EQ(S.LoopsUnrolled, 2) << "factor " << F;
+    expectSemanticsPreserved(P, Q);
+  }
+}
