@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_trace_profile"
+  "../bench/bench_ablation_trace_profile.pdb"
+  "CMakeFiles/bench_ablation_trace_profile.dir/bench_ablation_trace_profile.cpp.o"
+  "CMakeFiles/bench_ablation_trace_profile.dir/bench_ablation_trace_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trace_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

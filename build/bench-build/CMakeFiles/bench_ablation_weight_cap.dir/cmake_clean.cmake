@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_weight_cap"
+  "../bench/bench_ablation_weight_cap.pdb"
+  "CMakeFiles/bench_ablation_weight_cap.dir/bench_ablation_weight_cap.cpp.o"
+  "CMakeFiles/bench_ablation_weight_cap.dir/bench_ablation_weight_cap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_weight_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_future_work"
+  "../bench/bench_ext_future_work.pdb"
+  "CMakeFiles/bench_ext_future_work.dir/bench_ext_future_work.cpp.o"
+  "CMakeFiles/bench_ext_future_work.dir/bench_ext_future_work.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extra_breakdown"
+  "../bench/bench_extra_breakdown.pdb"
+  "CMakeFiles/bench_extra_breakdown.dir/bench_extra_breakdown.cpp.o"
+  "CMakeFiles/bench_extra_breakdown.dir/bench_extra_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

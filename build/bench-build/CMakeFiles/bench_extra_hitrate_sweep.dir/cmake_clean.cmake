@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extra_hitrate_sweep"
+  "../bench/bench_extra_hitrate_sweep.pdb"
+  "CMakeFiles/bench_extra_hitrate_sweep.dir/bench_extra_hitrate_sweep.cpp.o"
+  "CMakeFiles/bench_extra_hitrate_sweep.dir/bench_extra_hitrate_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_hitrate_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec55_model_compare"
+  "../bench/bench_sec55_model_compare.pdb"
+  "CMakeFiles/bench_sec55_model_compare.dir/bench_sec55_model_compare.cpp.o"
+  "CMakeFiles/bench_sec55_model_compare.dir/bench_sec55_model_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec55_model_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_unroll_bs"
+  "../bench/bench_table4_unroll_bs.pdb"
+  "CMakeFiles/bench_table4_unroll_bs.dir/bench_table4_unroll_bs.cpp.o"
+  "CMakeFiles/bench_table4_unroll_bs.dir/bench_table4_unroll_bs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_unroll_bs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_combos"
+  "../bench/bench_table6_combos.pdb"
+  "CMakeFiles/bench_table6_combos.dir/bench_table6_combos.cpp.o"
+  "CMakeFiles/bench_table6_combos.dir/bench_table6_combos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_combos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_trace_bs_vs_ts"
+  "../bench/bench_table7_trace_bs_vs_ts.pdb"
+  "CMakeFiles/bench_table7_trace_bs_vs_ts.dir/bench_table7_trace_bs_vs_ts.cpp.o"
+  "CMakeFiles/bench_table7_trace_bs_vs_ts.dir/bench_table7_trace_bs_vs_ts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_trace_bs_vs_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table7_trace_bs_vs_ts.
+# This may be replaced when dependencies are built.

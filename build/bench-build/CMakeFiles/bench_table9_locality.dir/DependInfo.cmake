@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table9_locality.cpp" "bench-build/CMakeFiles/bench_table9_locality.dir/bench_table9_locality.cpp.o" "gcc" "bench-build/CMakeFiles/bench_table9_locality.dir/bench_table9_locality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/bs_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/bs_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/locality/CMakeFiles/bs_locality.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/bs_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/bs_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/bs_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/bs_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

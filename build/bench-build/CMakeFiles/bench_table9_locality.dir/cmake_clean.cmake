@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_locality"
+  "../bench/bench_table9_locality.pdb"
+  "CMakeFiles/bench_table9_locality.dir/bench_table9_locality.cpp.o"
+  "CMakeFiles/bench_table9_locality.dir/bench_table9_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_api.dir/builder_api.cpp.o"
+  "CMakeFiles/builder_api.dir/builder_api.cpp.o.d"
+  "builder_api"
+  "builder_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

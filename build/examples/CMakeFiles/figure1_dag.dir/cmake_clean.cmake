@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_dag.dir/figure1_dag.cpp.o"
+  "CMakeFiles/figure1_dag.dir/figure1_dag.cpp.o.d"
+  "figure1_dag"
+  "figure1_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

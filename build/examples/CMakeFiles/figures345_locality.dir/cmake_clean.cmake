@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures345_locality.dir/figures345_locality.cpp.o"
+  "CMakeFiles/figures345_locality.dir/figures345_locality.cpp.o.d"
+  "figures345_locality"
+  "figures345_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures345_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("lang")
+subdirs("lower")
+subdirs("opt")
+subdirs("sched")
+subdirs("xform")
+subdirs("locality")
+subdirs("regalloc")
+subdirs("sim")
+subdirs("trace")
+subdirs("driver")

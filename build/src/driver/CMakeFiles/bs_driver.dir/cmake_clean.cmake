@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/bs_driver.dir/Compiler.cpp.o.d"
+  "CMakeFiles/bs_driver.dir/Experiment.cpp.o"
+  "CMakeFiles/bs_driver.dir/Experiment.cpp.o.d"
+  "CMakeFiles/bs_driver.dir/Workloads.cpp.o"
+  "CMakeFiles/bs_driver.dir/Workloads.cpp.o.d"
+  "libbs_driver.a"
+  "libbs_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

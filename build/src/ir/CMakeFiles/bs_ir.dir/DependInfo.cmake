@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/CFG.cpp" "src/ir/CMakeFiles/bs_ir.dir/CFG.cpp.o" "gcc" "src/ir/CMakeFiles/bs_ir.dir/CFG.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/ir/CMakeFiles/bs_ir.dir/IR.cpp.o" "gcc" "src/ir/CMakeFiles/bs_ir.dir/IR.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/ir/CMakeFiles/bs_ir.dir/IRParser.cpp.o" "gcc" "src/ir/CMakeFiles/bs_ir.dir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/Interp.cpp" "src/ir/CMakeFiles/bs_ir.dir/Interp.cpp.o" "gcc" "src/ir/CMakeFiles/bs_ir.dir/Interp.cpp.o.d"
+  "/root/repo/src/ir/Liveness.cpp" "src/ir/CMakeFiles/bs_ir.dir/Liveness.cpp.o" "gcc" "src/ir/CMakeFiles/bs_ir.dir/Liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/bs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_ir.dir/CFG.cpp.o"
+  "CMakeFiles/bs_ir.dir/CFG.cpp.o.d"
+  "CMakeFiles/bs_ir.dir/IR.cpp.o"
+  "CMakeFiles/bs_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/bs_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/bs_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/bs_ir.dir/Interp.cpp.o"
+  "CMakeFiles/bs_ir.dir/Interp.cpp.o.d"
+  "CMakeFiles/bs_ir.dir/Liveness.cpp.o"
+  "CMakeFiles/bs_ir.dir/Liveness.cpp.o.d"
+  "libbs_ir.a"
+  "libbs_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_lang.dir/AST.cpp.o"
+  "CMakeFiles/bs_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/bs_lang.dir/Eval.cpp.o"
+  "CMakeFiles/bs_lang.dir/Eval.cpp.o.d"
+  "CMakeFiles/bs_lang.dir/Generate.cpp.o"
+  "CMakeFiles/bs_lang.dir/Generate.cpp.o.d"
+  "CMakeFiles/bs_lang.dir/Parser.cpp.o"
+  "CMakeFiles/bs_lang.dir/Parser.cpp.o.d"
+  "libbs_lang.a"
+  "libbs_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbs_lang.a"
+)

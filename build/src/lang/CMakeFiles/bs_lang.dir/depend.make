@@ -1,0 +1,2 @@
+# Empty dependencies file for bs_lang.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_locality.dir/Locality.cpp.o"
+  "CMakeFiles/bs_locality.dir/Locality.cpp.o.d"
+  "libbs_locality.a"
+  "libbs_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_lower.dir/Lower.cpp.o"
+  "CMakeFiles/bs_lower.dir/Lower.cpp.o.d"
+  "libbs_lower.a"
+  "libbs_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

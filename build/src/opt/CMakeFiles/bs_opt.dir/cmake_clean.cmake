@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_opt.dir/Cleanup.cpp.o"
+  "CMakeFiles/bs_opt.dir/Cleanup.cpp.o.d"
+  "libbs_opt.a"
+  "libbs_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

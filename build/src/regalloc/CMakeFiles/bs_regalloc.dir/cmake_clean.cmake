@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_regalloc.dir/LinearScan.cpp.o"
+  "CMakeFiles/bs_regalloc.dir/LinearScan.cpp.o.d"
+  "libbs_regalloc.a"
+  "libbs_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

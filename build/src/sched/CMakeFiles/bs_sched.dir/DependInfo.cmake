@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/DepDAG.cpp" "src/sched/CMakeFiles/bs_sched.dir/DepDAG.cpp.o" "gcc" "src/sched/CMakeFiles/bs_sched.dir/DepDAG.cpp.o.d"
+  "/root/repo/src/sched/Schedule.cpp" "src/sched/CMakeFiles/bs_sched.dir/Schedule.cpp.o" "gcc" "src/sched/CMakeFiles/bs_sched.dir/Schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/bs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

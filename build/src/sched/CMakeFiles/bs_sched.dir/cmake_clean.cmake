@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_sched.dir/DepDAG.cpp.o"
+  "CMakeFiles/bs_sched.dir/DepDAG.cpp.o.d"
+  "CMakeFiles/bs_sched.dir/Schedule.cpp.o"
+  "CMakeFiles/bs_sched.dir/Schedule.cpp.o.d"
+  "libbs_sched.a"
+  "libbs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_support.dir/Str.cpp.o"
+  "CMakeFiles/bs_support.dir/Str.cpp.o.d"
+  "CMakeFiles/bs_support.dir/Table.cpp.o"
+  "CMakeFiles/bs_support.dir/Table.cpp.o.d"
+  "libbs_support.a"
+  "libbs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

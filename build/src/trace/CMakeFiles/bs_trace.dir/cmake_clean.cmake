@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_trace.dir/EstimateProfile.cpp.o"
+  "CMakeFiles/bs_trace.dir/EstimateProfile.cpp.o.d"
+  "CMakeFiles/bs_trace.dir/Trace.cpp.o"
+  "CMakeFiles/bs_trace.dir/Trace.cpp.o.d"
+  "libbs_trace.a"
+  "libbs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

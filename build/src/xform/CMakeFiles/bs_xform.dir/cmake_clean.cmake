@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bs_xform.dir/Unroll.cpp.o"
+  "CMakeFiles/bs_xform.dir/Unroll.cpp.o.d"
+  "libbs_xform.a"
+  "libbs_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bs_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/bs_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/bs_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/bs_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bs_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/bs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
