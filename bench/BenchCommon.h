@@ -28,6 +28,8 @@ makeOptions(sched::SchedulerKind Kind, int Unroll = 1, bool TrS = false,
   O.UnrollFactor = Unroll;
   O.TraceScheduling = TrS;
   O.LocalityAnalysis = LA;
+  // Benches time the pipeline; the static verifier runs in tests/fuzzing.
+  O.VerifyPasses = false;
   return O;
 }
 

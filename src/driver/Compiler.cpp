@@ -63,9 +63,25 @@ CompileResult driver::compileProgram(const lang::Program &Source,
     }
   }
 
+  // Hands the verifier's findings back through the result; the first
+  // diagnostic doubles as the hard error so no caller can ignore it.
+  auto Flag = [&R](verify::VerifyResult V, const char *Pass) {
+    if (V.ok())
+      return false;
+    R.Error = std::string(Pass) + " verifier: " + toString(V.Diags.front()) +
+              (V.Diags.size() > 1
+                   ? " (+" + std::to_string(V.Diags.size() - 1) + " more)"
+                   : "");
+    R.VerifyDiags = std::move(V.Diags);
+    return true;
+  };
+
   // Phase 3: scheduling. Trace scheduling needs the profile the paper also
   // gathers first ("we first profiled the programs to determine basic block
   // execution frequencies").
+  ir::Module PreSched;
+  if (Opts.VerifyPasses)
+    PreSched = R.M;
   if (Opts.TraceScheduling) {
     ir::InterpResult Profile = Opts.UseEstimatedProfile
                                    ? trace::estimateProfile(R.M.Fn)
@@ -76,16 +92,33 @@ CompileResult driver::compileProgram(const lang::Program &Source,
     }
     R.Trace = trace::traceScheduleFunction(R.M, Profile, Opts.Scheduler,
                                            Opts.Balance);
+    if (Opts.VerifyPasses &&
+        Flag(verify::verifyTraceSchedule(PreSched, R.M, R.Trace.Formed),
+             "trace-schedule"))
+      return R;
   } else {
     sched::scheduleFunction(R.M, Opts.Scheduler, Opts.Balance);
+    if (Opts.VerifyPasses &&
+        Flag(verify::verifySchedule(PreSched, R.M), "schedule"))
+      return R;
   }
+  if (Opts.VerifyPasses && Flag(verify::verifyModule(R.M), "module"))
+    return R;
 
   if (!Opts.StopBeforeRegAlloc) {
+    ir::Module PreAlloc;
+    if (Opts.VerifyPasses)
+      PreAlloc = R.M;
     R.RegAlloc = regalloc::allocateRegisters(R.M, Opts.RegAlloc);
     if (!R.RegAlloc.ok()) {
       R.Error = "regalloc: " + R.RegAlloc.Error;
       return R;
     }
+    if (Opts.VerifyPasses &&
+        Flag(verify::verifyRegAlloc(PreAlloc, R.M,
+                                    Opts.RegAlloc.AllocatablePerClass),
+             "regalloc"))
+      return R;
   }
 
   if (std::string E = ir::verify(R.M); !E.empty())

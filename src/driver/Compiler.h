@@ -20,6 +20,7 @@
 #include "regalloc/LinearScan.h"
 #include "sched/Schedule.h"
 #include "trace/Trace.h"
+#include "verify/Verify.h"
 #include "xform/Unroll.h"
 
 #include <string>
@@ -43,6 +44,10 @@ struct CompileOptions {
   /// Skip register allocation (for passes that inspect virtual-register
   /// code); such modules cannot be simulated.
   bool StopBeforeRegAlloc = false;
+  /// Run the static legality verifier (verify::) after scheduling and after
+  /// register allocation. Default on — tests and fuzzing want every config
+  /// independently checked; benchmarks turn it off (bench/BenchCommon.h).
+  bool VerifyPasses = true;
 
   sched::BalanceOptions Balance;
   lower::LowerOptions Lower;
@@ -61,6 +66,9 @@ struct CompileResult {
   locality::LocalityStats Locality;
   trace::TraceStats Trace;
   regalloc::RegAllocStats RegAlloc;
+  /// Diagnostics from the static verifier (empty unless VerifyPasses found a
+  /// miscompile; Error is set alongside).
+  std::vector<verify::Diagnostic> VerifyDiags;
 
   bool ok() const { return Error.empty(); }
 };

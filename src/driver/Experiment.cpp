@@ -5,7 +5,9 @@
 #include "lang/Eval.h"
 #include "support/Str.h"
 
-#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
 
 using namespace bsched;
 using namespace bsched::driver;
@@ -52,18 +54,22 @@ RunResult driver::runWorkload(const Workload &W, const CompileOptions &Opts,
 const RunResult &driver::runCached(const Workload &W,
                                    const CompileOptions &Opts,
                                    const sim::MachineConfig &Machine) {
-  static std::map<std::string, RunResult> Cache;
+  // Results live behind unique_ptr so the returned references stay valid
+  // however much the table grows or rehashes: callers hold them across many
+  // later runCached calls.
+  static std::unordered_map<std::string, std::unique_ptr<RunResult>> Cache;
   std::string Key = std::string(W.Name) + "|" + Opts.tag() + "|" +
                     (Machine.SimpleModel
                          ? "simple:" + fmtDouble(Machine.SimpleHitRate, 3)
                          : std::string("21164")) +
                     "|w" + std::to_string(Machine.IssueWidth) + "|p" +
                     std::to_string(Opts.Balance.PressureThreshold) +
-                    (Opts.Balance.BalanceFixedOps ? "|bf" : "");
-  auto It = Cache.find(Key);
-  if (It != Cache.end())
-    return It->second;
-  return Cache.emplace(Key, runWorkload(W, Opts, Machine)).first->second;
+                    (Opts.Balance.BalanceFixedOps ? "|bf" : "") + "|a" +
+                    std::to_string(Opts.RegAlloc.AllocatablePerClass);
+  std::unique_ptr<RunResult> &Slot = Cache[Key];
+  if (!Slot)
+    Slot = std::make_unique<RunResult>(runWorkload(W, Opts, Machine));
+  return *Slot;
 }
 
 double driver::mean(const std::vector<double> &Xs) {

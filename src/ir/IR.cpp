@@ -234,6 +234,8 @@ std::string ir::printInstr(const Instr &I) {
     S += "  ; spill";
   if (I.IsRestore)
     S += "  ; restore";
+  if (I.IsRemat)
+    S += "  ; remat";
   return S;
 }
 

@@ -207,6 +207,7 @@ struct Instr {
   // the paper's instruction metrics).
   bool IsSpill = false;   ///< store of a spilled value.
   bool IsRestore = false; ///< reload of a spilled value.
+  bool IsRemat = false;   ///< constant re-materialized at a spilled use.
 
   // Control-flow targets (block ids). Br: Target0 = taken, Target1 = fall
   // through. Jmp: Target0.

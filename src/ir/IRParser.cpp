@@ -79,6 +79,7 @@ private:
   size_t Pos = 0;
   // Annotations found after ';' on the current line.
   bool AnnHit = false, AnnMiss = false, AnnSpill = false, AnnRestore = false;
+  bool AnnRemat = false;
   /// Inferred class per virtual reg id; -1 = unconstrained yet.
   std::map<uint32_t, int> VRegCls;
 
@@ -88,7 +89,7 @@ private:
   }
 
   void stripCommentAndAnnotations(std::string &Line) {
-    AnnHit = AnnMiss = AnnSpill = AnnRestore = false;
+    AnnHit = AnnMiss = AnnSpill = AnnRestore = AnnRemat = false;
     size_t Semi = Line.find(';');
     if (Semi == std::string::npos)
       return;
@@ -98,6 +99,7 @@ private:
     AnnMiss = Comment.find("miss") != std::string::npos;
     AnnSpill = Comment.find("spill") != std::string::npos;
     AnnRestore = Comment.find("restore") != std::string::npos;
+    AnnRemat = Comment.find("remat") != std::string::npos;
   }
 
   static std::vector<std::string> tokenize(const std::string &Line) {
@@ -174,6 +176,12 @@ private:
       return Reg(NumPhysPerClass + static_cast<uint32_t>(N));
     }
     if (Kind == 'v') {
+      if (N > (1 << 20)) {
+        // Unchecked, a huge index would make finishRegClasses materialize
+        // billions of registers.
+        fail("virtual register index out of range: " + T);
+        return Reg();
+      }
       uint32_t Id = NumPhysTotal + static_cast<uint32_t>(N);
       auto It = VRegCls.find(Id);
       if (It == VRegCls.end())
@@ -221,6 +229,8 @@ private:
       ArrayInfo A;
       A.Name = next();
       A.Dims = {parseInt()};
+      if (Err.empty() && A.Dims[0] <= 0)
+        fail("array size must be positive");
       if (accept("output"))
         A.IsOutput = true;
       if (!atEnd())
@@ -345,6 +355,8 @@ private:
     }
     if (!atEnd())
       fail("trailing tokens after instruction");
+    if (I.Op == Opcode::LdI || I.Op == Opcode::FLdI)
+      I.IsRemat = AnnRemat;
     if (Err.empty())
       M.Fn.Blocks[CurBlock].Instrs.push_back(std::move(I));
   }

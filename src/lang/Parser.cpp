@@ -216,6 +216,10 @@ private:
         fail("array dimensions must be integer literals");
         return;
       }
+      if (L.IntVal <= 0) {
+        fail("array dimensions must be positive");
+        return;
+      }
       A.Dims.push_back(L.IntVal);
       L.next();
       expect(Tok::RBrack, "']'");

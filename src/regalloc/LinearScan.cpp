@@ -14,13 +14,6 @@ using namespace bsched::ir;
 
 namespace {
 
-// Register-file conventions (per class, indices within the class):
-//  0..AllocatablePerClass-1 : allocatable (at most 28)
-//  28, 30, 31               : spill scratch
-//  29 (integer only)        : frame base for the spill area
-constexpr unsigned ScratchRegs[3] = {28, 30, 31};
-constexpr unsigned FrameBaseReg = 29;
-
 /// Conservative live interval: the hull of every position where the virtual
 /// register is live, in linearized instruction order.
 struct Interval {
@@ -196,7 +189,7 @@ private:
   }
 
   Reg scratch(RegClass Cls, int K) {
-    unsigned Local = ScratchRegs[K];
+    unsigned Local = SpillScratchRegs[K];
     return Cls == RegClass::Int ? physIntReg(Local) : physFpReg(Local);
   }
 
@@ -265,6 +258,7 @@ private:
           if (RIt != RematDef.end()) {
             Instr Clone = RIt->second;
             Clone.Dst = S;
+            Clone.IsRemat = true;
             Out.push_back(Clone);
             ++Stats.Remats;
           } else {

@@ -24,6 +24,15 @@
 namespace bsched {
 namespace regalloc {
 
+// Register-file conventions (per class, indices within the class):
+//  0..AllocatablePerClass-1 : allocatable (at most 28)
+//  SpillScratchRegs         : spill scratch
+//  FrameBaseReg (int only)  : frame base for the spill area
+// Exported so the verifier can re-derive allocation legality without
+// trusting the allocator's own bookkeeping.
+constexpr unsigned SpillScratchRegs[3] = {28, 30, 31};
+constexpr unsigned FrameBaseReg = 29;
+
 struct RegAllocOptions {
   /// Allocatable registers per class. The rest are reserved: three spill
   /// scratch registers per class plus the frame base on the integer side.

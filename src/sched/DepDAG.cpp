@@ -141,21 +141,21 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs) {
   // "Dependence arcs were added in the code DAG between each miss load and
   //  its corresponding hit loads to prevent the latter from floating above
   //  the miss during scheduling."
-  std::map<int, unsigned> GroupMiss;
+  // Single forward pass: each hit is anchored below the *nearest preceding*
+  // miss of its group. (A two-pass version keyed on the last miss per group
+  // silently dropped the arc for hits sandwiched between two misses.)
+  std::map<int, unsigned> LastMiss;
   for (unsigned I = 0; I != N; ++I) {
     const Instr &In = *Instrs[I];
     if (!In.isLoad() || In.LocalityGroup < 0)
       continue;
-    if (In.HM == HitMiss::Miss)
-      GroupMiss[In.LocalityGroup] = I;
-  }
-  for (unsigned I = 0; I != N; ++I) {
-    const Instr &In = *Instrs[I];
-    if (!In.isLoad() || In.LocalityGroup < 0 || In.HM != HitMiss::Hit)
-      continue;
-    auto It = GroupMiss.find(In.LocalityGroup);
-    if (It != GroupMiss.end() && It->second < I)
-      G.addEdge(It->second, I);
+    if (In.HM == HitMiss::Miss) {
+      LastMiss[In.LocalityGroup] = I;
+    } else if (In.HM == HitMiss::Hit) {
+      auto It = LastMiss.find(In.LocalityGroup);
+      if (It != LastMiss.end())
+        G.addEdge(It->second, I);
+    }
   }
 
   return G;

@@ -37,10 +37,19 @@ public:
     return State[1] + Y;
   }
 
-  /// Returns a uniformly distributed value in [0, Bound).
+  /// Returns a uniformly distributed value in [0, Bound). Uses rejection
+  /// sampling: a bare `next() % Bound` over-weights the low residues
+  /// whenever Bound does not divide 2^64 (up to ~2x for bounds near 2^63).
   uint64_t nextBelow(uint64_t Bound) {
     assert(Bound != 0 && "bound must be positive");
-    return next() % Bound;
+    // Reject the partial final copy of [0, Bound) at the top of the 64-bit
+    // range: accept X only below 2^64 - (2^64 mod Bound). At most one
+    // retry in expectation (acceptance probability always > 1/2).
+    const uint64_t Residue = (0 - Bound) % Bound; // == 2^64 mod Bound
+    uint64_t X = next();
+    while (X < Residue)
+      X = next();
+    return X % Bound;
   }
 
   /// Returns a uniformly distributed double in [0, 1).

@@ -148,6 +148,7 @@ public:
     Liveness L = computeLiveness(M.Fn);
     std::vector<Trace> Traces = formTraces(M.Fn, Profile);
     Stats.Traces = static_cast<int>(Traces.size());
+    Stats.Formed = Traces;
     for (const Trace &T : Traces) {
       Stats.LongestTrace =
           std::max(Stats.LongestTrace, static_cast<int>(T.size()));

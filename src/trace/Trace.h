@@ -38,17 +38,20 @@
 namespace bsched {
 namespace trace {
 
+/// Formed traces (block ids in control-flow order); exposed for tests and
+/// the Figure-2 example.
+using Trace = std::vector<int>;
+
 struct TraceStats {
   int Traces = 0;
   int MultiBlockTraces = 0;
   int LongestTrace = 0;       ///< in blocks.
   int CompensationBlocks = 0;
   int CompensationInstrs = 0;
+  /// The traces actually formed, in scheduling order: the certificate the
+  /// static verifier audits compensation code against.
+  std::vector<Trace> Formed;
 };
-
-/// Formed traces (block ids in control-flow order); exposed for tests and
-/// the Figure-2 example.
-using Trace = std::vector<int>;
 
 /// Picks traces from profiled block/edge counts: seeds in decreasing
 /// execution frequency, grown forward and backward along the most frequent

@@ -1,0 +1,123 @@
+//===- verify/Verify.h - Static schedule/codegen verifier -------*- C++ -*-===//
+///
+/// \file
+/// Translation validation for the scheduling and register-allocation passes:
+/// given snapshots of a module before and after a pass, independently
+/// re-derive the legality of the transformation and report every violation as
+/// a structured diagnostic (block + instruction + message) instead of a bool.
+///
+/// The verifier deliberately shares no analysis code with `sched::`,
+/// `trace::` or `regalloc::` beyond the IR definitions themselves: register
+/// and memory dependences are recomputed from scratch here, so a bug in the
+/// scheduler's DAG construction cannot hide a matching bug in its own
+/// validation. The oracle stack, from weakest to strongest localization:
+///
+///   end-to-end checksums (lang::evalProgram vs ir::interpret / sim)
+///     -> structural checks (ir::verify)
+///       -> this pass-by-pass legality verifier.
+///
+/// Checks implemented:
+///  - verifySchedule: every block of After is a permutation of the same
+///    block of Before that respects all true/anti/output register
+///    dependences, memory dependences (affine disambiguation, recomputed),
+///    and locality miss->hit ordering.
+///  - verifyTraceSchedule: the trace-scheduling generalization — per-trace
+///    permutation across block boundaries, no downward motion past a home
+///    terminator, speculation safety above splits (no stores; destination
+///    dead on the off-trace path), and an edge-by-edge audit that every
+///    off-trace join edge carries exactly the compensation code its crossed
+///    instructions require.
+///  - verifyRegAlloc: post-allocation code has no virtual registers, no two
+///    simultaneously-live values share a physical register (liveness re-run
+///    on the pre-allocation code), spill/restore pairs bracket correctly
+///    (every restore reloads a slot some spill wrote, slots map 1:1 to
+///    virtual registers), rematerialized constants match their unique
+///    definition, and reserved registers (frame base) are never allocated.
+///  - verifyModule: structural validation plus the locality-annotation
+///    contract (hit/miss marks appear only on loads, where they can only
+///    shorten an assumed latency, never change semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_VERIFY_VERIFY_H
+#define BALSCHED_VERIFY_VERIFY_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace bsched {
+namespace verify {
+
+/// Which verifier produced a diagnostic.
+enum class Check : uint8_t {
+  Structure,    ///< ir::verify-level structural problem.
+  Schedule,     ///< per-block scheduling legality.
+  Compensation, ///< trace-scheduling compensation/speculation audit.
+  RegAlloc,     ///< register-allocation legality.
+  Locality,     ///< hit/miss annotation contract.
+};
+
+const char *checkName(Check C);
+
+/// One verification failure, localized to a block and instruction where
+/// possible (-1 = not attributable to a single block/instruction).
+struct Diagnostic {
+  Check Kind = Check::Structure;
+  int Block = -1;
+  int Instr = -1; ///< index within the block, or -1.
+  std::string Message;
+};
+
+/// Renders "b3[7]: <message> [schedule]" style text.
+std::string toString(const Diagnostic &D);
+
+struct VerifyResult {
+  std::vector<Diagnostic> Diags;
+
+  bool ok() const { return Diags.empty(); }
+  void add(Check Kind, int Block, int Instr, std::string Message) {
+    Diags.push_back({Kind, Block, Instr, std::move(Message)});
+  }
+  void append(VerifyResult Other) {
+    for (Diagnostic &D : Other.Diags)
+      Diags.push_back(std::move(D));
+  }
+  /// All diagnostics, one per line.
+  std::string report() const;
+};
+
+/// Checks that every block of \p After holds a permutation of the same
+/// block of \p Before and that no reordered pair violates a register,
+/// memory, or locality dependence. Dependences are recomputed here from the
+/// Before code; nothing is trusted from the scheduler.
+VerifyResult verifySchedule(const ir::Module &Before, const ir::Module &After);
+
+/// Trace-scheduling variant: \p Traces is the list of formed traces (block
+/// ids in control-flow order, a partition of Before's blocks, as recorded in
+/// trace::TraceStats::Formed). Validates each trace region as a permutation,
+/// enforces the downward-motion and speculation-safety rules, and audits
+/// every off-trace join edge for correct compensation code. Blocks appended
+/// beyond Before's block count are expected to be compensation blocks.
+VerifyResult verifyTraceSchedule(const ir::Module &Before,
+                                 const ir::Module &After,
+                                 const std::vector<std::vector<int>> &Traces);
+
+/// Checks the register allocation that turned \p Before (virtual-register
+/// code) into \p After: instruction-by-instruction alignment with
+/// restore/remat preambles and spill postambles, a consistent vreg->phys
+/// assignment with no live-range interference, correctly bracketed
+/// spill slots, and no use of reserved or out-of-budget registers
+/// (\p AllocatablePerClass mirrors regalloc::RegAllocOptions).
+VerifyResult verifyRegAlloc(const ir::Module &Before, const ir::Module &After,
+                            unsigned AllocatablePerClass);
+
+/// Structural validation (ir::verify) plus the locality-annotation contract,
+/// as diagnostics.
+VerifyResult verifyModule(const ir::Module &M);
+
+} // namespace verify
+} // namespace bsched
+
+#endif // BALSCHED_VERIFY_VERIFY_H

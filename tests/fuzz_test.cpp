@@ -58,6 +58,14 @@ std::vector<driver::CompileOptions> fuzzConfigs() {
   Tight.UnrollFactor = 4;
   Tight.RegAlloc.AllocatablePerClass = 6;
   Cs.push_back(Tight);
+  // Register-pressure-hostile: heavy unrolling feeding trace scheduling
+  // into a near-minimal register file, so every program spills across the
+  // restore/remat/scratch paths of regalloc::LinearScan.
+  driver::CompileOptions Spill;
+  Spill.UnrollFactor = 8;
+  Spill.TraceScheduling = true;
+  Spill.RegAlloc.AllocatablePerClass = 4;
+  Cs.push_back(Spill);
   return Cs;
 }
 
@@ -72,7 +80,16 @@ TEST_P(FuzzPipeline, EveryConfigMatchesOracle) {
                         << lang::printProgram(P);
 
   for (const driver::CompileOptions &Opts : fuzzConfigs()) {
+    // CompileOptions::VerifyPasses defaults to on: the static verifier runs
+    // after scheduling and after allocation for every config and seed.
     driver::CompileResult C = driver::compileProgram(P, Opts);
+    std::string DiagText;
+    for (const verify::Diagnostic &D : C.VerifyDiags)
+      DiagText += verify::toString(D) + "\n";
+    ASSERT_TRUE(C.VerifyDiags.empty())
+        << "seed " << GetParam() << " [" << Opts.tag()
+        << "]: verifier diagnostics:\n"
+        << DiagText << lang::printProgram(P);
     ASSERT_TRUE(C.ok()) << "seed " << GetParam() << " [" << Opts.tag()
                         << "]: " << C.Error << "\n"
                         << lang::printProgram(P);
@@ -84,8 +101,10 @@ TEST_P(FuzzPipeline, EveryConfigMatchesOracle) {
   }
 }
 
+// 100 seeds x 11 configs; the per-config verifier passes bound the sweep's
+// wall-clock, so the seed count trades off against the added config.
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
-                         ::testing::Range<uint64_t>(0, 150));
+                         ::testing::Range<uint64_t>(0, 100));
 
 TEST(Generator, DeterministicPerSeed) {
   lang::Program A = lang::generateProgram(42);

@@ -96,6 +96,50 @@ TEST(IRParser, RejectsBadBranchTarget) {
   EXPECT_FALSE(R.ok()) << "verifier must reject the dangling target";
 }
 
+TEST(IRParser, MalformedInputsProduceDiagnosticsNotCrashes) {
+  // Each snippet is malformed in a different spot; every one must come back
+  // with a non-empty diagnostic — never a crash, assert, or silent accept.
+  const char *Broken[] = {
+      "",                                              // no function body
+      "func f\n",                                      // func with no blocks
+      "array A\nfunc f\nb0:\n  ret\n",                 // array missing size
+      "array A 0\nfunc f\nb0:\n  ret\n",               // zero-sized array
+      "array A -4\nfunc f\nb0:\n  ret\n",              // negative size
+      "array A 16 wobble\nfunc f\nb0:\n  ret\n",       // trailing tokens
+      "func f\nb0:\n  ldi v0\n  ret\n",                // missing immediate
+      "func f\nb0:\n  ldi v0, xyz\n  ret\n",           // non-numeric imm
+      "func f\nb0:\n  ldi q0, 1\n  ret\n",             // bad register kind
+      "func f\nb0:\n  ldi r40, 1\n  ret\n",            // phys reg out of range
+      "func f\nb0:\n  ldi v99999999999, 1\n  ret\n",   // huge vreg index
+      "func f\nb0:\n  add v0, v1\n  ret\n",            // missing third operand
+      "func f\nb0:\n  fld v1, 0 v0\n  ret\n",          // missing '('
+      "func f\nb0:\n  ldi v0, 64\n  fld v1, 0(v0\n  ret\n", // missing ')'
+      "func f\nb0:\n  jmp\n",                          // jmp without target
+      "func f\nb0:\n  ldi v0, 1\n  br v0, b0\n",       // br missing 2nd target
+      "func f\nb0:\n  jmp b99\n",                      // dangling jump target
+      "func f\nb0:\n  ldi v0, 1\n",                    // block lacks terminator
+      "func f\nb0:\n  ret\nb0:\n  ret\n",              // duplicate label
+      "func f\nb0:\n  ret extra\n",                    // trailing tokens
+  };
+  for (const char *Src : Broken) {
+    ParseIRResult R = parseModule(Src);
+    EXPECT_FALSE(R.ok()) << "accepted:\n" << Src;
+    EXPECT_FALSE(R.Error.empty()) << "empty diagnostic for:\n" << Src;
+  }
+}
+
+TEST(IRParser, EveryPrefixOfAValidModuleIsHandled) {
+  // Truncation fuzzing: any prefix of a valid module must either parse or
+  // fail with a diagnostic — no crash.
+  const std::string Src = HandWritten;
+  for (size_t N = 0; N <= Src.size(); ++N) {
+    ParseIRResult R = parseModule(Src.substr(0, N));
+    if (!R.ok()) {
+      EXPECT_FALSE(R.Error.empty()) << "prefix length " << N;
+    }
+  }
+}
+
 TEST(IRParser, AnnotationsRoundTrip) {
   const char *Src = "array A 8\nfunc f\nb0:\n"
                     "  ldi v0, 64\n"

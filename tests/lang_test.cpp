@@ -102,6 +102,60 @@ TEST(Parser, RejectsUnknownAttribute) {
   EXPECT_FALSE(R.ok());
 }
 
+TEST(Parser, MalformedInputsProduceDiagnosticsNotCrashes) {
+  // Every snippet is broken in a different place; each must come back with
+  // a non-empty diagnostic (never an empty-string "error", never a crash).
+  const char *Broken[] = {
+      "var",
+      "var x",
+      "var x =",
+      "var x = ;",
+      "var x = 1.0",          // missing semicolon
+      "array;",
+      "array A;",
+      "array A[];",
+      "array A[0];",
+      "array A[-3];",
+      "array A[4",
+      "for",
+      "for (",
+      "for (i",
+      "for (i = 0; i < 8; i += 1)",      // missing body
+      "for (i = 0; i < 8; i += 1) {",    // unterminated body
+      "for (i = 0; i < 8) {}",
+      "if () {}",                         // empty condition
+      "var x = 1.0; x = ((x + 1.0;",
+      "var x = 1.0; x = x @ 2.0;",
+      "var x = 1.0; if x > 0.0 {}",
+      "}",
+      "( ) { } ; , [ ]",
+      "\"unterminated",
+      "var \xff\xfe = 1.0;",
+  };
+  for (const char *Src : Broken) {
+    ParseResult R = parseProgram(Src);
+    EXPECT_FALSE(R.ok()) << "accepted: " << Src;
+    EXPECT_FALSE(R.Error.empty()) << "empty diagnostic for: " << Src;
+  }
+}
+
+TEST(Parser, EveryPrefixOfAValidProgramIsHandled) {
+  // Truncation fuzzing: parsing any prefix of a valid program must either
+  // succeed or fail with a diagnostic — no assertion, no crash.
+  const std::string Src = "array A[8] output;\n"
+                          "var x = 1.0;\n"
+                          "for (i = 0; i < 8; i += 1) {\n"
+                          "  if (x < 4.0) { A[i] = x * 2.0; }\n"
+                          "  else { A[i] = x + 1.0; }\n"
+                          "}\n";
+  for (size_t N = 0; N <= Src.size(); ++N) {
+    ParseResult R = parseProgram(Src.substr(0, N));
+    if (!R.ok()) {
+      EXPECT_FALSE(R.Error.empty()) << "prefix length " << N;
+    }
+  }
+}
+
 TEST(Checker, InsertsIntToFpConversion) {
   Program P = parseOk("var x = 0.0;\nx = 1 + x;\n");
   const Expr &R = *P.Body[0]->Rhs;

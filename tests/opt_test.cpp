@@ -51,7 +51,7 @@ for (i = 0; i < 32; i += 1) {
   uint64_t Ref = interpret(M).Checksum;
   uint64_t Before = instrCount(M);
   CleanupStats S = cleanupModule(M);
-  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(ir::verify(M), "");
   EXPECT_EQ(interpret(M).Checksum, Ref);
   EXPECT_GT(S.CopiesPropagated, 0);
   EXPECT_GT(S.DeadRemoved, 0);
@@ -128,7 +128,7 @@ for (i = 0; i < 8; i += 1) {
   uint64_t Ref = interpret(M).Checksum;
   CleanupStats S = cleanupModule(M);
   (void)S;
-  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(ir::verify(M), "");
   EXPECT_EQ(interpret(M).Checksum, Ref);
 }
 
@@ -153,7 +153,7 @@ TEST(Cleanup, FuzzedProgramsSurviveCleanup) {
     lower::LowerResult LR = lower::lowerProgram(P);
     ASSERT_TRUE(LR.ok());
     cleanupModule(LR.M);
-    ASSERT_EQ(verify(LR.M), "") << "seed " << Seed;
+    ASSERT_EQ(ir::verify(LR.M), "") << "seed " << Seed;
     EXPECT_EQ(interpret(LR.M).Checksum, Ref.Checksum) << "seed " << Seed;
   }
 }
@@ -187,7 +187,7 @@ for (i = 0; i < 64; i += 1) {
   uint64_t Ref = interpret(M).Checksum;
   CleanupStats S = cleanupModule(M);
   EXPECT_GT(S.Hoisted, 0);
-  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(ir::verify(M), "");
   EXPECT_EQ(interpret(M).Checksum, Ref);
   // No FLdI or FMul of invariants may remain in a block that branches back
   // to itself (the loop body).
@@ -214,6 +214,6 @@ A[7] = s;
 )");
   uint64_t Ref = interpret(M).Checksum;
   cleanupModule(M);
-  EXPECT_EQ(verify(M), "");
+  EXPECT_EQ(ir::verify(M), "");
   EXPECT_EQ(interpret(M).Checksum, Ref) << "zero-trip value of s clobbered";
 }

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Compiler.h"
+#include "driver/Experiment.h"
 #include "driver/Workloads.h"
 #include "ir/Interp.h"
 #include "lang/Eval.h"
@@ -81,6 +82,33 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<const char *> &Info) {
       return std::string(Info.param);
     });
+
+TEST(Experiment, RunCachedReferencesSurviveCacheGrowth) {
+  // runCached hands out references that benches hold across many later
+  // calls; they must survive however much the underlying table grows or
+  // rehashes. Insert enough distinct configurations to force growth and
+  // check the first reference is still the same object with the same
+  // contents.
+  const Workload *W = findWorkload("ora");
+  ASSERT_NE(W, nullptr);
+  CompileOptions Base;
+  Base.Scheduler = sched::SchedulerKind::Traditional;
+  Base.VerifyPasses = false; // keep the growth loop cheap
+  Base.Balance.PressureThreshold = 1000; // distinct key space for this test
+  const RunResult &First = runCached(*W, Base);
+  ASSERT_TRUE(First.ok()) << First.Error;
+  const RunResult *FirstAddr = &First;
+  const uint64_t FirstCycles = First.Sim.Cycles;
+  for (int I = 1; I <= 40; ++I) {
+    CompileOptions O = Base;
+    O.Balance.PressureThreshold = 1000 + I; // key differs; run is identical
+    ASSERT_TRUE(runCached(*W, O).ok());
+  }
+  EXPECT_EQ(&First, FirstAddr);
+  EXPECT_EQ(First.Sim.Cycles, FirstCycles);
+  // And the memoization itself: same key returns the same object.
+  EXPECT_EQ(&runCached(*W, Base), FirstAddr);
+}
 
 TEST(Workloads, SeventeenKernelsMatchingThePaper) {
   EXPECT_EQ(workloads().size(), 17u);

@@ -113,6 +113,27 @@ TEST(RNG, NextBelowInRange) {
     EXPECT_LT(R.nextBelow(17), 17u);
 }
 
+TEST(RNG, NextBelowIsUnbiased) {
+  // Regression for the classic modulo bias. With Bound = 3 * 2^62, a bare
+  // `next() % Bound` maps the top quarter of the 64-bit range onto
+  // [0, 2^62) a second time, so ~1/2 of all samples land below 2^62 where a
+  // uniform draw puts only 1/3 there. Rejection sampling must hold 1/3.
+  RNG R(7);
+  const uint64_t Bound = 3ull << 62;
+  const uint64_t Third = 1ull << 62;
+  const int N = 3000;
+  int Low = 0;
+  for (int I = 0; I != N; ++I) {
+    uint64_t X = R.nextBelow(Bound);
+    ASSERT_LT(X, Bound);
+    Low += X < Third;
+  }
+  // Uniform expectation 1000 (sigma ~26); the biased scheme would give
+  // ~1500. The window is ~5 sigma wide on a deterministic stream.
+  EXPECT_GT(Low, 870);
+  EXPECT_LT(Low, 1130);
+}
+
 TEST(BitVec, SetTestReset) {
   BitVec V(130);
   EXPECT_FALSE(V.any());
