@@ -1,0 +1,464 @@
+//===- bench/bench_compile_throughput.cpp - Compile-throughput tracker ------===//
+//
+// Times the hot compilation path end to end and per phase, for every
+// workload at unroll {1,4,8} with and without trace scheduling, against both
+// the optimized scheduler core and the preserved reference implementation
+// (sched::SchedImpl::Reference). Emits machine-readable BENCH_compile.json
+// so the compile-throughput trajectory is tracked across PRs, and optionally
+// gates against a checked-in baseline (exit 1 on a >25% regression).
+//
+// Usage:
+//   bench_compile_throughput [--quick] [--json PATH] [--baseline PATH]
+//                            [--max-threads N]
+//
+//   --quick       1 repetition per measurement and reference timings only
+//                 for the unroll-8 configurations (the CI mode).
+//   --json PATH   where to write BENCH_compile.json (default: cwd).
+//   --baseline    baseline JSON with "min_instrs_per_sec" per config tag;
+//                 exit 1 if any measured throughput falls below 75% of it.
+//   --max-threads cap for the thread-scaling sweep (default 8).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "driver/Workloads.h"
+#include "lang/Parser.h"
+#include "lower/Lower.h"
+#include "opt/Cleanup.h"
+#include "support/Str.h"
+#include "support/ThreadPool.h"
+#include "xform/Unroll.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::driver;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Best-of-\p Reps wall time of \p Fn, in nanoseconds.
+template <typename FnT> uint64_t bestOf(int Reps, FnT Fn) {
+  uint64_t Best = ~0ull;
+  for (int R = 0; R != Reps; ++R) {
+    uint64_t T0 = nowNs();
+    Fn();
+    Best = std::min(Best, nowNs() - T0);
+  }
+  return Best;
+}
+
+struct BenchConfig {
+  int Unroll;
+  bool Traces;
+  std::string Tag; ///< CompileOptions::tag() of the fast variant.
+};
+
+CompileOptions optionsFor(const BenchConfig &C, sched::SchedImpl Impl) {
+  CompileOptions O;
+  O.Scheduler = sched::SchedulerKind::Balanced;
+  O.UnrollFactor = C.Unroll;
+  O.TraceScheduling = C.Traces;
+  O.VerifyPasses = false; // timing the pipeline; tests/fuzzing verify.
+  O.Balance.Impl = Impl;
+  return O;
+}
+
+unsigned countInstrs(const ir::Module &M) {
+  unsigned N = 0;
+  for (const ir::BasicBlock &B : M.Fn.Blocks)
+    N += static_cast<unsigned>(B.Instrs.size());
+  return N;
+}
+
+/// Per-phase timings over a workload's lowered (and unrolled) module:
+/// cleanup and the profiling interpreter at pipeline scope, then the three
+/// scheduler phases over every schedulable block.
+struct PhaseTimes {
+  uint64_t CleanupNs = 0, ProfileNs = 0;
+  uint64_t DagNs = 0, WeightsNs = 0, ListNs = 0;
+};
+
+/// Mirrors the pipeline up to (but excluding) scheduling, then times each
+/// phase with the given implementation (Reference selects the seed cleanup,
+/// interpreter, DAG builder, weights, and list scheduler).
+PhaseTimes timePhases(const lang::Program &Source, int Unroll, bool Traces,
+                      int Reps, sched::SchedImpl Impl) {
+  lang::Program P = Source;
+  if (Unroll > 1) {
+    xform::unrollLoops(P, Unroll);
+    // Re-check after the transform: lowering needs the checker's annotations
+    // on the statements unrolling introduced (compileProgram does the same).
+    if (std::string E = lang::checkProgram(P); !E.empty()) {
+      std::fprintf(stderr, "FATAL: recheck: %s\n", E.c_str());
+      std::exit(1);
+    }
+  }
+  lower::LowerResult LR = lower::lowerProgram(P, {});
+  if (!LR.ok()) {
+    std::fprintf(stderr, "FATAL: lower: %s\n", LR.Error.c_str());
+    std::exit(1);
+  }
+  bool Ref = Impl == sched::SchedImpl::Reference;
+
+  PhaseTimes T;
+  // Cleanup mutates the module, so each rep works on a fresh copy; the copy
+  // cost is common to both implementations.
+  T.CleanupNs = bestOf(Reps, [&] {
+    ir::Module Copy = LR.M;
+    opt::cleanupModule(Copy, Ref);
+  });
+  opt::cleanupModule(LR.M);
+  if (Traces)
+    T.ProfileNs = bestOf(Reps, [&] {
+      ir::InterpResult IR =
+          Ref ? ir::interpretByInstr(LR.M) : ir::interpret(LR.M);
+      (void)IR;
+    });
+
+  std::vector<std::vector<const ir::Instr *>> Regions;
+  for (const ir::BasicBlock &B : LR.M.Fn.Blocks) {
+    if (B.Instrs.size() <= 2)
+      continue;
+    std::vector<const ir::Instr *> Ptrs;
+    Ptrs.reserve(B.Instrs.size());
+    for (const ir::Instr &I : B.Instrs)
+      Ptrs.push_back(&I);
+    Regions.push_back(std::move(Ptrs));
+  }
+
+  T.DagNs = bestOf(Reps, [&] {
+    for (const auto &R : Regions) {
+      sched::DepDAG G = sched::buildDepDAG(R, Impl);
+      (void)G;
+    }
+  });
+  // Weights and list scheduling run on the fast-built DAG either way: the
+  // two builders produce identical DAGs, and this isolates each phase.
+  std::vector<sched::DepDAG> Dags;
+  std::vector<std::vector<double>> Ws;
+  for (const auto &R : Regions) {
+    Dags.push_back(sched::buildDepDAG(R));
+    sched::addBlockControlEdges(Dags.back(), R);
+  }
+  sched::BalanceOptions BOpts;
+  BOpts.Impl = Impl;
+  T.WeightsNs = bestOf(Reps, [&] {
+    for (size_t I = 0; I != Regions.size(); ++I) {
+      std::vector<double> W = sched::balancedWeights(Dags[I], Regions[I], BOpts);
+      if (I >= Ws.size())
+        Ws.push_back(std::move(W));
+    }
+  });
+  T.ListNs = bestOf(Reps, [&] {
+    for (size_t I = 0; I != Regions.size(); ++I) {
+      std::vector<unsigned> Order = sched::listSchedule(
+          Dags[I], Ws[I], Regions[I], sched::DefaultPressureThreshold, Impl);
+      (void)Order;
+    }
+  });
+  return T;
+}
+
+struct WorkloadRow {
+  std::string Name;
+  unsigned Instrs = 0;
+  uint64_t FastNs = 0, RefNs = 0; ///< RefNs 0 when not measured.
+  PhaseTimes FastPhases, RefPhases;
+};
+
+struct ConfigRow {
+  BenchConfig Config;
+  std::vector<WorkloadRow> Rows;
+  uint64_t totalFastNs() const {
+    uint64_t S = 0;
+    for (const auto &R : Rows)
+      S += R.FastNs;
+    return S;
+  }
+  uint64_t totalRefNs() const {
+    uint64_t S = 0;
+    for (const auto &R : Rows)
+      S += R.RefNs;
+    return S;
+  }
+  uint64_t totalInstrs() const {
+    uint64_t S = 0;
+    for (const auto &R : Rows)
+      S += R.Instrs;
+    return S;
+  }
+  double instrsPerSec() const {
+    uint64_t Ns = totalFastNs();
+    return Ns == 0 ? 0.0
+                   : static_cast<double>(totalInstrs()) * 1e9 /
+                         static_cast<double>(Ns);
+  }
+  double speedup() const {
+    uint64_t F = totalFastNs(), R = totalRefNs();
+    return (F == 0 || R == 0) ? 0.0
+                              : static_cast<double>(R) / static_cast<double>(F);
+  }
+};
+
+struct ScalePoint {
+  unsigned Threads;
+  uint64_t WallNs;
+};
+
+std::string jsonEscape(const std::string &S) { return S; } // tags are plain
+
+/// Reads "min_instrs_per_sec" entries from the (intentionally simple)
+/// baseline JSON: lines of the form  "TAG": NUMBER.
+std::vector<std::pair<std::string, double>>
+readBaseline(const std::string &Path) {
+  std::vector<std::pair<std::string, double>> Entries;
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "FATAL: cannot read baseline %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Q0 = Line.find('"');
+    if (Q0 == std::string::npos)
+      continue;
+    size_t Q1 = Line.find('"', Q0 + 1);
+    if (Q1 == std::string::npos)
+      continue;
+    std::string Tag = Line.substr(Q0 + 1, Q1 - Q0 - 1);
+    size_t Colon = Line.find(':', Q1);
+    if (Colon == std::string::npos || Tag == "schema" ||
+        Tag == "min_instrs_per_sec")
+      continue;
+    double V = std::atof(Line.c_str() + Colon + 1);
+    if (V > 0)
+      Entries.emplace_back(Tag, V);
+  }
+  return Entries;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  std::string JsonPath = "BENCH_compile.json";
+  std::string BaselinePath;
+  unsigned MaxThreads = 8;
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(argv[I], "--json") && I + 1 != argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--baseline") && I + 1 != argc)
+      BaselinePath = argv[++I];
+    else if (!std::strcmp(argv[I], "--max-threads") && I + 1 != argc)
+      MaxThreads = static_cast<unsigned>(std::atoi(argv[++I]));
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[I]);
+      return 2;
+    }
+  }
+
+  const int Reps = Quick ? 1 : 3;
+  const std::vector<BenchConfig> Configs = {
+      {1, false, "BS"},          {1, true, "BS+TrS"},
+      {4, false, "BS+LU4"},      {4, true, "BS+LU4+TrS"},
+      {8, false, "BS+LU8"},      {8, true, "BS+LU8+TrS"},
+  };
+
+  std::printf("compile-throughput benchmark (%s mode, best of %d)\n",
+              Quick ? "quick" : "full", Reps);
+
+  std::vector<ConfigRow> Results;
+  for (const BenchConfig &C : Configs) {
+    ConfigRow Row;
+    Row.Config = C;
+    // Reference timings are the expensive part; in quick mode measure them
+    // only where the headline speedup is reported (unroll 8).
+    bool TimeRef = !Quick || C.Unroll == 8;
+    for (const Workload &W : workloads()) {
+      lang::Program P = parseWorkload(W);
+      WorkloadRow R;
+      R.Name = W.Name;
+
+      CompileOptions Fast = optionsFor(C, sched::SchedImpl::Fast);
+      CompileResult FirstCompile = compileProgram(P, Fast);
+      if (!FirstCompile.ok()) {
+        std::fprintf(stderr, "FATAL: %s [%s]: %s\n", W.Name,
+                     Fast.tag().c_str(), FirstCompile.Error.c_str());
+        return 1;
+      }
+      R.Instrs = countInstrs(FirstCompile.M);
+      R.FastNs = bestOf(Reps, [&] {
+        CompileResult CR = compileProgram(P, Fast);
+        (void)CR;
+      });
+      if (TimeRef) {
+        CompileOptions Ref = optionsFor(C, sched::SchedImpl::Reference);
+        R.RefNs = bestOf(std::max(1, Reps - 1), [&] {
+          CompileResult CR = compileProgram(P, Ref);
+          (void)CR;
+        });
+        R.RefPhases = timePhases(P, C.Unroll, C.Traces, 1,
+                                 sched::SchedImpl::Reference);
+      }
+      R.FastPhases =
+          timePhases(P, C.Unroll, C.Traces, Reps, sched::SchedImpl::Fast);
+      Row.Rows.push_back(std::move(R));
+    }
+    std::printf("  %-12s  %8.0f kinstr/s  end-to-end speedup %.2fx\n",
+                C.Tag.c_str(), Row.instrsPerSec() / 1e3,
+                Row.speedup());
+    Results.push_back(std::move(Row));
+  }
+
+  // --- Thread-scaling sweep -------------------------------------------------
+  // Wall time to compile every (workload, config) job, fast implementation,
+  // on a pool of T workers. Results are per-compile deterministic, so only
+  // the wall time varies with T.
+  std::vector<ScalePoint> Scaling;
+  {
+    struct Job {
+      lang::Program P;
+      CompileOptions Opts;
+    };
+    std::vector<Job> Jobs;
+    for (const BenchConfig &C : Configs)
+      for (const Workload &W : workloads())
+        Jobs.push_back({parseWorkload(W), optionsFor(C, sched::SchedImpl::Fast)});
+    for (unsigned T = 1; T <= MaxThreads; T *= 2) {
+      uint64_t T0 = nowNs();
+      ThreadPool::parallelFor(T, Jobs.size(), [&](size_t I) {
+        CompileResult CR = compileProgram(Jobs[I].P, Jobs[I].Opts);
+        (void)CR;
+      });
+      Scaling.push_back({T, nowNs() - T0});
+      std::printf("  threads=%u  wall %.1f ms (%zu compiles)\n", T,
+                  static_cast<double>(Scaling.back().WallNs) / 1e6,
+                  Jobs.size());
+    }
+  }
+
+  // --- Summary --------------------------------------------------------------
+  const ConfigRow *Headline = nullptr;
+  for (const ConfigRow &R : Results)
+    if (R.Config.Tag == "BS+LU8+TrS")
+      Headline = &R;
+  double SchedSpeedup = 0.0;
+  if (Headline) {
+    uint64_t FastSched = 0, RefSched = 0;
+    for (const WorkloadRow &R : Headline->Rows) {
+      FastSched += R.FastPhases.DagNs + R.FastPhases.WeightsNs +
+                   R.FastPhases.ListNs;
+      RefSched +=
+          R.RefPhases.DagNs + R.RefPhases.WeightsNs + R.RefPhases.ListNs;
+    }
+    if (FastSched != 0 && RefSched != 0)
+      SchedSpeedup =
+          static_cast<double>(RefSched) / static_cast<double>(FastSched);
+    std::printf("summary: BS+LU8+TrS %.0f kinstr/s, end-to-end %.2fx, "
+                "scheduler phases %.2fx\n",
+                Headline->instrsPerSec() / 1e3, Headline->speedup(),
+                SchedSpeedup);
+  }
+
+  // --- JSON -----------------------------------------------------------------
+  {
+    std::ostringstream J;
+    J << "{\n  \"schema\": \"bsched-compile-throughput-v1\",\n";
+    J << "  \"quick\": " << (Quick ? "true" : "false") << ",\n";
+    J << "  \"configs\": [\n";
+    for (size_t CI = 0; CI != Results.size(); ++CI) {
+      const ConfigRow &R = Results[CI];
+      J << "    {\"tag\": \"" << jsonEscape(R.Config.Tag) << "\", "
+        << "\"unroll\": " << R.Config.Unroll << ", "
+        << "\"traces\": " << (R.Config.Traces ? "true" : "false") << ",\n"
+        << "     \"total_instrs\": " << R.totalInstrs() << ", "
+        << "\"total_compile_ns\": " << R.totalFastNs() << ", "
+        << "\"instrs_per_sec\": " << fmtDouble(R.instrsPerSec(), 1) << ", "
+        << "\"end_to_end_speedup\": " << fmtDouble(R.speedup(), 3) << ",\n"
+        << "     \"workloads\": [\n";
+      for (size_t WI = 0; WI != R.Rows.size(); ++WI) {
+        const WorkloadRow &W = R.Rows[WI];
+        J << "      {\"name\": \"" << W.Name << "\", \"instrs\": " << W.Instrs
+          << ", \"compile_ns\": " << W.FastNs
+          << ", \"ref_compile_ns\": " << W.RefNs
+          << ", \"phases\": {\"cleanup_ns\": " << W.FastPhases.CleanupNs
+          << ", \"profile_ns\": " << W.FastPhases.ProfileNs
+          << ", \"dag_ns\": " << W.FastPhases.DagNs
+          << ", \"weights_ns\": " << W.FastPhases.WeightsNs
+          << ", \"listsched_ns\": " << W.FastPhases.ListNs
+          << ", \"ref_cleanup_ns\": " << W.RefPhases.CleanupNs
+          << ", \"ref_profile_ns\": " << W.RefPhases.ProfileNs
+          << ", \"ref_dag_ns\": " << W.RefPhases.DagNs
+          << ", \"ref_weights_ns\": " << W.RefPhases.WeightsNs
+          << ", \"ref_listsched_ns\": " << W.RefPhases.ListNs << "}}"
+          << (WI + 1 == R.Rows.size() ? "\n" : ",\n");
+      }
+      J << "     ]}" << (CI + 1 == Results.size() ? "\n" : ",\n");
+    }
+    J << "  ],\n  \"thread_scaling\": [";
+    for (size_t I = 0; I != Scaling.size(); ++I)
+      J << (I ? ", " : "") << "{\"threads\": " << Scaling[I].Threads
+        << ", \"wall_ns\": " << Scaling[I].WallNs << "}";
+    J << "],\n";
+    J << "  \"summary\": {\"headline\": \"BS+LU8+TrS\", "
+      << "\"instrs_per_sec\": "
+      << fmtDouble(Headline ? Headline->instrsPerSec() : 0.0, 1) << ", "
+      << "\"end_to_end_speedup\": "
+      << fmtDouble(Headline ? Headline->speedup() : 0.0, 3) << ", "
+      << "\"scheduler_phase_speedup\": " << fmtDouble(SchedSpeedup, 3)
+      << "}\n}\n";
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    Out << J.str();
+    std::printf("wrote %s\n", JsonPath.c_str());
+  }
+
+  // --- Baseline gate --------------------------------------------------------
+  if (!BaselinePath.empty()) {
+    bool Failed = false;
+    for (const auto &[Tag, MinIps] : readBaseline(BaselinePath)) {
+      const ConfigRow *Found = nullptr;
+      for (const ConfigRow &R : Results)
+        if (R.Config.Tag == Tag)
+          Found = &R;
+      if (!Found) {
+        std::fprintf(stderr, "baseline tag %s not measured\n", Tag.c_str());
+        Failed = true;
+        continue;
+      }
+      double Ips = Found->instrsPerSec();
+      double Floor = 0.75 * MinIps;
+      std::printf("gate: %-12s %10.0f instr/s (baseline %.0f, floor %.0f) %s\n",
+                  Tag.c_str(), Ips, MinIps, Floor,
+                  Ips >= Floor ? "ok" : "REGRESSION");
+      if (Ips < Floor)
+        Failed = true;
+    }
+    if (Failed) {
+      std::fprintf(stderr,
+                   "FAIL: compile throughput regressed >25%% vs baseline\n");
+      return 1;
+    }
+  }
+  return 0;
+}

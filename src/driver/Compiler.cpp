@@ -55,8 +55,15 @@ CompileResult driver::compileProgram(const lang::Program &Source,
   }
   R.M = std::move(LR.M);
 
+  // Impl==Reference selects the pre-overhaul (seed) implementation of every
+  // phase that has one — cleanup and the profiling interpreter here, DAG
+  // build and scheduling below — so end-to-end timings of Reference vs Fast
+  // compare the whole old pipeline against the whole new one. Output is
+  // byte-identical either way (pinned by the golden-schedule tests).
+  bool Ref = Opts.Balance.Impl == sched::SchedImpl::Reference;
+
   if (Opts.CleanupIR) {
-    R.Cleanup = opt::cleanupModule(R.M);
+    R.Cleanup = opt::cleanupModule(R.M, Ref);
     if (std::string E = ir::verify(R.M); !E.empty()) {
       R.Error = "cleanup broke the IR: " + E;
       return R;
@@ -85,7 +92,8 @@ CompileResult driver::compileProgram(const lang::Program &Source,
   if (Opts.TraceScheduling) {
     ir::InterpResult Profile = Opts.UseEstimatedProfile
                                    ? trace::estimateProfile(R.M.Fn)
-                                   : ir::interpret(R.M);
+                                   : (Ref ? ir::interpretByInstr(R.M)
+                                          : ir::interpret(R.M));
     if (!Profile.Finished) {
       R.Error = "profiling run exceeded the instruction budget";
       return R;
@@ -109,7 +117,7 @@ CompileResult driver::compileProgram(const lang::Program &Source,
     ir::Module PreAlloc;
     if (Opts.VerifyPasses)
       PreAlloc = R.M;
-    R.RegAlloc = regalloc::allocateRegisters(R.M, Opts.RegAlloc);
+    R.RegAlloc = regalloc::allocateRegisters(R.M, Opts.RegAlloc, Ref);
     if (!R.RegAlloc.ok()) {
       R.Error = "regalloc: " + R.RegAlloc.Error;
       return R;

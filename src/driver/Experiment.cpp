@@ -4,8 +4,10 @@
 
 #include "lang/Eval.h"
 #include "support/Str.h"
+#include "support/ThreadPool.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -51,13 +53,27 @@ RunResult driver::runWorkload(const Workload &W, const CompileOptions &Opts,
   return R;
 }
 
+namespace {
+
+/// One memoized run. The once_flag serializes concurrent computations of
+/// the same key without holding the whole cache locked: the map mutex only
+/// guards slot creation, and the first caller to reach call_once computes
+/// while later callers for that key block on the flag (not on the cache).
+struct CacheEntry {
+  std::once_flag Once;
+  RunResult R;
+};
+
+} // namespace
+
 const RunResult &driver::runCached(const Workload &W,
                                    const CompileOptions &Opts,
                                    const sim::MachineConfig &Machine) {
-  // Results live behind unique_ptr so the returned references stay valid
+  // Entries live behind unique_ptr so the returned references stay valid
   // however much the table grows or rehashes: callers hold them across many
   // later runCached calls.
-  static std::unordered_map<std::string, std::unique_ptr<RunResult>> Cache;
+  static std::mutex CacheMutex;
+  static std::unordered_map<std::string, std::unique_ptr<CacheEntry>> Cache;
   std::string Key = std::string(W.Name) + "|" + Opts.tag() + "|" +
                     (Machine.SimpleModel
                          ? "simple:" + fmtDouble(Machine.SimpleHitRate, 3)
@@ -65,11 +81,32 @@ const RunResult &driver::runCached(const Workload &W,
                     "|w" + std::to_string(Machine.IssueWidth) + "|p" +
                     std::to_string(Opts.Balance.PressureThreshold) +
                     (Opts.Balance.BalanceFixedOps ? "|bf" : "") + "|a" +
-                    std::to_string(Opts.RegAlloc.AllocatablePerClass);
-  std::unique_ptr<RunResult> &Slot = Cache[Key];
-  if (!Slot)
-    Slot = std::make_unique<RunResult>(runWorkload(W, Opts, Machine));
-  return *Slot;
+                    std::to_string(Opts.RegAlloc.AllocatablePerClass) +
+                    (Opts.UseEstimatedProfile ? "|est" : "") +
+                    (Opts.VerifyPasses ? "" : "|nv") +
+                    (Opts.Balance.Impl == sched::SchedImpl::Reference ? "|ref"
+                                                                      : "");
+  CacheEntry *Entry;
+  {
+    std::lock_guard<std::mutex> Lock(CacheMutex);
+    std::unique_ptr<CacheEntry> &Slot = Cache[Key];
+    if (!Slot)
+      Slot = std::make_unique<CacheEntry>();
+    Entry = Slot.get();
+  }
+  std::call_once(Entry->Once,
+                 [&] { Entry->R = runWorkload(W, Opts, Machine); });
+  return Entry->R;
+}
+
+std::vector<const RunResult *>
+driver::runAll(const std::vector<ExperimentJob> &Jobs, unsigned NumThreads) {
+  std::vector<const RunResult *> Results(Jobs.size(), nullptr);
+  ThreadPool::parallelFor(NumThreads, Jobs.size(), [&](size_t I) {
+    const ExperimentJob &J = Jobs[I];
+    Results[I] = &runCached(*J.W, J.Opts, J.Machine);
+  });
+  return Results;
 }
 
 double driver::mean(const std::vector<double> &Xs) {

@@ -42,8 +42,28 @@ RunResult runWorkload(const Workload &W, const CompileOptions &Opts,
 
 /// Memoized variant keyed on workload name + options tag + machine model;
 /// the benchmark binaries use this so overlapping tables share runs.
+///
+/// Thread-safe: concurrent callers with distinct keys compute in parallel;
+/// concurrent callers with the same key block until the first one finishes
+/// and then share its result. Returned references stay valid for the
+/// process lifetime.
 const RunResult &runCached(const Workload &W, const CompileOptions &Opts,
                            const sim::MachineConfig &Machine = {});
+
+/// One (workload, configuration, machine) cell of an experiment.
+struct ExperimentJob {
+  const Workload *W = nullptr;
+  CompileOptions Opts;
+  sim::MachineConfig Machine;
+};
+
+/// Runs every job through runCached on \p NumThreads pool workers (0 = one
+/// per hardware thread) and returns the results in job order. Each compile
+/// is a pure function of its job — per-compile RNG streams, no shared
+/// mutable state — so the results are identical for any thread count; the
+/// golden-schedule tests assert this.
+std::vector<const RunResult *> runAll(const std::vector<ExperimentJob> &Jobs,
+                                      unsigned NumThreads = 0);
 
 /// Arithmetic mean (the paper reports arithmetic average speedups).
 double mean(const std::vector<double> &Xs);

@@ -185,7 +185,7 @@ void ir::executeInstr(ExecState &S, const Instr &I) {
 // Interpreter loop
 //===----------------------------------------------------------------------===//
 
-InterpResult ir::interpret(const Module &M, uint64_t MaxInstrs) {
+InterpResult ir::interpretByInstr(const Module &M, uint64_t MaxInstrs) {
   const Function &F = M.Fn;
   ExecState S(M);
   InterpResult R;
@@ -215,6 +215,309 @@ InterpResult ir::interpret(const Module &M, uint64_t MaxInstrs) {
     case Opcode::Jmp:
       ++R.EdgeCounts[Block][0];
       Block = T.Target0;
+      break;
+    case Opcode::Ret:
+      R.Finished = true;
+      R.Checksum = S.outputChecksum(M);
+      return R;
+    default:
+      assert(false && "bad terminator");
+      return R;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Predecoded interpreter loop
+//===----------------------------------------------------------------------===//
+//
+// Instr is heavy — memory instructions carry a symbolic address-term vector,
+// so a block's instruction array is neither compact nor contiguous in the
+// fields the executor touches. The profiling interpreter runs millions of
+// dynamic instructions per compile, so interpret() first flattens the
+// function into 24-byte micro-ops (one pass), splitting each reg-or-literal
+// opcode into explicit register and immediate forms, then runs the flat
+// stream. Results are bit-identical to interpretByInstr().
+
+namespace {
+
+enum class MicroKind : uint8_t {
+  LdI, FLdI, Mov, FMov, ItoF, FtoI,
+  IAddR, IAddI, ISubR, ISubI, IMulR, IMulI,
+  SllR, SllI, SrlR, SrlI, AndR, AndI, OrR, OrI, XorR, XorI,
+  CmpEqR, CmpEqI, CmpLtR, CmpLtI, CmpLeR, CmpLeI,
+  FAdd, FSub, FMul, FDiv, FCmpEq, FCmpLt, FCmpLe,
+  CMov, FCMov, Load, FLoad, Store, FStore,
+};
+
+struct MicroOp {
+  MicroKind K;
+  Reg Dst, A, B;
+  int64_t Imm; ///< ALU literal, memory offset, or FLdI bit pattern.
+};
+
+struct MicroBlock {
+  uint32_t Start = 0;     ///< first micro-op in the flat stream
+  uint32_t NumMicro = 0;  ///< non-terminator micro-ops
+  uint64_t NumInstrs = 0; ///< dynamic instructions incl. the terminator
+  Opcode Term = Opcode::Ret;
+  Reg Cond;
+  int T0 = -1, T1 = -1;
+};
+
+MicroOp decodeMicro(const Instr &I) {
+  MicroOp O;
+  O.Dst = I.Dst;
+  O.A = I.SrcA;
+  O.B = I.SrcB;
+  O.Imm = I.Imm;
+  // Reg-or-literal ops: pick the form once, mirroring executeInstr's B().
+  bool RegB = I.SrcB.isValid();
+  switch (I.Op) {
+  case Opcode::LdI: O.K = MicroKind::LdI; break;
+  case Opcode::FLdI: O.K = MicroKind::FLdI; break; // Imm is the bit pattern
+  case Opcode::Mov: O.K = MicroKind::Mov; break;
+  case Opcode::FMov: O.K = MicroKind::FMov; break;
+  case Opcode::ItoF: O.K = MicroKind::ItoF; break;
+  case Opcode::FtoI: O.K = MicroKind::FtoI; break;
+  case Opcode::IAdd: O.K = RegB ? MicroKind::IAddR : MicroKind::IAddI; break;
+  case Opcode::ISub: O.K = RegB ? MicroKind::ISubR : MicroKind::ISubI; break;
+  case Opcode::IMul: O.K = RegB ? MicroKind::IMulR : MicroKind::IMulI; break;
+  case Opcode::Sll: O.K = RegB ? MicroKind::SllR : MicroKind::SllI; break;
+  case Opcode::Srl: O.K = RegB ? MicroKind::SrlR : MicroKind::SrlI; break;
+  case Opcode::And: O.K = RegB ? MicroKind::AndR : MicroKind::AndI; break;
+  case Opcode::Or: O.K = RegB ? MicroKind::OrR : MicroKind::OrI; break;
+  case Opcode::Xor: O.K = RegB ? MicroKind::XorR : MicroKind::XorI; break;
+  case Opcode::CmpEq:
+    O.K = RegB ? MicroKind::CmpEqR : MicroKind::CmpEqI;
+    break;
+  case Opcode::CmpLt:
+    O.K = RegB ? MicroKind::CmpLtR : MicroKind::CmpLtI;
+    break;
+  case Opcode::CmpLe:
+    O.K = RegB ? MicroKind::CmpLeR : MicroKind::CmpLeI;
+    break;
+  case Opcode::FAdd: O.K = MicroKind::FAdd; break;
+  case Opcode::FSub: O.K = MicroKind::FSub; break;
+  case Opcode::FMul: O.K = MicroKind::FMul; break;
+  case Opcode::FDiv: O.K = MicroKind::FDiv; break;
+  case Opcode::FCmpEq: O.K = MicroKind::FCmpEq; break;
+  case Opcode::FCmpLt: O.K = MicroKind::FCmpLt; break;
+  case Opcode::FCmpLe: O.K = MicroKind::FCmpLe; break;
+  case Opcode::CMov: O.K = MicroKind::CMov; break;
+  case Opcode::FCMov: O.K = MicroKind::FCMov; break;
+  case Opcode::Load:
+  case Opcode::FLoad:
+  case Opcode::Store:
+  case Opcode::FStore:
+    O.K = I.Op == Opcode::Load    ? MicroKind::Load
+          : I.Op == Opcode::FLoad ? MicroKind::FLoad
+          : I.Op == Opcode::Store ? MicroKind::Store
+                                  : MicroKind::FStore;
+    O.A = I.Op == Opcode::Store || I.Op == Opcode::FStore ? I.SrcA : Reg();
+    O.B = I.Base;
+    O.Imm = I.Offset;
+    break;
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+    assert(false && "terminators are not predecoded as micro-ops");
+    break;
+  }
+  return O;
+}
+
+} // namespace
+
+InterpResult ir::interpret(const Module &M, uint64_t MaxInstrs) {
+  const Function &F = M.Fn;
+
+  std::vector<MicroOp> Ops;
+  std::vector<MicroBlock> Blocks(F.Blocks.size());
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    MicroBlock &MB = Blocks[B];
+    MB.Start = static_cast<uint32_t>(Ops.size());
+    for (size_t K = 0; K + 1 < BB.Instrs.size(); ++K)
+      Ops.push_back(decodeMicro(BB.Instrs[K]));
+    MB.NumMicro = static_cast<uint32_t>(Ops.size()) - MB.Start;
+    MB.NumInstrs = BB.Instrs.size();
+    const Instr &T = BB.terminator();
+    MB.Term = T.Op;
+    MB.Cond = T.SrcA;
+    MB.T0 = T.Target0;
+    MB.T1 = T.Target1;
+  }
+
+  ExecState S(M);
+  InterpResult R;
+  R.BlockCounts.assign(F.Blocks.size(), 0);
+  R.EdgeCounts.assign(F.Blocks.size(), {0, 0});
+  const MicroOp *Base = Ops.data();
+
+  int Block = 0;
+  while (true) {
+    const MicroBlock &MB = Blocks[Block];
+    ++R.BlockCounts[Block];
+    if (R.DynInstrs + MB.NumInstrs > MaxInstrs)
+      return R;
+    R.DynInstrs += MB.NumInstrs;
+    for (const MicroOp *O = Base + MB.Start, *E = O + MB.NumMicro; O != E;
+         ++O) {
+      switch (O->K) {
+      case MicroKind::LdI: S.writeInt(O->Dst, O->Imm); break;
+      case MicroKind::FLdI: {
+        double V;
+        std::memcpy(&V, &O->Imm, sizeof(double));
+        S.writeFp(O->Dst, V);
+        break;
+      }
+      case MicroKind::Mov: S.writeInt(O->Dst, S.readInt(O->A)); break;
+      case MicroKind::FMov: S.writeFp(O->Dst, S.readFp(O->A)); break;
+      case MicroKind::ItoF:
+        S.writeFp(O->Dst, static_cast<double>(S.readInt(O->A)));
+        break;
+      case MicroKind::FtoI:
+        S.writeInt(O->Dst, static_cast<int64_t>(S.readFp(O->A)));
+        break;
+      case MicroKind::IAddR:
+        S.writeInt(O->Dst, S.readInt(O->A) + S.readInt(O->B));
+        break;
+      case MicroKind::IAddI:
+        S.writeInt(O->Dst, S.readInt(O->A) + O->Imm);
+        break;
+      case MicroKind::ISubR:
+        S.writeInt(O->Dst, S.readInt(O->A) - S.readInt(O->B));
+        break;
+      case MicroKind::ISubI:
+        S.writeInt(O->Dst, S.readInt(O->A) - O->Imm);
+        break;
+      case MicroKind::IMulR:
+        S.writeInt(O->Dst, S.readInt(O->A) * S.readInt(O->B));
+        break;
+      case MicroKind::IMulI:
+        S.writeInt(O->Dst, S.readInt(O->A) * O->Imm);
+        break;
+      case MicroKind::SllR:
+        S.writeInt(O->Dst, S.readInt(O->A) << (S.readInt(O->B) & 63));
+        break;
+      case MicroKind::SllI:
+        S.writeInt(O->Dst, S.readInt(O->A) << (O->Imm & 63));
+        break;
+      case MicroKind::SrlR:
+        S.writeInt(O->Dst, static_cast<int64_t>(
+                               static_cast<uint64_t>(S.readInt(O->A)) >>
+                               (S.readInt(O->B) & 63)));
+        break;
+      case MicroKind::SrlI:
+        S.writeInt(O->Dst, static_cast<int64_t>(
+                               static_cast<uint64_t>(S.readInt(O->A)) >>
+                               (O->Imm & 63)));
+        break;
+      case MicroKind::AndR:
+        S.writeInt(O->Dst, S.readInt(O->A) & S.readInt(O->B));
+        break;
+      case MicroKind::AndI:
+        S.writeInt(O->Dst, S.readInt(O->A) & O->Imm);
+        break;
+      case MicroKind::OrR:
+        S.writeInt(O->Dst, S.readInt(O->A) | S.readInt(O->B));
+        break;
+      case MicroKind::OrI:
+        S.writeInt(O->Dst, S.readInt(O->A) | O->Imm);
+        break;
+      case MicroKind::XorR:
+        S.writeInt(O->Dst, S.readInt(O->A) ^ S.readInt(O->B));
+        break;
+      case MicroKind::XorI:
+        S.writeInt(O->Dst, S.readInt(O->A) ^ O->Imm);
+        break;
+      case MicroKind::CmpEqR:
+        S.writeInt(O->Dst, S.readInt(O->A) == S.readInt(O->B) ? 1 : 0);
+        break;
+      case MicroKind::CmpEqI:
+        S.writeInt(O->Dst, S.readInt(O->A) == O->Imm ? 1 : 0);
+        break;
+      case MicroKind::CmpLtR:
+        S.writeInt(O->Dst, S.readInt(O->A) < S.readInt(O->B) ? 1 : 0);
+        break;
+      case MicroKind::CmpLtI:
+        S.writeInt(O->Dst, S.readInt(O->A) < O->Imm ? 1 : 0);
+        break;
+      case MicroKind::CmpLeR:
+        S.writeInt(O->Dst, S.readInt(O->A) <= S.readInt(O->B) ? 1 : 0);
+        break;
+      case MicroKind::CmpLeI:
+        S.writeInt(O->Dst, S.readInt(O->A) <= O->Imm ? 1 : 0);
+        break;
+      case MicroKind::FAdd:
+        S.writeFp(O->Dst, S.readFp(O->A) + S.readFp(O->B));
+        break;
+      case MicroKind::FSub:
+        S.writeFp(O->Dst, S.readFp(O->A) - S.readFp(O->B));
+        break;
+      case MicroKind::FMul:
+        S.writeFp(O->Dst, S.readFp(O->A) * S.readFp(O->B));
+        break;
+      case MicroKind::FDiv:
+        S.writeFp(O->Dst, S.readFp(O->A) / S.readFp(O->B));
+        break;
+      case MicroKind::FCmpEq:
+        S.writeInt(O->Dst, S.readFp(O->A) == S.readFp(O->B) ? 1 : 0);
+        break;
+      case MicroKind::FCmpLt:
+        S.writeInt(O->Dst, S.readFp(O->A) < S.readFp(O->B) ? 1 : 0);
+        break;
+      case MicroKind::FCmpLe:
+        S.writeInt(O->Dst, S.readFp(O->A) <= S.readFp(O->B) ? 1 : 0);
+        break;
+      case MicroKind::CMov:
+        if (S.readInt(O->A) != 0)
+          S.writeInt(O->Dst, S.readInt(O->B));
+        break;
+      case MicroKind::FCMov:
+        if (S.readInt(O->A) != 0)
+          S.writeFp(O->Dst, S.readFp(O->B));
+        break;
+      case MicroKind::Load:
+        S.writeInt(O->Dst,
+                   static_cast<int64_t>(S.loadWord(static_cast<uint64_t>(
+                       S.readInt(O->B) + O->Imm))));
+        break;
+      case MicroKind::FLoad: {
+        uint64_t Bits =
+            S.loadWord(static_cast<uint64_t>(S.readInt(O->B) + O->Imm));
+        double V;
+        std::memcpy(&V, &Bits, 8);
+        S.writeFp(O->Dst, V);
+        break;
+      }
+      case MicroKind::Store:
+        S.storeWord(static_cast<uint64_t>(S.readInt(O->B) + O->Imm),
+                    static_cast<uint64_t>(S.readInt(O->A)));
+        break;
+      case MicroKind::FStore: {
+        double V = S.readFp(O->A);
+        uint64_t Bits;
+        std::memcpy(&Bits, &V, 8);
+        S.storeWord(static_cast<uint64_t>(S.readInt(O->B) + O->Imm), Bits);
+        break;
+      }
+      }
+    }
+    switch (MB.Term) {
+    case Opcode::Br:
+      if (S.readInt(MB.Cond) != 0) {
+        ++R.EdgeCounts[Block][0];
+        Block = MB.T0;
+      } else {
+        ++R.EdgeCounts[Block][1];
+        Block = MB.T1;
+      }
+      break;
+    case Opcode::Jmp:
+      ++R.EdgeCounts[Block][0];
+      Block = MB.T0;
       break;
     case Opcode::Ret:
       R.Finished = true;

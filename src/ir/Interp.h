@@ -36,8 +36,19 @@ struct InterpResult {
 };
 
 /// Executes \p M from its entry block until Ret (or until \p MaxInstrs
-/// instructions have run). The module must have been laid out.
+/// instructions have run). The module must have been laid out. Predecodes
+/// every instruction into a compact micro-op once, then runs the flat
+/// micro-op stream — the IR's Instr is large (memory instructions carry a
+/// symbolic address-term vector) and walking it per dynamic instruction
+/// dominates profiling time.
 InterpResult interpret(const Module &M, uint64_t MaxInstrs = 1000000000ull);
+
+/// The original executor: walks the IR instruction-by-instruction through
+/// executeInstr with no predecoding. Produces results identical to
+/// interpret(); kept as the compile-throughput baseline and as a
+/// differential-testing oracle for the predecoder.
+InterpResult interpretByInstr(const Module &M,
+                              uint64_t MaxInstrs = 1000000000ull);
 
 /// Architectural state (register file + memory image) shared by the
 /// functional interpreter and the timing simulator.

@@ -2,54 +2,77 @@
 
 #include "ir/Liveness.h"
 
+#include <cstring>
+
 using namespace bsched;
 using namespace bsched::ir;
 
 Liveness ir::computeLiveness(const Function &F) {
   unsigned NumRegs = F.numRegs();
   size_t NumBlocks = F.Blocks.size();
+  size_t W = (NumRegs + 63) / 64;
+
+  // All four dataflow sets live in flat NumBlocks x W word arrays: four
+  // allocations total instead of one BitVec per block per set, and the
+  // fixpoint below runs as plain word loops. Cleanup recomputes liveness
+  // many times per compile, so constant overhead here is hot.
+  std::vector<uint64_t> Use(NumBlocks * W, 0), Def(NumBlocks * W, 0);
+  std::vector<uint64_t> In(NumBlocks * W, 0), Out(NumBlocks * W, 0);
+  auto SetBit = [](uint64_t *Row, uint32_t I) {
+    Row[I / 64] |= 1ull << (I % 64);
+  };
+  auto TestBit = [](const uint64_t *Row, uint32_t I) {
+    return (Row[I / 64] >> (I % 64)) & 1;
+  };
 
   // Per-block Use (upward-exposed reads) and Def (writes) sets.
-  std::vector<BitVec> Use(NumBlocks, BitVec(NumRegs));
-  std::vector<BitVec> Def(NumBlocks, BitVec(NumRegs));
   std::vector<Reg> Uses;
   for (size_t B = 0; B != NumBlocks; ++B) {
+    uint64_t *UseB = Use.data() + B * W, *DefB = Def.data() + B * W;
     for (const Instr &I : F.Blocks[B].Instrs) {
       Uses.clear();
       I.appendUses(Uses);
       for (Reg R : Uses)
-        if (!Def[B].test(R.Id))
-          Use[B].set(R.Id);
+        if (!TestBit(DefB, R.Id))
+          SetBit(UseB, R.Id);
       // CMov-style partial writes already appear in Uses; a definition after
       // that still kills downward exposure.
       if (Reg D = I.def(); D.isValid())
-        Def[B].set(D.Id);
+        SetBit(DefB, D.Id);
+    }
+  }
+
+  std::vector<uint64_t> Scratch(W);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = NumBlocks; BI-- > 0;) {
+      uint64_t *OutB = Out.data() + BI * W, *InB = In.data() + BI * W;
+      std::memset(Scratch.data(), 0, W * sizeof(uint64_t));
+      for (int S : F.Blocks[BI].successors()) {
+        const uint64_t *InS = In.data() + size_t(S) * W;
+        for (size_t I = 0; I != W; ++I)
+          Scratch[I] |= InS[I];
+      }
+      const uint64_t *UseB = Use.data() + BI * W, *DefB = Def.data() + BI * W;
+      for (size_t I = 0; I != W; ++I) {
+        uint64_t O = Scratch[I];
+        uint64_t N = (O & ~DefB[I]) | UseB[I];
+        Changed |= O != OutB[I] || N != InB[I];
+        OutB[I] = O;
+        InB[I] = N;
+      }
     }
   }
 
   Liveness L;
   L.LiveIn.assign(NumBlocks, BitVec(NumRegs));
   L.LiveOut.assign(NumBlocks, BitVec(NumRegs));
-
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (size_t BI = NumBlocks; BI-- > 0;) {
-      BitVec Out(NumRegs);
-      for (int S : F.Blocks[BI].successors())
-        Out.orWith(L.LiveIn[S]);
-      BitVec In = Out;
-      In.subtract(Def[BI]);
-      In.orWith(Use[BI]);
-      if (!(Out == L.LiveOut[BI])) {
-        L.LiveOut[BI] = std::move(Out);
-        Changed = true;
-      }
-      if (!(In == L.LiveIn[BI])) {
-        L.LiveIn[BI] = std::move(In);
-        Changed = true;
-      }
-    }
+  for (size_t B = 0; W != 0 && B != NumBlocks; ++B) {
+    std::memcpy(L.LiveIn[B].words().data(), In.data() + B * W,
+                W * sizeof(uint64_t));
+    std::memcpy(L.LiveOut[B].words().data(), Out.data() + B * W,
+                W * sizeof(uint64_t));
   }
   return L;
 }

@@ -39,8 +39,11 @@ struct CleanupStats {
 
 /// Cleans every block of \p M in place. The module must verify before and
 /// will verify after; program semantics (interpreter checksum) are
-/// preserved.
-CleanupStats cleanupModule(ir::Module &M);
+/// preserved. With \p UseReferenceImpl the original map-based local passes
+/// run instead of the dense timestamp-validated ones; both make identical
+/// decisions, so the output is byte-identical — the flag exists so the
+/// compile-throughput benchmark can time the pre-overhaul implementation.
+CleanupStats cleanupModule(ir::Module &M, bool UseReferenceImpl = false);
 
 } // namespace opt
 } // namespace bsched

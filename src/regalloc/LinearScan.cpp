@@ -1,4 +1,13 @@
 //===- regalloc/LinearScan.cpp - Linear-scan register allocation -----------===//
+//
+// All per-vreg side tables (interval hulls, assignments, spill slots, remat
+// defs) are dense vectors indexed by register id — register ids are dense by
+// construction, so ordered maps only added rb-tree overhead to what a vector
+// indexes directly. Iteration that used to follow map key order now walks
+// ascending ids, which is the same order, so allocation decisions (and thus
+// the emitted code) are unchanged.
+//
+//===----------------------------------------------------------------------===//
 
 #include "regalloc/LinearScan.h"
 
@@ -32,6 +41,343 @@ struct Interval {
 class Allocator {
 public:
   Allocator(Module &M, RegAllocOptions Opts) : M(M), Opts(Opts) {}
+
+  RegAllocStats run() {
+    if (Opts.AllocatablePerClass == 0 ||
+        Opts.AllocatablePerClass > NumPhysPerClass - 4) {
+      Stats.Error = "allocatable register count out of range";
+      return Stats;
+    }
+    unsigned NumRegs = M.Fn.numRegs();
+    Assignment.assign(NumRegs, Untouched);
+    SpillSlot.assign(NumRegs, -1);
+    DefCount.assign(NumRegs, 0);
+    HasRemat.assign(NumRegs, 0);
+    RematDef.assign(NumRegs, Instr());
+    buildIntervals();
+    scan();
+    rewrite();
+    return Stats;
+  }
+
+private:
+  Module &M;
+  RegAllocOptions Opts;
+  RegAllocStats Stats;
+
+  /// Assignment sentinel: the vreg never appeared in any interval.
+  static constexpr int Untouched = -2;
+  /// Assignment sentinel: the vreg lives in memory (spilled).
+  static constexpr int Spilled = -1;
+
+  std::vector<Interval> Intervals; ///< one per live virtual register.
+  /// Reg id -> physical register id, Spilled, or Untouched.
+  std::vector<int> Assignment;
+  /// Reg id -> spill slot index, or -1.
+  std::vector<int> SpillSlot;
+  int NextSlot = 0;
+  /// Reg id -> its unique constant-materializing definition (LdI/FLdI).
+  /// Spills of such registers are rematerialized: the use re-executes the
+  /// one-cycle immediate load instead of a memory restore.
+  std::vector<uint8_t> HasRemat;
+  std::vector<Instr> RematDef;
+  std::vector<int> DefCount;
+
+  void buildIntervals() {
+    Function &F = M.Fn;
+    Liveness L = computeLiveness(F);
+
+    // Hull per reg id; Start < 0 marks a register never touched.
+    std::vector<Interval> ByReg(F.numRegs());
+    auto Touch = [&](Reg R, int Pos) {
+      if (!R.isVirtual())
+        return;
+      Interval &I = ByReg[R.Id];
+      I.VReg = R.Id;
+      I.Cls = F.regClass(R);
+      I.extend(Pos);
+    };
+
+    int Pos = 0;
+    std::vector<Reg> Uses;
+    for (const BasicBlock &B : F.Blocks) {
+      int BlockStart = Pos;
+      int BlockEnd = Pos + static_cast<int>(B.Instrs.size()) - 1;
+      for (const Instr &In : B.Instrs) {
+        Uses.clear();
+        In.appendUses(Uses);
+        for (Reg R : Uses)
+          Touch(R, Pos);
+        Touch(In.def(), Pos);
+        if (Reg D = In.def(); D.isVirtual()) {
+          if (++DefCount[D.Id] == 1 &&
+              (In.Op == Opcode::LdI || In.Op == Opcode::FLdI)) {
+            HasRemat[D.Id] = 1;
+            RematDef[D.Id] = In;
+          } else {
+            HasRemat[D.Id] = 0;
+          }
+        }
+        ++Pos;
+      }
+      // Live-in/out registers span the whole block (conservative hull).
+      L.LiveIn[B.Id].forEach([&](unsigned Id) {
+        Touch(Reg(Id), BlockStart);
+      });
+      L.LiveOut[B.Id].forEach([&](unsigned Id) {
+        Touch(Reg(Id), BlockEnd);
+      });
+    }
+
+    // Ascending reg id — the iteration order the ordered map used to give.
+    for (Interval &I : ByReg)
+      if (I.Start >= 0)
+        Intervals.push_back(I);
+    std::sort(Intervals.begin(), Intervals.end(),
+              [](const Interval &A, const Interval &B) {
+                if (A.Start != B.Start)
+                  return A.Start < B.Start;
+                return A.VReg < B.VReg;
+              });
+  }
+
+  void scan() {
+    // One independent scan per register class.
+    for (RegClass Cls : {RegClass::Int, RegClass::Fp}) {
+      std::vector<const Interval *> Active; // sorted by End ascending.
+      std::vector<unsigned> FreeRegs;       // class-local indices.
+      for (unsigned R = Opts.AllocatablePerClass; R-- > 0;)
+        FreeRegs.push_back(R); // pop_back hands out low indices first.
+      unsigned MaxUsed = 0;
+
+      auto PhysId = [&](unsigned ClassLocal) {
+        return Cls == RegClass::Int ? ClassLocal
+                                    : NumPhysPerClass + ClassLocal;
+      };
+
+      for (const Interval &Cur : Intervals) {
+        if (Cur.Cls != Cls)
+          continue;
+        // Expire intervals whose hull ended at or before our start: a def at
+        // the position of another value's final use may share the register
+        // (reads precede writes within an instruction).
+        while (!Active.empty() && Active.front()->End <= Cur.Start) {
+          uint32_t Freed = Active.front()->VReg;
+          FreeRegs.push_back(static_cast<unsigned>(
+              Cls == RegClass::Int ? Assignment[Freed]
+                                   : Assignment[Freed] -
+                                         static_cast<int>(NumPhysPerClass)));
+          Active.erase(Active.begin());
+        }
+        if (!FreeRegs.empty()) {
+          unsigned R = FreeRegs.back();
+          FreeRegs.pop_back();
+          MaxUsed = std::max(MaxUsed, R + 1);
+          Assignment[Cur.VReg] = static_cast<int>(PhysId(R));
+          insertActive(Active, &Cur);
+          continue;
+        }
+        // Spill the interval that ends furthest in the future.
+        const Interval *Victim = Active.empty() ? nullptr : Active.back();
+        if (Victim && Victim->End > Cur.End) {
+          int R = Assignment[Victim->VReg];
+          Assignment[Victim->VReg] = Spilled;
+          if (!HasRemat[Victim->VReg])
+            SpillSlot[Victim->VReg] = NextSlot++;
+          ++Stats.SpilledVRegs;
+          Active.pop_back();
+          Assignment[Cur.VReg] = R;
+          insertActive(Active, &Cur);
+        } else {
+          Assignment[Cur.VReg] = Spilled;
+          if (!HasRemat[Cur.VReg])
+            SpillSlot[Cur.VReg] = NextSlot++;
+          ++Stats.SpilledVRegs;
+        }
+      }
+      if (Cls == RegClass::Int)
+        Stats.IntRegsUsed = MaxUsed;
+      else
+        Stats.FpRegsUsed = MaxUsed;
+    }
+  }
+
+  static void insertActive(std::vector<const Interval *> &Active,
+                           const Interval *I) {
+    auto It = std::lower_bound(Active.begin(), Active.end(), I,
+                               [](const Interval *A, const Interval *B) {
+                                 return A->End < B->End;
+                               });
+    Active.insert(It, I);
+  }
+
+  Reg scratch(RegClass Cls, int K) {
+    unsigned Local = SpillScratchRegs[K];
+    return Cls == RegClass::Int ? physIntReg(Local) : physFpReg(Local);
+  }
+
+  /// Builds a restore (load) of \p VReg's slot into \p Into.
+  Instr makeRestore(uint32_t VReg, Reg Into, RegClass Cls) {
+    Instr In;
+    In.Op = Cls == RegClass::Int ? Opcode::Load : Opcode::FLoad;
+    In.Dst = Into;
+    In.Base = physIntReg(FrameBaseReg);
+    assert(SpillSlot[VReg] >= 0 && "restore of a register without a slot");
+    In.Offset = SpillSlot[VReg] * 8;
+    In.Mem.ArrayId = M.SpillArrayId;
+    In.Mem.HasForm = true;
+    In.Mem.Const = In.Offset;
+    In.IsRestore = true;
+    ++Stats.RestoreLoads;
+    return In;
+  }
+
+  Instr makeSpill(uint32_t VReg, Reg From, RegClass Cls) {
+    Instr In;
+    In.Op = Cls == RegClass::Int ? Opcode::Store : Opcode::FStore;
+    In.SrcA = From;
+    In.Base = physIntReg(FrameBaseReg);
+    assert(SpillSlot[VReg] >= 0 && "spill of a register without a slot");
+    In.Offset = SpillSlot[VReg] * 8;
+    In.Mem.ArrayId = M.SpillArrayId;
+    In.Mem.HasForm = true;
+    In.Mem.Const = In.Offset;
+    In.IsSpill = true;
+    ++Stats.SpillStores;
+    return In;
+  }
+
+  void rewrite() {
+    Function &F = M.Fn;
+    const ArrayInfo &SpillArea =
+        M.Arrays[static_cast<size_t>(M.SpillArrayId)];
+    if (static_cast<int64_t>(NextSlot) * 8 > SpillArea.sizeBytes()) {
+      Stats.Error = "spill area exhausted";
+      return;
+    }
+
+    // Per-instruction scratch replacements: at most one per readable
+    // operand (SrcA/SrcB/SrcC/Base/Dst), so a fixed array suffices.
+    struct Replacement {
+      uint32_t VReg;
+      Reg Phys;
+    };
+    Replacement Replaced[8];
+
+    for (BasicBlock &B : F.Blocks) {
+      std::vector<Instr> Out;
+      Out.reserve(B.Instrs.size());
+      for (Instr &Orig : B.Instrs) {
+        Instr In = std::move(Orig);
+        // Restores for spilled sources; one scratch per distinct register.
+        int NextScratch[2] = {0, 0};
+        int NumReplaced = 0;
+        auto Fix = [&](Reg &R) {
+          if (!R.isVirtual())
+            return;
+          int Phys = Assignment[R.Id];
+          assert(Phys != Untouched && "use of a register with no interval");
+          if (Phys >= 0) {
+            R = Reg(static_cast<uint32_t>(Phys));
+            return;
+          }
+          for (int K = 0; K != NumReplaced; ++K)
+            if (Replaced[K].VReg == R.Id) {
+              R = Replaced[K].Phys;
+              return;
+            }
+          RegClass Cls = F.regClass(R);
+          int K = NextScratch[Cls == RegClass::Fp ? 1 : 0]++;
+          Reg S = scratch(Cls, K);
+          if (HasRemat[R.Id]) {
+            Instr Clone = RematDef[R.Id];
+            Clone.Dst = S;
+            Clone.IsRemat = true;
+            Out.push_back(Clone);
+            ++Stats.Remats;
+          } else {
+            Out.push_back(makeRestore(R.Id, S, Cls));
+          }
+          Replaced[NumReplaced++] = {R.Id, S};
+          R = S;
+        };
+
+        // CMov/FCMov reads its old destination; restore it like a source.
+        bool ReadsDst = In.Op == Opcode::CMov || In.Op == Opcode::FCMov;
+        uint32_t DstVReg =
+            In.def().isValid() && In.Dst.isVirtual() ? In.Dst.Id : Reg().Id;
+
+        Fix(In.SrcA);
+        Fix(In.SrcB);
+        Fix(In.SrcC);
+        Fix(In.Base);
+        if (ReadsDst && In.Dst.isVirtual() && Assignment[In.Dst.Id] < 0)
+          Fix(In.Dst); // restores old value into a scratch; spilled below.
+        else if (In.Dst.isVirtual()) {
+          int Phys = Assignment[In.Dst.Id];
+          if (Phys >= 0)
+            In.Dst = Reg(static_cast<uint32_t>(Phys));
+          else {
+            RegClass Cls = F.regClass(In.Dst);
+            int K = NextScratch[Cls == RegClass::Fp ? 1 : 0]++;
+            In.Dst = scratch(Cls, K);
+          }
+        }
+
+        // Remap MemRef terms so post-allocation consumers see physical ids;
+        // spilled symbols lose the exact form. A term register can also be
+        // gone entirely (cleanup propagated the copy and removed the def, so
+        // it has no interval); the symbolic form is then lost too.
+        for (auto TIt = In.Mem.Terms.begin(); TIt != In.Mem.Terms.end();) {
+          Reg TR(TIt->RegId);
+          if (!TR.isVirtual()) {
+            ++TIt;
+            continue;
+          }
+          int Phys =
+              TIt->RegId < Assignment.size() ? Assignment[TIt->RegId] : Untouched;
+          if (Phys >= 0) {
+            TIt->RegId = static_cast<uint32_t>(Phys);
+            ++TIt;
+          } else {
+            In.Mem.HasForm = false;
+            In.Mem.Terms.clear();
+            break;
+          }
+        }
+
+        Out.push_back(std::move(In));
+
+        // Spill the defined value if its vreg lives in memory; constants
+        // are rematerialized at their uses instead.
+        if (DstVReg != Reg().Id && Assignment[DstVReg] < 0 &&
+            !HasRemat[DstVReg]) {
+          RegClass Cls = F.regClass(Reg(DstVReg));
+          Out.push_back(makeSpill(DstVReg, Out.back().Dst, Cls));
+        }
+      }
+      // A terminator must stay last: spills after a terminator are illegal,
+      // but terminators never define registers, so none are emitted.
+      B.Instrs = std::move(Out);
+    }
+
+    // Initialize the frame base at function entry.
+    Instr Init;
+    Init.Op = Opcode::LdI;
+    Init.Dst = physIntReg(FrameBaseReg);
+    Init.Imm = static_cast<int64_t>(SpillArea.Base);
+    Init.HasImm = true;
+    F.Blocks[0].Instrs.insert(F.Blocks[0].Instrs.begin(), Init);
+  }
+};
+
+/// The seed allocator, preserved verbatim: ordered-map side tables and a
+/// per-instruction copy in rewrite(). Identical allocation decisions to the
+/// dense Allocator above (map key order == ascending reg-id order); kept as
+/// the compile-throughput baseline and differential-testing oracle.
+class ReferenceAllocator {
+public:
+  ReferenceAllocator(Module &M, RegAllocOptions Opts) : M(M), Opts(Opts) {}
 
   RegAllocStats run() {
     if (Opts.AllocatablePerClass == 0 ||
@@ -338,6 +684,8 @@ private:
 
 } // namespace
 
-RegAllocStats regalloc::allocateRegisters(Module &M, RegAllocOptions Opts) {
-  return Allocator(M, Opts).run();
+RegAllocStats regalloc::allocateRegisters(Module &M, RegAllocOptions Opts,
+                                          bool UseReferenceImpl) {
+  return UseReferenceImpl ? ReferenceAllocator(M, Opts).run()
+                          : Allocator(M, Opts).run();
 }

@@ -53,8 +53,13 @@ struct RegAllocStats {
 
 /// Rewrites every virtual register of \p M.Fn to a physical register,
 /// inserting spill/restore code against the module's spill area when the
-/// register file is exhausted. The module must be laid out.
-RegAllocStats allocateRegisters(ir::Module &M, RegAllocOptions Opts = {});
+/// register file is exhausted. The module must be laid out. With
+/// \p UseReferenceImpl the preserved seed allocator (ordered-map side
+/// tables) runs instead of the dense one; both produce identical code —
+/// the flag exists so the compile-throughput benchmark can time the
+/// pre-overhaul implementation.
+RegAllocStats allocateRegisters(ir::Module &M, RegAllocOptions Opts = {},
+                                bool UseReferenceImpl = false);
 
 } // namespace regalloc
 } // namespace bsched

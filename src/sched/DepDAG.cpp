@@ -1,9 +1,23 @@
 //===- sched/DepDAG.cpp - Data-dependence DAG ------------------------------===//
+//
+// The optimized DAG builder: register tables are dense vectors indexed by
+// Reg.Id (the id space is already dense, see ir/IR.h), and memory
+// disambiguation buckets references by (array, linear form, epochs) so the
+// common provably-disjoint pairs of an unrolled loop body are subtracted
+// with bitset operations instead of being re-proved one pair at a time.
+// Output is byte-identical to reference::buildDepDAG (same edges, added in
+// the same order); the golden-schedule tests assert this.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sched/DepDAG.h"
+#include "sched/Reference.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <map>
+#include <unordered_map>
 
 using namespace bsched;
 using namespace bsched::sched;
@@ -34,10 +48,9 @@ std::vector<unsigned> DepDAG::topoOrder() const {
 std::vector<BitVec> DepDAG::reachability() const {
   unsigned N = size();
   std::vector<BitVec> Reach(N, BitVec(N));
-  std::vector<unsigned> Order = topoOrder();
-  // Process in reverse topological order so successors are complete.
-  for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
-    unsigned I = *It;
+  // Node ids are a topological order (addEdge enforces From < To), so a
+  // reverse id sweep visits successors before predecessors.
+  for (unsigned I = N; I-- != 0;) {
     for (unsigned S : Succs[I]) {
       Reach[I].set(S);
       Reach[I].orWith(Reach[S]);
@@ -48,46 +61,76 @@ std::vector<BitVec> DepDAG::reachability() const {
 
 namespace {
 
-/// Epoch-stamped memory reference: the linear form is only comparable when
-/// the referenced registers have identical definition counts.
-struct StampedRef {
-  const MemRef *Mem = nullptr;
-  std::vector<uint32_t> Epochs; ///< parallel to Mem->Terms.
-  uint32_t BaseEpoch = 0;       ///< unused; reserved.
+/// Hash for the (array, linear form, epochs) bucket keys below: FNV-1a over
+/// the encoded words.
+struct KeyHash {
+  size_t operator()(const std::vector<int64_t> &Key) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (int64_t V : Key) {
+      H ^= static_cast<uint64_t>(V);
+      H *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(H);
+  }
 };
 
-/// Returns true when the two accesses certainly touch disjoint memory.
-bool certainlyDisjoint(const StampedRef &A, const StampedRef &B) {
-  const MemRef &MA = *A.Mem;
-  const MemRef &MB = *B.Mem;
-  // Distinct named arrays never overlap.
-  if (MA.ArrayId >= 0 && MB.ArrayId >= 0 && MA.ArrayId != MB.ArrayId)
-    return true;
-  if (!MA.sameLinearForm(MB))
-    return false;
-  if (A.Epochs != B.Epochs)
-    return false;
-  int64_t Delta = MA.Const - MB.Const;
-  if (Delta < 0)
-    Delta = -Delta;
-  return Delta >= std::max(MA.Size, MB.Size);
-}
+/// All memory references with the same comparable linear form (same array,
+/// same terms, same definition epochs): within a bucket, two accesses
+/// conflict iff their constant offsets are closer than the access size.
+struct FormBucket {
+  BitVec Bits;                                ///< members, by mem ordinal.
+  std::map<int64_t, std::vector<unsigned>> ByConst; ///< Const -> ordinals.
+  int MaxSize = 0;                            ///< largest access size seen.
+};
 
 } // namespace
 
-DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs) {
+DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs,
+                          SchedImpl Impl) {
+  if (Impl == SchedImpl::Reference)
+    return reference::buildDepDAG(Instrs);
+
   unsigned N = static_cast<unsigned>(Instrs.size());
   DepDAG G(N);
 
-  // --- Register dependences -------------------------------------------------
-  // LastDef[r] = index of most recent writer; ReadersSinceDef[r] = readers of
-  // the current value.
-  std::map<uint32_t, unsigned> LastDef;
-  std::map<uint32_t, std::vector<unsigned>> Readers;
-  std::map<uint32_t, uint32_t> DefCount;
-
-  std::vector<StampedRef> Stamped(N);
+  // --- Sizing pass ----------------------------------------------------------
+  // One scan to size the dense tables: the register id space, the array id
+  // space, the locality groups, and the memory-op ordinal space.
+  uint32_t NumRegs = 0;
+  int NumArrays = 0, NumGroups = 0;
+  unsigned NumMemOps = 0;
   std::vector<Reg> Uses;
+  for (const Instr *In : Instrs) {
+    Uses.clear();
+    In->appendUses(Uses);
+    for (Reg R : Uses)
+      NumRegs = std::max(NumRegs, R.Id + 1);
+    if (Reg D = In->def(); D.isValid())
+      NumRegs = std::max(NumRegs, D.Id + 1);
+    if (In->isMem()) {
+      ++NumMemOps;
+      NumArrays = std::max(NumArrays, In->Mem.ArrayId + 1);
+      for (const MemRef::Term &T : In->Mem.Terms)
+        NumRegs = std::max(NumRegs, T.RegId + 1);
+    }
+    NumGroups = std::max(NumGroups, In->LocalityGroup + 1);
+  }
+
+  // --- Register dependences -------------------------------------------------
+  // LastDef[r] = index of most recent writer; Readers[r] = readers of the
+  // current value; DefCount[r] = definition epoch for memory-form stamping.
+  constexpr unsigned None = ~0u;
+  std::vector<unsigned> LastDef(NumRegs, None);
+  std::vector<std::vector<unsigned>> Readers(NumRegs);
+  std::vector<uint32_t> DefCount(NumRegs, 0);
+
+  // Per memory op (in region order): its instruction index, and — when the
+  // address has a comparable affine form — the bucket key encoding
+  // (ArrayId, (RegId, Coeff, epoch)...). An empty key means "no form".
+  std::vector<unsigned> MemIdx;
+  MemIdx.reserve(NumMemOps);
+  std::vector<std::vector<int64_t>> FormKey;
+  FormKey.reserve(NumMemOps);
 
   for (unsigned I = 0; I != N; ++I) {
     const Instr &In = *Instrs[I];
@@ -95,16 +138,14 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs) {
     Uses.clear();
     In.appendUses(Uses);
     for (Reg R : Uses) {
-      auto DefIt = LastDef.find(R.Id);
-      if (DefIt != LastDef.end())
-        G.addEdge(DefIt->second, I); // true dependence
+      if (LastDef[R.Id] != None)
+        G.addEdge(LastDef[R.Id], I); // true dependence
       Readers[R.Id].push_back(I);
     }
 
     if (Reg D = In.def(); D.isValid()) {
-      auto DefIt = LastDef.find(D.Id);
-      if (DefIt != LastDef.end())
-        G.addEdge(DefIt->second, I); // output dependence
+      if (LastDef[D.Id] != None)
+        G.addEdge(LastDef[D.Id], I); // output dependence
       for (unsigned Rd : Readers[D.Id])
         G.addEdge(Rd, I); // anti dependence
       Readers[D.Id].clear();
@@ -113,27 +154,89 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs) {
     }
 
     if (In.isMem()) {
-      Stamped[I].Mem = &In.Mem;
-      Stamped[I].Epochs.reserve(In.Mem.Terms.size());
-      for (const MemRef::Term &T : In.Mem.Terms)
-        Stamped[I].Epochs.push_back(DefCount[T.RegId]);
+      MemIdx.push_back(I);
+      std::vector<int64_t> Key;
+      if (In.Mem.HasForm) {
+        Key.reserve(1 + 3 * In.Mem.Terms.size());
+        Key.push_back(In.Mem.ArrayId);
+        for (const MemRef::Term &T : In.Mem.Terms) {
+          Key.push_back(T.RegId);
+          Key.push_back(T.Coeff);
+          Key.push_back(DefCount[T.RegId]);
+        }
+      }
+      FormKey.push_back(std::move(Key));
     }
   }
 
   // --- Memory dependences ---------------------------------------------------
-  for (unsigned J = 0; J != N; ++J) {
-    if (!Instrs[J]->isMem())
-      continue;
-    bool JStore = Instrs[J]->isStore();
-    for (unsigned I = 0; I != J; ++I) {
-      if (!Instrs[I]->isMem())
-        continue;
-      bool IStore = Instrs[I]->isStore();
-      if (!IStore && !JStore)
-        continue; // load-load pairs are free to reorder
-      if (certainlyDisjoint(Stamped[I], Stamped[J]))
-        continue;
-      G.addEdge(I, J);
+  // For each op J (over the mem-op ordinal space 0..M-1), the earlier
+  // conflicting ops are
+  //
+  //   (all prior | prior stores, by J's kind)      load-load pairs reorder
+  //   & (same array | unknown-object prior)        distinct arrays disjoint
+  //   - (same comparable form, offsets far apart)  bucket subtraction
+  //
+  // computed with O(M/64) word operations plus a constant-radius window scan
+  // in J's form bucket, instead of proving every pair disjoint individually.
+  unsigned M = NumMemOps;
+  BitVec Prior(M), StoresPrior(M), UnknownPrior(M);
+  std::vector<BitVec> ArrayPrior(static_cast<size_t>(NumArrays), BitVec(M));
+  std::vector<bool> OrdIsStore(M, false);
+  std::unordered_map<std::vector<int64_t>, FormBucket, KeyHash> Buckets;
+  BitVec Conflicts(M), ArrScratch(M);
+
+  for (unsigned J = 0; J != M; ++J) {
+    const Instr &In = *Instrs[MemIdx[J]];
+    const MemRef &Mem = In.Mem;
+    bool JStore = In.isStore();
+    OrdIsStore[J] = JStore;
+
+    Conflicts = JStore ? Prior : StoresPrior;
+    if (Mem.ArrayId >= 0) {
+      ArrScratch = ArrayPrior[static_cast<size_t>(Mem.ArrayId)];
+      ArrScratch.orWith(UnknownPrior);
+      Conflicts.andWith(ArrScratch);
+    }
+
+    FormBucket *Bucket = nullptr;
+    if (!FormKey[J].empty()) {
+      FormBucket &B = Buckets[FormKey[J]];
+      if (B.Bits.size() == 0)
+        B.Bits = BitVec(M);
+      Bucket = &B;
+      Conflicts.subtract(B.Bits);
+      // Same-form ops with offsets closer than the access size still
+      // conflict: re-admit the window around J's constant.
+      int64_t Radius = std::max(B.MaxSize, Mem.Size);
+      auto It = B.ByConst.lower_bound(Mem.Const - Radius + 1);
+      for (; It != B.ByConst.end() && It->first < Mem.Const + Radius; ++It) {
+        int64_t Delta = std::llabs(Mem.Const - It->first);
+        for (unsigned K : It->second) {
+          const MemRef &MK = Instrs[MemIdx[K]]->Mem;
+          if (Delta < std::max(MK.Size, Mem.Size) &&
+              (JStore || OrdIsStore[K]))
+            Conflicts.set(K);
+        }
+      }
+    }
+
+    // Ascending ordinal order == ascending instruction order, matching the
+    // reference builder's edge insertion order exactly.
+    unsigned JIdx = MemIdx[J];
+    Conflicts.forEach([&](unsigned K) { G.addEdge(MemIdx[K], JIdx); });
+
+    Prior.set(J);
+    if (JStore)
+      StoresPrior.set(J);
+    if (Mem.ArrayId >= 0)
+      ArrayPrior[static_cast<size_t>(Mem.ArrayId)].set(J);
+    else
+      UnknownPrior.set(J);
+    if (Bucket) {
+      Bucket->Bits.set(J);
+      Bucket->ByConst[Mem.Const].push_back(J);
+      Bucket->MaxSize = std::max(Bucket->MaxSize, Mem.Size);
     }
   }
 
@@ -144,17 +247,17 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs) {
   // Single forward pass: each hit is anchored below the *nearest preceding*
   // miss of its group. (A two-pass version keyed on the last miss per group
   // silently dropped the arc for hits sandwiched between two misses.)
-  std::map<int, unsigned> LastMiss;
+  std::vector<unsigned> LastMiss(static_cast<size_t>(NumGroups), None);
   for (unsigned I = 0; I != N; ++I) {
     const Instr &In = *Instrs[I];
     if (!In.isLoad() || In.LocalityGroup < 0)
       continue;
     if (In.HM == HitMiss::Miss) {
-      LastMiss[In.LocalityGroup] = I;
+      LastMiss[static_cast<size_t>(In.LocalityGroup)] = I;
     } else if (In.HM == HitMiss::Hit) {
-      auto It = LastMiss.find(In.LocalityGroup);
-      if (It != LastMiss.end())
-        G.addEdge(It->second, I);
+      unsigned Miss = LastMiss[static_cast<size_t>(In.LocalityGroup)];
+      if (Miss != None)
+        G.addEdge(Miss, I);
     }
   }
 

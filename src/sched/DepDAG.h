@@ -20,6 +20,13 @@
 namespace bsched {
 namespace sched {
 
+/// Selects between the optimized scheduler core (the default) and the
+/// original seed algorithms preserved in Reference.cpp. The two produce
+/// byte-identical schedules (asserted by the golden-schedule tests); the
+/// reference exists as a correctness oracle and as the baseline that
+/// bench_compile_throughput measures speedups against.
+enum class SchedImpl : uint8_t { Fast, Reference };
+
 class DepDAG {
 public:
   explicit DepDAG(unsigned NumNodes)
@@ -28,7 +35,14 @@ public:
   unsigned size() const { return static_cast<unsigned>(Succs.size()); }
 
   /// Adds From -> To (deduplicated). Self-edges are ignored.
+  ///
+  /// Node ids are region positions in original program order and every
+  /// dependence points forward, so the id order IS a topological order.
+  /// balancedWeights' reachability tests rely on this invariant (a path
+  /// From -> To can exist only when From < To), hence the assert.
   void addEdge(unsigned From, unsigned To) {
+    assert(From <= To && "dependence edges must point forward in program "
+                         "order (node ids are topologically ordered)");
     if (From == To || Edge[From].test(To))
       return;
     Edge[From].set(To);
@@ -59,7 +73,13 @@ private:
 /// Adds register, memory, and locality-group edges; the caller supplies
 /// control-flow constraints (e.g. "everything before the block terminator")
 /// via addEdge, because they differ between basic-block and trace scheduling.
-DepDAG buildDepDAG(const std::vector<const ir::Instr *> &Instrs);
+///
+/// The default implementation keys its register tables by dense Reg.Id
+/// vectors and buckets memory references by array/linear-form so
+/// disambiguation avoids the all-pairs scan; \p Impl selects the original
+/// algorithms instead (identical output, see SchedImpl).
+DepDAG buildDepDAG(const std::vector<const ir::Instr *> &Instrs,
+                   SchedImpl Impl = SchedImpl::Fast);
 
 /// Adds the basic-block control edges: every instruction precedes the
 /// terminator, which must be the last element of \p Instrs.

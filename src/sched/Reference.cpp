@@ -1,0 +1,420 @@
+//===- sched/Reference.cpp - Reference scheduler implementations -----------===//
+//
+// Verbatim copies of the scheduler core as it stood before the
+// compile-throughput overhaul (modulo the removal of one dead struct field).
+// See Reference.h for why they are kept.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/Reference.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+
+using namespace bsched;
+using namespace bsched::sched;
+using namespace bsched::ir;
+
+//===----------------------------------------------------------------------===//
+// Dependence DAG
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Epoch-stamped memory reference: the linear form is only comparable when
+/// the referenced registers have identical definition counts.
+struct StampedRef {
+  const MemRef *Mem = nullptr;
+  std::vector<uint32_t> Epochs; ///< parallel to Mem->Terms.
+};
+
+/// Returns true when the two accesses certainly touch disjoint memory.
+bool certainlyDisjoint(const StampedRef &A, const StampedRef &B) {
+  const MemRef &MA = *A.Mem;
+  const MemRef &MB = *B.Mem;
+  // Distinct named arrays never overlap.
+  if (MA.ArrayId >= 0 && MB.ArrayId >= 0 && MA.ArrayId != MB.ArrayId)
+    return true;
+  if (!MA.sameLinearForm(MB))
+    return false;
+  if (A.Epochs != B.Epochs)
+    return false;
+  int64_t Delta = MA.Const - MB.Const;
+  if (Delta < 0)
+    Delta = -Delta;
+  return Delta >= std::max(MA.Size, MB.Size);
+}
+
+} // namespace
+
+DepDAG reference::buildDepDAG(const std::vector<const Instr *> &Instrs) {
+  unsigned N = static_cast<unsigned>(Instrs.size());
+  DepDAG G(N);
+
+  // --- Register dependences -------------------------------------------------
+  // LastDef[r] = index of most recent writer; ReadersSinceDef[r] = readers of
+  // the current value.
+  std::map<uint32_t, unsigned> LastDef;
+  std::map<uint32_t, std::vector<unsigned>> Readers;
+  std::map<uint32_t, uint32_t> DefCount;
+
+  std::vector<StampedRef> Stamped(N);
+  std::vector<Reg> Uses;
+
+  for (unsigned I = 0; I != N; ++I) {
+    const Instr &In = *Instrs[I];
+
+    Uses.clear();
+    In.appendUses(Uses);
+    for (Reg R : Uses) {
+      auto DefIt = LastDef.find(R.Id);
+      if (DefIt != LastDef.end())
+        G.addEdge(DefIt->second, I); // true dependence
+      Readers[R.Id].push_back(I);
+    }
+
+    if (Reg D = In.def(); D.isValid()) {
+      auto DefIt = LastDef.find(D.Id);
+      if (DefIt != LastDef.end())
+        G.addEdge(DefIt->second, I); // output dependence
+      for (unsigned Rd : Readers[D.Id])
+        G.addEdge(Rd, I); // anti dependence
+      Readers[D.Id].clear();
+      LastDef[D.Id] = I;
+      ++DefCount[D.Id];
+    }
+
+    if (In.isMem()) {
+      Stamped[I].Mem = &In.Mem;
+      Stamped[I].Epochs.reserve(In.Mem.Terms.size());
+      for (const MemRef::Term &T : In.Mem.Terms)
+        Stamped[I].Epochs.push_back(DefCount[T.RegId]);
+    }
+  }
+
+  // --- Memory dependences ---------------------------------------------------
+  for (unsigned J = 0; J != N; ++J) {
+    if (!Instrs[J]->isMem())
+      continue;
+    bool JStore = Instrs[J]->isStore();
+    for (unsigned I = 0; I != J; ++I) {
+      if (!Instrs[I]->isMem())
+        continue;
+      bool IStore = Instrs[I]->isStore();
+      if (!IStore && !JStore)
+        continue; // load-load pairs are free to reorder
+      if (certainlyDisjoint(Stamped[I], Stamped[J]))
+        continue;
+      G.addEdge(I, J);
+    }
+  }
+
+  // --- Locality miss->hit arcs (section 4.2) --------------------------------
+  // "Dependence arcs were added in the code DAG between each miss load and
+  //  its corresponding hit loads to prevent the latter from floating above
+  //  the miss during scheduling."
+  // Single forward pass: each hit is anchored below the *nearest preceding*
+  // miss of its group. (A two-pass version keyed on the last miss per group
+  // silently dropped the arc for hits sandwiched between two misses.)
+  std::map<int, unsigned> LastMiss;
+  for (unsigned I = 0; I != N; ++I) {
+    const Instr &In = *Instrs[I];
+    if (!In.isLoad() || In.LocalityGroup < 0)
+      continue;
+    if (In.HM == HitMiss::Miss) {
+      LastMiss[In.LocalityGroup] = I;
+    } else if (In.HM == HitMiss::Hit) {
+      auto It = LastMiss.find(In.LocalityGroup);
+      if (It != LastMiss.end())
+        G.addEdge(It->second, I);
+    }
+  }
+
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Balanced weights
+//===----------------------------------------------------------------------===//
+
+std::vector<double>
+reference::balancedWeights(const DepDAG &G,
+                           const std::vector<const Instr *> &Instrs,
+                           BalanceOptions Opts) {
+  unsigned N = G.size();
+  std::vector<double> W = traditionalWeights(Instrs);
+
+  // Candidates for balancing: loads (hit-annotated loads keep the
+  // optimistic weight so their would-be padders serve other loads), plus —
+  // with BalanceFixedOps, the paper's future-work extension — multi-cycle
+  // fixed-latency instructions, which then compete for padders too.
+  std::vector<unsigned> Loads; // historical name: the balanced candidates
+  std::vector<bool> IsBalancedLoad(N, false);
+  for (unsigned I = 0; I != N; ++I) {
+    bool Candidate = false;
+    if (Instrs[I]->isLoad())
+      Candidate =
+          !(Opts.RespectHitAnnotations && Instrs[I]->HM == HitMiss::Hit);
+    else if (Opts.BalanceFixedOps && !Instrs[I]->isTerminator())
+      Candidate = opInfo(Instrs[I]->Op).Latency > 1;
+    if (!Candidate)
+      continue;
+    Loads.push_back(I);
+    IsBalancedLoad[I] = true;
+  }
+  if (Loads.empty())
+    return W;
+
+  std::vector<BitVec> Reach = G.reachability();
+  auto Related = [&](unsigned A, unsigned B) {
+    return Reach[A].test(B) || Reach[B].test(A);
+  };
+
+  std::vector<double> Extra(N, 0.0);
+  // Scratch union-find over the candidate loads of one iteration.
+  std::vector<unsigned> Avail;
+  std::vector<unsigned> Parent(Loads.size());
+  std::vector<unsigned> CompSize(Loads.size());
+
+  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  };
+
+  for (unsigned Node = 0; Node != N; ++Node) {
+    // Loads that could be serviced while Node initiates execution: no
+    // dependence path between Node and the load, in either direction.
+    Avail.clear();
+    for (size_t LI = 0; LI != Loads.size(); ++LI) {
+      unsigned L = Loads[LI];
+      if (L == Node || Related(Node, L))
+        continue;
+      Avail.push_back(static_cast<unsigned>(LI));
+    }
+    if (Avail.empty())
+      continue;
+
+    // Loads connected by a dependence path compete for Node's single issue
+    // slot; loads in separate components each get full credit.
+    for (unsigned LI : Avail) {
+      Parent[LI] = LI;
+      CompSize[LI] = 1;
+    }
+    for (size_t A = 0; A != Avail.size(); ++A)
+      for (size_t B = A + 1; B != Avail.size(); ++B) {
+        unsigned LA = Avail[A], LB = Avail[B];
+        if (!Related(Loads[LA], Loads[LB]))
+          continue;
+        unsigned RA = Find(LA), RB = Find(LB);
+        if (RA == RB)
+          continue;
+        Parent[RB] = RA;
+        CompSize[RA] += CompSize[RB];
+      }
+    for (unsigned LI : Avail)
+      Extra[Loads[LI]] += 1.0 / CompSize[Find(LI)];
+  }
+
+  for (unsigned I = 0; I != N; ++I) {
+    if (!IsBalancedLoad[I])
+      continue;
+    double Balanced = 1.0 + Extra[I];
+    if (Instrs[I]->isLoad()) {
+      W[I] = std::min(std::max(Balanced,
+                               static_cast<double>(LoadHitLatency)),
+                      Opts.WeightCap);
+    } else {
+      // Fixed-latency op: its true latency is known, so never weight it
+      // beyond that; when parallelism is scarce its weight shrinks and the
+      // padders flow to whoever can still use them.
+      W[I] = std::min(static_cast<double>(opInfo(Instrs[I]->Op).Latency),
+                      std::max(Balanced, 1.0));
+    }
+  }
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// List scheduling
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Tie-break key (larger wins), per section 4.2.
+struct TieKey {
+  int RegPressure;   ///< consumed registers minus defined registers.
+  int Exposed;       ///< successors that become ready if this issues.
+  int NegOrigIndex;  ///< earlier original position preferred.
+};
+
+bool tieLess(const TieKey &A, const TieKey &B) {
+  if (A.RegPressure != B.RegPressure)
+    return A.RegPressure < B.RegPressure;
+  if (A.Exposed != B.Exposed)
+    return A.Exposed < B.Exposed;
+  return A.NegOrigIndex < B.NegOrigIndex;
+}
+
+} // namespace
+
+std::vector<unsigned>
+reference::listSchedule(const DepDAG &G, const std::vector<double> &Weights,
+                        const std::vector<const Instr *> &Instrs,
+                        unsigned PressureThreshold) {
+  unsigned N = G.size();
+  assert(Weights.size() == N && Instrs.size() == N && "size mismatch");
+
+  // Pressure bookkeeping: the producing node of every register operand, and
+  // per-producer remaining-reader counts, so scheduling can track how many
+  // values are live in the partial schedule.
+  std::vector<std::vector<unsigned>> Producers(N); // per node, dedup'd
+  std::vector<unsigned> ReadersLeft(N, 0);
+  {
+    std::map<uint32_t, unsigned> LastDef;
+    std::vector<Reg> Uses;
+    for (unsigned I = 0; I != N; ++I) {
+      Uses.clear();
+      Instrs[I]->appendUses(Uses);
+      for (Reg R : Uses) {
+        auto It = LastDef.find(R.Id);
+        if (It == LastDef.end())
+          continue;
+        unsigned P = It->second;
+        bool Seen = false;
+        for (unsigned Q : Producers[I])
+          Seen |= Q == P;
+        if (!Seen) {
+          Producers[I].push_back(P);
+          ++ReadersLeft[P];
+        }
+      }
+      if (Reg D = Instrs[I]->def(); D.isValid())
+        LastDef[D.Id] = I;
+    }
+  }
+  unsigned Live[2] = {0, 0}; // [0]=int, [1]=fp values live right now.
+  auto clsOf = [&](unsigned Node) {
+    return opInfo(Instrs[Node]->Op).DstCls == 1 ? 1 : 0;
+  };
+  // Net liveness change of issuing Node for class C.
+  auto pressureDelta = [&](unsigned Node, int C) {
+    int Delta = 0;
+    if (Reg D = Instrs[Node]->def();
+        D.isValid() && clsOf(Node) == C && ReadersLeft[Node] > 0)
+      ++Delta;
+    for (unsigned P : Producers[Node])
+      if (ReadersLeft[P] == 1 &&
+          (opInfo(Instrs[P]->Op).DstCls == 1 ? 1 : 0) == C)
+        --Delta;
+    return Delta;
+  };
+
+  // Priority: weight plus maximum successor priority (critical path).
+  std::vector<double> Prio(N, 0.0);
+  std::vector<unsigned> Topo = G.topoOrder();
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    unsigned I = *It;
+    double MaxSucc = 0.0;
+    for (unsigned S : G.succs(I))
+      MaxSucc = std::max(MaxSucc, Prio[S]);
+    Prio[I] = Weights[I] + MaxSucc;
+  }
+
+  std::vector<unsigned> PredsLeft(N);
+  std::vector<unsigned> Ready;
+  for (unsigned I = 0; I != N; ++I) {
+    PredsLeft[I] = static_cast<unsigned>(G.preds(I).size());
+    if (PredsLeft[I] == 0)
+      Ready.push_back(I);
+  }
+
+  auto tieKeyOf = [&](unsigned I) {
+    std::vector<Reg> Uses;
+    Instrs[I]->appendUses(Uses);
+    int Consumed = static_cast<int>(Uses.size());
+    int Defined = Instrs[I]->def().isValid() ? 1 : 0;
+    int Exposed = 0;
+    for (unsigned S : G.succs(I))
+      if (PredsLeft[S] == 1)
+        ++Exposed;
+    return TieKey{Consumed - Defined, Exposed, -static_cast<int>(I)};
+  };
+
+  std::vector<unsigned> Order;
+  Order.reserve(N);
+  constexpr double Eps = 1e-9;
+  while (!Ready.empty()) {
+    // When a register class is saturated, restrict the candidates to
+    // instructions that do not grow its liveness (if any exist).
+    int OverClass = -1;
+    if (PressureThreshold != 0) {
+      if (Live[0] >= PressureThreshold)
+        OverClass = 0;
+      else if (Live[1] >= PressureThreshold)
+        OverClass = 1;
+    }
+    auto admissible = [&](unsigned Node) {
+      return OverClass < 0 || pressureDelta(Node, OverClass) <= 0;
+    };
+    bool AnyAdmissible = false;
+    if (OverClass >= 0)
+      for (unsigned R : Ready)
+        AnyAdmissible |= admissible(R);
+    if (!AnyAdmissible)
+      OverClass = -1; // Nothing relieves pressure: fall back to priority.
+
+    // Select the admissible ready instruction with the highest priority,
+    // breaking ties with the heuristic stack.
+    size_t Best = Ready.size();
+    TieKey BestKey{0, 0, 0};
+    for (size_t K = 0; K != Ready.size(); ++K) {
+      if (!admissible(Ready[K]))
+        continue;
+      if (Best == Ready.size()) {
+        Best = K;
+        BestKey = tieKeyOf(Ready[K]);
+        continue;
+      }
+      double DP = Prio[Ready[K]] - Prio[Ready[Best]];
+      if (DP > Eps) {
+        Best = K;
+        BestKey = tieKeyOf(Ready[K]);
+        continue;
+      }
+      if (DP < -Eps)
+        continue;
+      TieKey Key = tieKeyOf(Ready[K]);
+      if (tieLess(BestKey, Key)) {
+        Best = K;
+        BestKey = Key;
+      }
+    }
+    assert(Best != Ready.size() && "no candidate selected");
+    unsigned I = Ready[Best];
+    Ready.erase(Ready.begin() + static_cast<long>(Best));
+    Order.push_back(I);
+
+    // Update liveness: the consumed producers may die; our def goes live.
+    for (unsigned P : Producers[I]) {
+      assert(ReadersLeft[P] > 0);
+      if (--ReadersLeft[P] == 0) {
+        unsigned C = opInfo(Instrs[P]->Op).DstCls == 1 ? 1u : 0u;
+        assert(Live[C] > 0);
+        --Live[C];
+      }
+    }
+    if (Reg D = Instrs[I]->def(); D.isValid() && ReadersLeft[I] > 0)
+      ++Live[clsOf(I)];
+
+    for (unsigned S : G.succs(I))
+      if (--PredsLeft[S] == 0)
+        Ready.push_back(S);
+  }
+  assert(Order.size() == N && "scheduler failed to order all instructions");
+  return Order;
+}

@@ -1,0 +1,46 @@
+//===- sched/Reference.h - Reference scheduler implementations --*- C++ -*-===//
+///
+/// \file
+/// The original (pre-optimization) implementations of the scheduler core:
+/// map-keyed dependence-DAG construction, the per-node union-find balanced
+/// weight computation, and the linear-scan list scheduler. They are kept as
+/// the behavioural oracle for the optimized implementations in DepDAG.cpp /
+/// Schedule.cpp: the golden-schedule tests assert byte-identical output, and
+/// bench_compile_throughput times both to report the speedup. Select them
+/// end to end with BalanceOptions::Impl = SchedImpl::Reference.
+///
+/// These functions are intentionally simple rather than fast; do not
+/// optimize them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SCHED_REFERENCE_H
+#define BALSCHED_SCHED_REFERENCE_H
+
+#include "sched/Schedule.h"
+
+namespace bsched {
+namespace sched {
+namespace reference {
+
+/// Seed buildDepDAG: std::map register tables and all-pairs memory
+/// disambiguation.
+DepDAG buildDepDAG(const std::vector<const ir::Instr *> &Instrs);
+
+/// Seed balancedWeights: per-node union-find over the candidate loads.
+std::vector<double> balancedWeights(const DepDAG &G,
+                                    const std::vector<const ir::Instr *> &Instrs,
+                                    BalanceOptions Opts = {});
+
+/// Seed listSchedule: per-candidate tie-key recomputation and O(N) ready-list
+/// erase.
+std::vector<unsigned>
+listSchedule(const DepDAG &G, const std::vector<double> &Weights,
+             const std::vector<const ir::Instr *> &Instrs,
+             unsigned PressureThreshold = DefaultPressureThreshold);
+
+} // namespace reference
+} // namespace sched
+} // namespace bsched
+
+#endif // BALSCHED_SCHED_REFERENCE_H

@@ -1,11 +1,21 @@
 //===- sched/Schedule.cpp - Balanced & traditional list scheduling ---------===//
+//
+// The optimized scheduler core. balancedWeights replaces the per-node
+// union-find rebuild with bitset component search over a load-to-load
+// relation matrix (plus memoization of repeated availability sets), and
+// listSchedule precomputes the static tie-key parts, maintains the
+// exposed-successor counts incrementally, and removes ready entries in O(1)
+// amortized. Both are byte-identical to the originals kept in Reference.cpp;
+// the golden-schedule tests assert it.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sched/Schedule.h"
+#include "sched/Reference.h"
 
 #include <algorithm>
 #include <cassert>
-#include <functional>
-#include <map>
+#include <unordered_map>
 
 using namespace bsched;
 using namespace bsched::sched;
@@ -23,10 +33,29 @@ sched::traditionalWeights(const std::vector<const Instr *> &Instrs) {
   return W;
 }
 
+namespace {
+
+/// FNV-1a over a word vector; keys the availability-set memo below.
+struct WordsHash {
+  size_t operator()(const std::vector<uint64_t> &Ws) const {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (uint64_t W : Ws) {
+      H ^= W;
+      H *= 0x100000001b3ull;
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+} // namespace
+
 std::vector<double>
 sched::balancedWeights(const DepDAG &G,
                        const std::vector<const Instr *> &Instrs,
                        BalanceOptions Opts) {
+  if (Opts.Impl == SchedImpl::Reference)
+    return reference::balancedWeights(G, Instrs, Opts);
+
   unsigned N = G.size();
   std::vector<double> W = traditionalWeights(Instrs);
 
@@ -51,57 +80,108 @@ sched::balancedWeights(const DepDAG &G,
   if (Loads.empty())
     return W;
 
-  std::vector<BitVec> Reach = G.reachability();
-  auto Related = [&](unsigned A, unsigned B) {
-    return Reach[A].test(B) || Reach[B].test(A);
-  };
+  // Small regions: the reference's per-node union-find has less setup cost
+  // than the bitset sweeps below and produces identical weights; use it.
+  if (N < 96)
+    return reference::balancedWeights(G, Instrs, Opts);
+
+  unsigned L = static_cast<unsigned>(Loads.size());
+
+  // Node id -> load ordinal (or -1).
+  std::vector<int> LoadOrd(N, -1);
+  for (unsigned LI = 0; LI != L; ++LI)
+    LoadOrd[Loads[LI]] = static_cast<int>(LI);
+
+  // Per-node load-ordinal masks, computed by two linear sweeps instead of
+  // materializing the N x N reachability closure: node ids are topologically
+  // ordered (every edge points forward), so a reverse-id sweep accumulates
+  // the loads reachable FROM each node and a forward-id sweep the loads that
+  // REACH it. O((N + E) * L/64) words total.
+  std::vector<BitVec> FwdLoads(N, BitVec(L)); // loads reachable from node
+  std::vector<BitVec> BwdRel(N, BitVec(L));   // loads that reach node
+  for (unsigned I = N; I-- > 0;)
+    for (unsigned S : G.succs(I)) {
+      FwdLoads[I].orWith(FwdLoads[S]);
+      if (int Ord = LoadOrd[S]; Ord >= 0)
+        FwdLoads[I].set(static_cast<unsigned>(Ord));
+    }
+  for (unsigned I = 0; I != N; ++I)
+    for (unsigned P : G.preds(I)) {
+      BwdRel[I].orWith(BwdRel[P]);
+      if (int Ord = LoadOrd[P]; Ord >= 0)
+        BwdRel[I].set(static_cast<unsigned>(Ord));
+    }
+
+  // Load-to-load relatedness: for load A, FwdLoads[A] holds every load a
+  // path from A can hit (the reverse direction is statically impossible for
+  // A < B); symmetrize into Rel.
+  std::vector<BitVec> Rel(L, BitVec(L));
+  for (unsigned LI = 0; LI != L; ++LI) {
+    Rel[LI].orWith(FwdLoads[Loads[LI]]);
+    FwdLoads[Loads[LI]].forEach(
+        [&](unsigned Ord) { Rel[Ord].set(LI); });
+  }
 
   std::vector<double> Extra(N, 0.0);
-  // Scratch union-find over the candidate loads of one iteration.
-  std::vector<unsigned> Avail;
-  std::vector<unsigned> Parent(Loads.size());
-  std::vector<unsigned> CompSize(Loads.size());
 
-  std::function<unsigned(unsigned)> Find = [&](unsigned X) {
-    while (Parent[X] != X) {
-      Parent[X] = Parent[Parent[X]];
-      X = Parent[X];
-    }
-    return X;
-  };
+  // Per-node contribution = 1/|component| for each available load, where
+  // components are taken over Rel restricted to the node's availability
+  // set. Nodes of a regular (unrolled) block repeat the same availability
+  // set many times, so the component analysis is memoized on it.
+  std::unordered_map<std::vector<uint64_t>, std::vector<std::pair<unsigned, double>>,
+                     WordsHash>
+      Memo;
+  BitVec AllLoads(L);
+  for (unsigned LI = 0; LI != L; ++LI)
+    AllLoads.set(LI);
+  BitVec Avail(L), Rem(L), Cur(L), Next(L);
+  std::vector<unsigned> Members;
 
   for (unsigned Node = 0; Node != N; ++Node) {
     // Loads that could be serviced while Node initiates execution: no
     // dependence path between Node and the load, in either direction.
-    Avail.clear();
-    for (size_t LI = 0; LI != Loads.size(); ++LI) {
-      unsigned L = Loads[LI];
-      if (L == Node || Related(Node, L))
-        continue;
-      Avail.push_back(static_cast<unsigned>(LI));
-    }
-    if (Avail.empty())
+    Avail = AllLoads;
+    Avail.subtract(FwdLoads[Node]); // loads Node reaches
+    Avail.subtract(BwdRel[Node]);   // loads that reach Node
+    if (int Ord = LoadOrd[Node]; Ord >= 0)
+      Avail.reset(static_cast<unsigned>(Ord));
+    if (!Avail.any())
       continue;
 
-    // Loads connected by a dependence path compete for Node's single issue
-    // slot; loads in separate components each get full credit.
-    for (unsigned LI : Avail) {
-      Parent[LI] = LI;
-      CompSize[LI] = 1;
-    }
-    for (size_t A = 0; A != Avail.size(); ++A)
-      for (size_t B = A + 1; B != Avail.size(); ++B) {
-        unsigned LA = Avail[A], LB = Avail[B];
-        if (!Related(Loads[LA], Loads[LB]))
-          continue;
-        unsigned RA = Find(LA), RB = Find(LB);
-        if (RA == RB)
-          continue;
-        Parent[RB] = RA;
-        CompSize[RA] += CompSize[RB];
+    auto [It, Inserted] = Memo.try_emplace(Avail.words());
+    if (Inserted) {
+      // Loads connected by a dependence path compete for Node's single
+      // issue slot; loads in separate components each get full credit.
+      // Component search: repeated bitset frontier expansion over Rel.
+      std::vector<std::pair<unsigned, double>> &Contrib = It->second;
+      Rem = Avail;
+      int Seed;
+      while ((Seed = Rem.findFirst()) >= 0) {
+        Members.clear();
+        Cur.clear();
+        Cur.set(static_cast<unsigned>(Seed));
+        Rem.reset(static_cast<unsigned>(Seed));
+        while (Cur.any()) {
+          Next.clear();
+          Cur.forEach([&](unsigned I) {
+            Members.push_back(I);
+            Next.orWith(Rel[I]);
+          });
+          Next.andWith(Rem);
+          Rem.subtract(Next);
+          std::swap(Cur, Next);
+        }
+        double Credit = 1.0 / static_cast<double>(Members.size());
+        for (unsigned I : Members)
+          Contrib.emplace_back(I, Credit);
       }
-    for (unsigned LI : Avail)
-      Extra[Loads[LI]] += 1.0 / CompSize[Find(LI)];
+      Rem.clear();
+    }
+    // Each available load receives exactly one credit per node, so the
+    // accumulation order (node-major, as in the reference) is preserved and
+    // the doubles come out bit-identical.
+    for (const auto &[LI, Credit] : It->second)
+      Extra[Loads[LI]] += Credit;
   }
 
   for (unsigned I = 0; I != N; ++I) {
@@ -149,90 +229,115 @@ bool tieLess(const TieKey &A, const TieKey &B) {
 std::vector<unsigned>
 sched::listSchedule(const DepDAG &G, const std::vector<double> &Weights,
                     const std::vector<const Instr *> &Instrs,
-                    unsigned PressureThreshold) {
+                    unsigned PressureThreshold, SchedImpl Impl) {
+  if (Impl == SchedImpl::Reference)
+    return reference::listSchedule(G, Weights, Instrs, PressureThreshold);
+
   unsigned N = G.size();
   assert(Weights.size() == N && Instrs.size() == N && "size mismatch");
+  constexpr unsigned None = ~0u;
+
+  // Static per-node facts, gathered once: register-id space, use counts
+  // (the static half of the tie key), destination class and validity.
+  uint32_t NumRegs = 0;
+  std::vector<int> StaticPressure(N); // consumed minus defined registers
+  std::vector<uint8_t> Cls(N);        // 0 = int, 1 = fp destination
+  std::vector<bool> DefValid(N);
+  std::vector<Reg> Uses;
+  for (unsigned I = 0; I != N; ++I) {
+    Uses.clear();
+    Instrs[I]->appendUses(Uses);
+    for (Reg R : Uses)
+      NumRegs = std::max(NumRegs, R.Id + 1);
+    Reg D = Instrs[I]->def();
+    if (D.isValid())
+      NumRegs = std::max(NumRegs, D.Id + 1);
+    DefValid[I] = D.isValid();
+    Cls[I] = opInfo(Instrs[I]->Op).DstCls == 1 ? 1 : 0;
+    StaticPressure[I] =
+        static_cast<int>(Uses.size()) - (D.isValid() ? 1 : 0);
+  }
 
   // Pressure bookkeeping: the producing node of every register operand, and
   // per-producer remaining-reader counts, so scheduling can track how many
-  // values are live in the partial schedule.
+  // values are live in the partial schedule. Producer dedup uses a
+  // last-consumer stamp instead of rescanning the producer list.
   std::vector<std::vector<unsigned>> Producers(N); // per node, dedup'd
   std::vector<unsigned> ReadersLeft(N, 0);
   {
-    std::map<uint32_t, unsigned> LastDef;
-    std::vector<Reg> Uses;
+    std::vector<unsigned> LastDef(NumRegs, None);
+    std::vector<unsigned> LastConsumer(N, None);
     for (unsigned I = 0; I != N; ++I) {
       Uses.clear();
       Instrs[I]->appendUses(Uses);
       for (Reg R : Uses) {
-        auto It = LastDef.find(R.Id);
-        if (It == LastDef.end())
+        unsigned P = LastDef[R.Id];
+        if (P == None || LastConsumer[P] == I)
           continue;
-        unsigned P = It->second;
-        bool Seen = false;
-        for (unsigned Q : Producers[I])
-          Seen |= Q == P;
-        if (!Seen) {
-          Producers[I].push_back(P);
-          ++ReadersLeft[P];
-        }
+        LastConsumer[P] = I;
+        Producers[I].push_back(P);
+        ++ReadersLeft[P];
       }
-      if (Reg D = Instrs[I]->def(); D.isValid())
-        LastDef[D.Id] = I;
+      if (DefValid[I])
+        LastDef[Instrs[I]->def().Id] = I;
     }
   }
   unsigned Live[2] = {0, 0}; // [0]=int, [1]=fp values live right now.
-  auto clsOf = [&](unsigned Node) {
-    return opInfo(Instrs[Node]->Op).DstCls == 1 ? 1 : 0;
-  };
   // Net liveness change of issuing Node for class C.
   auto pressureDelta = [&](unsigned Node, int C) {
     int Delta = 0;
-    if (Reg D = Instrs[Node]->def();
-        D.isValid() && clsOf(Node) == C && ReadersLeft[Node] > 0)
+    if (DefValid[Node] && Cls[Node] == C && ReadersLeft[Node] > 0)
       ++Delta;
     for (unsigned P : Producers[Node])
-      if (ReadersLeft[P] == 1 &&
-          (opInfo(Instrs[P]->Op).DstCls == 1 ? 1 : 0) == C)
+      if (ReadersLeft[P] == 1 && Cls[P] == C)
         --Delta;
     return Delta;
   };
 
-  // Priority: weight plus maximum successor priority (critical path).
+  // Priority: weight plus maximum successor priority (critical path). Node
+  // ids are a topological order, so a reverse id sweep sees successors
+  // first.
   std::vector<double> Prio(N, 0.0);
-  std::vector<unsigned> Topo = G.topoOrder();
-  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
-    unsigned I = *It;
+  for (unsigned I = N; I-- != 0;) {
     double MaxSucc = 0.0;
     for (unsigned S : G.succs(I))
       MaxSucc = std::max(MaxSucc, Prio[S]);
     Prio[I] = Weights[I] + MaxSucc;
   }
 
+  // Exposed[I] = number of successors that would become ready if I issued
+  // (succs whose only unscheduled predecessor is I), maintained
+  // incrementally as predecessors retire.
   std::vector<unsigned> PredsLeft(N);
-  std::vector<unsigned> Ready;
-  for (unsigned I = 0; I != N; ++I) {
+  std::vector<int> Exposed(N, 0);
+  for (unsigned I = 0; I != N; ++I)
     PredsLeft[I] = static_cast<unsigned>(G.preds(I).size());
-    if (PredsLeft[I] == 0)
-      Ready.push_back(I);
-  }
-
-  auto tieKeyOf = [&](unsigned I) {
-    std::vector<Reg> Uses;
-    Instrs[I]->appendUses(Uses);
-    int Consumed = static_cast<int>(Uses.size());
-    int Defined = Instrs[I]->def().isValid() ? 1 : 0;
-    int Exposed = 0;
+  for (unsigned I = 0; I != N; ++I)
     for (unsigned S : G.succs(I))
       if (PredsLeft[S] == 1)
-        ++Exposed;
-    return TieKey{Consumed - Defined, Exposed, -static_cast<int>(I)};
+        ++Exposed[I];
+
+  // Ready list: insertion-ordered entries with tombstoned removal, so
+  // selection scans candidates in exactly the reference order while erase
+  // is O(1) amortized (compaction halves the buffer when half is dead).
+  constexpr unsigned Tomb = ~0u;
+  std::vector<unsigned> Ready;
+  unsigned LiveEntries = 0, Tombs = 0;
+  std::vector<bool> Scheduled(N, false);
+  for (unsigned I = 0; I != N; ++I)
+    if (PredsLeft[I] == 0) {
+      Ready.push_back(I);
+      ++LiveEntries;
+    }
+
+  auto tieKeyOf = [&](unsigned I) {
+    return TieKey{StaticPressure[I], Exposed[I], -static_cast<int>(I)};
   };
 
   std::vector<unsigned> Order;
   Order.reserve(N);
   constexpr double Eps = 1e-9;
-  while (!Ready.empty()) {
+  while (LiveEntries != 0) {
     // When a register class is saturated, restrict the candidates to
     // instructions that do not grow its liveness (if any exist).
     int OverClass = -1;
@@ -248,7 +353,7 @@ sched::listSchedule(const DepDAG &G, const std::vector<double> &Weights,
     bool AnyAdmissible = false;
     if (OverClass >= 0)
       for (unsigned R : Ready)
-        AnyAdmissible |= admissible(R);
+        AnyAdmissible |= R != Tomb && admissible(R);
     if (!AnyAdmissible)
       OverClass = -1; // Nothing relieves pressure: fall back to priority.
 
@@ -257,7 +362,7 @@ sched::listSchedule(const DepDAG &G, const std::vector<double> &Weights,
     size_t Best = Ready.size();
     TieKey BestKey{0, 0, 0};
     for (size_t K = 0; K != Ready.size(); ++K) {
-      if (!admissible(Ready[K]))
+      if (Ready[K] == Tomb || !admissible(Ready[K]))
         continue;
       if (Best == Ready.size()) {
         Best = K;
@@ -280,24 +385,40 @@ sched::listSchedule(const DepDAG &G, const std::vector<double> &Weights,
     }
     assert(Best != Ready.size() && "no candidate selected");
     unsigned I = Ready[Best];
-    Ready.erase(Ready.begin() + static_cast<long>(Best));
+    Ready[Best] = Tomb;
+    --LiveEntries;
+    if (++Tombs > LiveEntries) {
+      Ready.erase(std::remove(Ready.begin(), Ready.end(), Tomb), Ready.end());
+      Tombs = 0;
+    }
     Order.push_back(I);
+    Scheduled[I] = true;
 
     // Update liveness: the consumed producers may die; our def goes live.
     for (unsigned P : Producers[I]) {
       assert(ReadersLeft[P] > 0);
       if (--ReadersLeft[P] == 0) {
-        unsigned C = opInfo(Instrs[P]->Op).DstCls == 1 ? 1u : 0u;
-        assert(Live[C] > 0);
-        --Live[C];
+        assert(Live[Cls[P]] > 0);
+        --Live[Cls[P]];
       }
     }
-    if (Reg D = Instrs[I]->def(); D.isValid() && ReadersLeft[I] > 0)
-      ++Live[clsOf(I)];
+    if (DefValid[I] && ReadersLeft[I] > 0)
+      ++Live[Cls[I]];
 
-    for (unsigned S : G.succs(I))
-      if (--PredsLeft[S] == 0)
+    for (unsigned S : G.succs(I)) {
+      unsigned Left = --PredsLeft[S];
+      if (Left == 0) {
         Ready.push_back(S);
+        ++LiveEntries;
+      } else if (Left == 1) {
+        // S's one remaining unscheduled predecessor now exposes it.
+        for (unsigned P : G.preds(S))
+          if (!Scheduled[P]) {
+            ++Exposed[P];
+            break;
+          }
+      }
+    }
   }
   assert(Order.size() == N && "scheduler failed to order all instructions");
   return Order;
@@ -330,12 +451,12 @@ std::vector<unsigned>
 sched::scheduleRegion(const std::vector<const Instr *> &Instrs,
                       SchedulerKind Kind, BalanceOptions Opts) {
   Kind = effectiveKind(Kind, Instrs, Opts);
-  DepDAG G = buildDepDAG(Instrs);
+  DepDAG G = buildDepDAG(Instrs, Opts.Impl);
   addBlockControlEdges(G, Instrs);
   std::vector<double> W = Kind == SchedulerKind::Balanced
                               ? balancedWeights(G, Instrs, Opts)
                               : traditionalWeights(Instrs);
-  return listSchedule(G, W, Instrs, Opts.PressureThreshold);
+  return listSchedule(G, W, Instrs, Opts.PressureThreshold, Opts.Impl);
 }
 
 void sched::scheduleFunction(Module &M, SchedulerKind Kind,

@@ -54,6 +54,11 @@ struct BalanceOptions {
   /// this kind): high enough that miss-prone blocks stay balanced, low
   /// enough that recurrence/divide-bound blocks fall back to traditional.
   int HybridLoadCost = 6;
+  /// Scheduler-core implementation. Reference selects the original seed
+  /// algorithms (sched::reference::*) end to end — DAG build, weights, and
+  /// list scheduling — for golden-schedule testing and speedup measurement.
+  /// Both implementations produce byte-identical schedules.
+  SchedImpl Impl = SchedImpl::Fast;
 };
 
 /// Computes the Kerns-Eggers balanced weight for every node of \p G:
@@ -89,10 +94,16 @@ constexpr unsigned DefaultPressureThreshold = 24;
 /// broken by (1) largest consumed-minus-defined register count, (2) most
 /// newly exposed successors, (3) original program order (section 4.2).
 /// Returns a permutation of node ids (a valid topological order of G).
+///
+/// The default implementation precomputes the static tie-key parts,
+/// maintains the exposed-successor counts incrementally, and removes
+/// selected entries from the ready list in O(1) amortized; \p Impl selects
+/// the original per-candidate recomputation instead (identical output).
 std::vector<unsigned>
 listSchedule(const DepDAG &G, const std::vector<double> &Weights,
              const std::vector<const ir::Instr *> &Instrs,
-             unsigned PressureThreshold = DefaultPressureThreshold);
+             unsigned PressureThreshold = DefaultPressureThreshold,
+             SchedImpl Impl = SchedImpl::Fast);
 
 /// Resolves the Hybrid scheduler for one region: Balanced when the loads'
 /// estimated latency-hiding demand (#balanceable loads * HybridLoadCost)

@@ -81,6 +81,21 @@ public:
     return N;
   }
 
+  /// Index of the lowest set bit, or -1 if none.
+  int findFirst() const {
+    for (std::size_t WI = 0; WI != Words.size(); ++WI)
+      if (Words[WI] != 0)
+        return static_cast<int>(WI * 64 +
+                                static_cast<unsigned>(__builtin_ctzll(Words[WI])));
+    return -1;
+  }
+
+  /// Raw storage view, e.g. for hashing a set as a cache key.
+  const std::vector<uint64_t> &words() const { return Words; }
+  /// Mutable raw storage, for bulk-filling a set from flat word arrays
+  /// (callers must not change the vector's length).
+  std::vector<uint64_t> &words() { return Words; }
+
   bool operator==(const BitVec &Other) const {
     return NumBits == Other.NumBits && Words == Other.Words;
   }

@@ -1,0 +1,71 @@
+//===- support/ThreadPool.h - Minimal fixed-size thread pool ----*- C++ -*-===//
+///
+/// \file
+/// A small fixed-size worker pool for the parallel compilation pipeline:
+/// submit() enqueues a task, wait() blocks until every submitted task has
+/// finished. Tasks must be independent — the pool provides no ordering
+/// between them — and determinism is the *tasks'* job: every compile in this
+/// codebase is a pure function of its inputs (per-compile RNG streams,
+/// no shared mutable state), so results are identical for any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SUPPORT_THREADPOOL_H
+#define BALSCHED_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsched {
+
+class ThreadPool {
+public:
+  /// Creates \p NumThreads workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned NumThreads = 0);
+  /// Waits for pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task. Safe to call from any thread, including from inside
+  /// a running task.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted so far has completed.
+  void wait();
+
+  /// Runs Fn(0) .. Fn(Count-1) on \p NumThreads workers and waits for all
+  /// of them. Convenience for the "compile every job of an experiment"
+  /// pattern; with NumThreads == 1 the work still flows through a single
+  /// worker, so code paths match the parallel case exactly.
+  template <typename FnT>
+  static void parallelFor(unsigned NumThreads, size_t Count, FnT Fn) {
+    ThreadPool Pool(NumThreads);
+    for (size_t I = 0; I != Count; ++I)
+      Pool.submit([Fn, I] { Fn(I); });
+    Pool.wait();
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable; ///< signalled on submit/stop.
+  std::condition_variable AllDone;       ///< signalled when Outstanding hits 0.
+  size_t Outstanding = 0;                ///< queued + currently running tasks.
+  bool Stopping = false;
+};
+
+} // namespace bsched
+
+#endif // BALSCHED_SUPPORT_THREADPOOL_H

@@ -207,7 +207,7 @@ private:
     for (const Instr &I : Region)
       Ptrs.push_back(&I);
 
-    DepDAG G = buildDepDAG(Ptrs);
+    DepDAG G = buildDepDAG(Ptrs, Opts.Impl);
 
     // Control constraints.
     // (a) Branches keep their relative order.
@@ -267,7 +267,8 @@ private:
                                 ? balancedWeights(G, Ptrs, Opts)
                                 : traditionalWeights(Ptrs);
     std::vector<unsigned> Order = listSchedule(G, W, Ptrs,
-                                               Opts.PressureThreshold);
+                                               Opts.PressureThreshold,
+                                               Opts.Impl);
 
     // --- Reconstruction --------------------------------------------------
     // Cut the schedule at the terminators; segment Pos replaces trace block

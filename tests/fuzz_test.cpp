@@ -66,6 +66,17 @@ std::vector<driver::CompileOptions> fuzzConfigs() {
   Spill.TraceScheduling = true;
   Spill.RegAlloc.AllocatablePerClass = 4;
   Cs.push_back(Spill);
+  // Large-block stress for the optimized scheduler core: heavy unrolling
+  // plus traces builds the biggest regions (where the fast DAG builder's
+  // bucketed disambiguation and the bitset weight sweeps engage, past the
+  // small-region reference fallback), with fixed-latency balancing on to
+  // cover the widened weight denominators.
+  driver::CompileOptions Big;
+  Big.Scheduler = sched::SchedulerKind::Balanced;
+  Big.UnrollFactor = 8;
+  Big.TraceScheduling = true;
+  Big.Balance.BalanceFixedOps = true;
+  Cs.push_back(Big);
   return Cs;
 }
 
@@ -101,7 +112,7 @@ TEST_P(FuzzPipeline, EveryConfigMatchesOracle) {
   }
 }
 
-// 100 seeds x 11 configs; the per-config verifier passes bound the sweep's
+// 100 seeds x 12 configs; the per-config verifier passes bound the sweep's
 // wall-clock, so the seed count trades off against the added config.
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<uint64_t>(0, 100));
