@@ -56,6 +56,23 @@ mustRun(const driver::Workload &W, const driver::CompileOptions &Opts,
   return R;
 }
 
+/// Pre-computes every (workload, options, machine) combination on the shared
+/// thread pool so the serial table-assembly loops below hit the runCached
+/// memo instead of compiling and simulating one cell at a time. Results are
+/// identical for any thread count (runAll's determinism contract), so the
+/// emitted tables are byte-for-byte what the serial loops produced.
+inline void warm(const std::vector<driver::CompileOptions> &Configs,
+                 const std::vector<sim::MachineConfig> &Machines = {
+                     sim::MachineConfig{}}) {
+  std::vector<driver::ExperimentJob> Jobs;
+  Jobs.reserve(driver::workloads().size() * Configs.size() * Machines.size());
+  for (const driver::Workload &W : driver::workloads())
+    for (const driver::CompileOptions &O : Configs)
+      for (const sim::MachineConfig &M : Machines)
+        Jobs.push_back({&W, O, M});
+  driver::runAll(Jobs);
+}
+
 inline void emit(const Table &T) {
   std::fputs(T.render().c_str(), stdout);
   std::fputs("\n", stdout);

@@ -19,21 +19,18 @@ int main() {
   heading("Ablation: trace selection guided by profiles vs static "
           "estimation (balanced scheduling, trace scheduling + LU4)");
 
+  CompileOptions ProfCfg = balanced(4, /*TrS=*/true);
+  CompileOptions EstCfg = ProfCfg;
+  EstCfg.UseEstimatedProfile = true;
+  warm({balanced(4), ProfCfg, EstCfg});
+
   Table T({"Benchmark", "No TrS (cycles M)", "TrS, profiled", "TrS, estimated",
            "Est/Prof cycle ratio", "Comp instrs prof/est"});
   std::vector<double> ProfSp, EstSp, Ratio;
   for (const Workload &W : workloads()) {
     const RunResult &Base = mustRun(W, balanced(4));
-    CompileOptions Prof = balanced(4, /*TrS=*/true);
-    CompileOptions Est = Prof;
-    Est.UseEstimatedProfile = true;
-    RunResult RP = runWorkload(W, Prof);
-    RunResult RE = runWorkload(W, Est);
-    if (!RP.ok() || !RE.ok()) {
-      std::fprintf(stderr, "FATAL: %s%s\n", RP.Error.c_str(),
-                   RE.Error.c_str());
-      return 1;
-    }
+    const RunResult &RP = mustRun(W, ProfCfg);
+    const RunResult &RE = mustRun(W, EstCfg);
     double SP = speedup(Base, RP), SE = speedup(Base, RE);
     ProfSp.push_back(SP);
     EstSp.push_back(SE);

@@ -19,6 +19,17 @@ using namespace bsched::bench;
 using namespace bsched::driver;
 
 int main() {
+  {
+    std::vector<sim::MachineConfig> Widths(3);
+    Widths[0].IssueWidth = 1;
+    Widths[1].IssueWidth = 2;
+    Widths[2].IssueWidth = 4;
+    warm({balanced(), traditional()}, Widths);
+    CompileOptions BF = balanced();
+    BF.Balance.BalanceFixedOps = true;
+    warm({BF, makeOptions(sched::SchedulerKind::Hybrid)});
+  }
+
   // --- 1. Superscalar ------------------------------------------------------
   heading("Extension 1: balanced vs traditional scheduling on wider-issue "
           "in-order machines (per-cycle limits: 2 int, 2 fp, 1 memory)");
@@ -66,11 +77,7 @@ int main() {
       const RunResult &BS = mustRun(W, balanced());
       CompileOptions BF = balanced();
       BF.Balance.BalanceFixedOps = true;
-      RunResult RF = runWorkload(W, BF);
-      if (!RF.ok()) {
-        std::fprintf(stderr, "FATAL: %s\n", RF.Error.c_str());
-        return 1;
-      }
+      const RunResult &RF = mustRun(W, BF);
       double S1 = speedup(TS, BS), S2 = speedup(TS, RF);
       Plain.push_back(S1);
       Fixed.push_back(S2);
@@ -102,11 +109,7 @@ int main() {
       const RunResult &TS = mustRun(W, traditional());
       const RunResult &BS = mustRun(W, balanced());
       CompileOptions HO = makeOptions(sched::SchedulerKind::Hybrid);
-      RunResult HY = runWorkload(W, HO);
-      if (!HY.ok()) {
-        std::fprintf(stderr, "FATAL: %s\n", HY.Error.c_str());
-        return 1;
-      }
+      const RunResult &HY = mustRun(W, HO);
       double B = speedup(TS, BS);
       double H = speedup(TS, HY);
       SpB.push_back(B);

@@ -29,6 +29,11 @@ int main() {
       {"BS+LA", 1, false, true},        {"BS+LA+TrS+LU8", 8, true, true},
   };
 
+  std::vector<driver::CompileOptions> Warm;
+  for (const Level &L : Levels)
+    Warm.push_back(balanced(L.LU, L.TrS, L.LA));
+  warm(Warm);
+
   Table T({"Config", "Issue slots", "Load interlock", "Fixed interlock",
            "I-cache", "TLB", "Branch", "MSHR/WB", "Spill+restore instrs"});
   for (const Level &L : Levels) {

@@ -21,6 +21,15 @@ int main() {
           "across cache hit rates (miss = 24 cycles, hit = 2, single-cycle "
           "fixed-latency instructions, perfect front end)");
 
+  std::vector<sim::MachineConfig> Machines;
+  for (double HitRate : {0.50, 0.80, 0.90, 0.95, 0.99}) {
+    sim::MachineConfig C;
+    C.SimpleModel = true;
+    C.SimpleHitRate = HitRate;
+    Machines.push_back(C);
+  }
+  warm({balanced(), traditional()}, Machines);
+
   Table T({"Hit rate", "Mean BS vs TS", "Mean li% BS", "Mean li% TS",
            "BS wins / ties / losses"});
   for (double HitRate : {0.50, 0.80, 0.90, 0.95, 0.99}) {

@@ -15,6 +15,7 @@ using namespace bsched::driver;
 int main() {
   heading("Table 1: The workload (synthetic analogues of Perfect Club / "
           "SPEC92 programs)");
+  warm({balanced()});
 
   Table T({"Program", "Lang.", "Description (original)",
            "Analogue behaviour", "Dyn. instrs (M)"});

@@ -17,6 +17,7 @@ int main() {
           "percentage decrease in dynamic instruction count and load "
           "interlock cycles for unrolling factors of 4 and 8, relative to "
           "no unrolling");
+  warm({balanced(1), balanced(4), balanced(8)});
 
   Table T({"Benchmark", "Cycles (M), no LU", "Speedup x4", "Speedup x8",
            "Instrs (M), no LU", "Instr dec. x4", "Instr dec. x8",

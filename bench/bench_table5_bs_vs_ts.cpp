@@ -18,6 +18,8 @@ int main() {
           "for loop unrolling: total-cycle speedup, percentage improvement "
           "in load interlock cycles, and load interlock cycles as a "
           "percentage of total cycles");
+  warm({balanced(1), balanced(4), balanced(8), traditional(1), traditional(4),
+        traditional(8)});
 
   Table T({"Benchmark", "BSvTS noLU", "BSvTS LU4", "BSvTS LU8",
            "Ld-int red. noLU", "red. LU4", "red. LU8", "li% BS/TS noLU",

@@ -31,6 +31,11 @@ int main() {
   };
   constexpr int NumCombos = 10;
 
+  std::vector<driver::CompileOptions> Warm{balanced()};
+  for (const Combo &C : Combos)
+    Warm.push_back(balanced(C.LU, C.TrS, C.LA));
+  warm(Warm);
+
   std::vector<std::string> Header{"Benchmark"};
   for (const Combo &C : Combos)
     Header.push_back(C.Name);

@@ -24,6 +24,13 @@ int main() {
     bool TrS;
   } Cfgs[] = {{1, false}, {4, false}, {8, false}, {4, true}, {8, true}};
 
+  std::vector<driver::CompileOptions> Warm;
+  for (const Cfg &C : Cfgs) {
+    Warm.push_back(balanced(C.LU, C.TrS));
+    Warm.push_back(traditional(C.LU, C.TrS));
+  }
+  warm(Warm);
+
   std::vector<double> Acc[5];
   for (const Workload &W : workloads()) {
     std::vector<std::string> Row{W.Name};

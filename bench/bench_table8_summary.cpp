@@ -30,6 +30,13 @@ int main() {
       {"Trace scheduling with loop unrolling by 8", 8, true},
   };
 
+  std::vector<driver::CompileOptions> Warm{balanced()};
+  for (const Level &L : Levels) {
+    Warm.push_back(balanced(L.LU, L.TrS));
+    Warm.push_back(traditional(L.LU, L.TrS));
+  }
+  warm(Warm);
+
   Table T({"Optimization (plus scheduling)", "BS vs TS speedup",
            "Ld-int dec. vs TS", "Speedup vs plain BS", "Ld-int dec. vs "
            "plain BS", "li% of cycles (BS)", "li% of cycles (TS)"});

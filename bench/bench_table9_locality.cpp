@@ -30,6 +30,11 @@ int main() {
        true},
   };
 
+  std::vector<driver::CompileOptions> Warm{balanced(), balanced(1, false, true)};
+  for (const Combo &C : Combos)
+    Warm.push_back(balanced(C.LU, C.TrS, true));
+  warm(Warm);
+
   Table T({"Optimizations (in addition to balanced scheduling)",
            "Speedup vs LA alone", "Speedup vs plain BS"});
   for (const Combo &C : Combos) {

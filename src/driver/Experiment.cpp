@@ -85,7 +85,8 @@ const RunResult &driver::runCached(const Workload &W,
                     (Opts.UseEstimatedProfile ? "|est" : "") +
                     (Opts.VerifyPasses ? "" : "|nv") +
                     (Opts.Balance.Impl == sched::SchedImpl::Reference ? "|ref"
-                                                                      : "");
+                                                                      : "") +
+                    (Machine.Impl == sim::SimImpl::Reference ? "|simref" : "");
   CacheEntry *Entry;
   {
     std::lock_guard<std::mutex> Lock(CacheMutex);

@@ -235,26 +235,12 @@ InterpResult ir::interpretByInstr(const Module &M, uint64_t MaxInstrs) {
 // so a block's instruction array is neither compact nor contiguous in the
 // fields the executor touches. The profiling interpreter runs millions of
 // dynamic instructions per compile, so interpret() first flattens the
-// function into 24-byte micro-ops (one pass), splitting each reg-or-literal
-// opcode into explicit register and immediate forms, then runs the flat
-// stream. Results are bit-identical to interpretByInstr().
+// function into 24-byte micro-ops (one pass) via the shared predecoder
+// (decodeMicro / execMicro in Interp.h, also used by the fast timing
+// simulator), then runs the flat stream. Results are bit-identical to
+// interpretByInstr().
 
 namespace {
-
-enum class MicroKind : uint8_t {
-  LdI, FLdI, Mov, FMov, ItoF, FtoI,
-  IAddR, IAddI, ISubR, ISubI, IMulR, IMulI,
-  SllR, SllI, SrlR, SrlI, AndR, AndI, OrR, OrI, XorR, XorI,
-  CmpEqR, CmpEqI, CmpLtR, CmpLtI, CmpLeR, CmpLeI,
-  FAdd, FSub, FMul, FDiv, FCmpEq, FCmpLt, FCmpLe,
-  CMov, FCMov, Load, FLoad, Store, FStore,
-};
-
-struct MicroOp {
-  MicroKind K;
-  Reg Dst, A, B;
-  int64_t Imm; ///< ALU literal, memory offset, or FLdI bit pattern.
-};
 
 struct MicroBlock {
   uint32_t Start = 0;     ///< first micro-op in the flat stream
@@ -265,7 +251,9 @@ struct MicroBlock {
   int T0 = -1, T1 = -1;
 };
 
-MicroOp decodeMicro(const Instr &I) {
+} // namespace
+
+MicroOp ir::decodeMicro(const Instr &I) {
   MicroOp O;
   O.Dst = I.Dst;
   O.A = I.SrcA;
@@ -327,8 +315,6 @@ MicroOp decodeMicro(const Instr &I) {
   return O;
 }
 
-} // namespace
-
 InterpResult ir::interpret(const Module &M, uint64_t MaxInstrs) {
   const Function &F = M.Fn;
 
@@ -363,148 +349,8 @@ InterpResult ir::interpret(const Module &M, uint64_t MaxInstrs) {
       return R;
     R.DynInstrs += MB.NumInstrs;
     for (const MicroOp *O = Base + MB.Start, *E = O + MB.NumMicro; O != E;
-         ++O) {
-      switch (O->K) {
-      case MicroKind::LdI: S.writeInt(O->Dst, O->Imm); break;
-      case MicroKind::FLdI: {
-        double V;
-        std::memcpy(&V, &O->Imm, sizeof(double));
-        S.writeFp(O->Dst, V);
-        break;
-      }
-      case MicroKind::Mov: S.writeInt(O->Dst, S.readInt(O->A)); break;
-      case MicroKind::FMov: S.writeFp(O->Dst, S.readFp(O->A)); break;
-      case MicroKind::ItoF:
-        S.writeFp(O->Dst, static_cast<double>(S.readInt(O->A)));
-        break;
-      case MicroKind::FtoI:
-        S.writeInt(O->Dst, static_cast<int64_t>(S.readFp(O->A)));
-        break;
-      case MicroKind::IAddR:
-        S.writeInt(O->Dst, S.readInt(O->A) + S.readInt(O->B));
-        break;
-      case MicroKind::IAddI:
-        S.writeInt(O->Dst, S.readInt(O->A) + O->Imm);
-        break;
-      case MicroKind::ISubR:
-        S.writeInt(O->Dst, S.readInt(O->A) - S.readInt(O->B));
-        break;
-      case MicroKind::ISubI:
-        S.writeInt(O->Dst, S.readInt(O->A) - O->Imm);
-        break;
-      case MicroKind::IMulR:
-        S.writeInt(O->Dst, S.readInt(O->A) * S.readInt(O->B));
-        break;
-      case MicroKind::IMulI:
-        S.writeInt(O->Dst, S.readInt(O->A) * O->Imm);
-        break;
-      case MicroKind::SllR:
-        S.writeInt(O->Dst, S.readInt(O->A) << (S.readInt(O->B) & 63));
-        break;
-      case MicroKind::SllI:
-        S.writeInt(O->Dst, S.readInt(O->A) << (O->Imm & 63));
-        break;
-      case MicroKind::SrlR:
-        S.writeInt(O->Dst, static_cast<int64_t>(
-                               static_cast<uint64_t>(S.readInt(O->A)) >>
-                               (S.readInt(O->B) & 63)));
-        break;
-      case MicroKind::SrlI:
-        S.writeInt(O->Dst, static_cast<int64_t>(
-                               static_cast<uint64_t>(S.readInt(O->A)) >>
-                               (O->Imm & 63)));
-        break;
-      case MicroKind::AndR:
-        S.writeInt(O->Dst, S.readInt(O->A) & S.readInt(O->B));
-        break;
-      case MicroKind::AndI:
-        S.writeInt(O->Dst, S.readInt(O->A) & O->Imm);
-        break;
-      case MicroKind::OrR:
-        S.writeInt(O->Dst, S.readInt(O->A) | S.readInt(O->B));
-        break;
-      case MicroKind::OrI:
-        S.writeInt(O->Dst, S.readInt(O->A) | O->Imm);
-        break;
-      case MicroKind::XorR:
-        S.writeInt(O->Dst, S.readInt(O->A) ^ S.readInt(O->B));
-        break;
-      case MicroKind::XorI:
-        S.writeInt(O->Dst, S.readInt(O->A) ^ O->Imm);
-        break;
-      case MicroKind::CmpEqR:
-        S.writeInt(O->Dst, S.readInt(O->A) == S.readInt(O->B) ? 1 : 0);
-        break;
-      case MicroKind::CmpEqI:
-        S.writeInt(O->Dst, S.readInt(O->A) == O->Imm ? 1 : 0);
-        break;
-      case MicroKind::CmpLtR:
-        S.writeInt(O->Dst, S.readInt(O->A) < S.readInt(O->B) ? 1 : 0);
-        break;
-      case MicroKind::CmpLtI:
-        S.writeInt(O->Dst, S.readInt(O->A) < O->Imm ? 1 : 0);
-        break;
-      case MicroKind::CmpLeR:
-        S.writeInt(O->Dst, S.readInt(O->A) <= S.readInt(O->B) ? 1 : 0);
-        break;
-      case MicroKind::CmpLeI:
-        S.writeInt(O->Dst, S.readInt(O->A) <= O->Imm ? 1 : 0);
-        break;
-      case MicroKind::FAdd:
-        S.writeFp(O->Dst, S.readFp(O->A) + S.readFp(O->B));
-        break;
-      case MicroKind::FSub:
-        S.writeFp(O->Dst, S.readFp(O->A) - S.readFp(O->B));
-        break;
-      case MicroKind::FMul:
-        S.writeFp(O->Dst, S.readFp(O->A) * S.readFp(O->B));
-        break;
-      case MicroKind::FDiv:
-        S.writeFp(O->Dst, S.readFp(O->A) / S.readFp(O->B));
-        break;
-      case MicroKind::FCmpEq:
-        S.writeInt(O->Dst, S.readFp(O->A) == S.readFp(O->B) ? 1 : 0);
-        break;
-      case MicroKind::FCmpLt:
-        S.writeInt(O->Dst, S.readFp(O->A) < S.readFp(O->B) ? 1 : 0);
-        break;
-      case MicroKind::FCmpLe:
-        S.writeInt(O->Dst, S.readFp(O->A) <= S.readFp(O->B) ? 1 : 0);
-        break;
-      case MicroKind::CMov:
-        if (S.readInt(O->A) != 0)
-          S.writeInt(O->Dst, S.readInt(O->B));
-        break;
-      case MicroKind::FCMov:
-        if (S.readInt(O->A) != 0)
-          S.writeFp(O->Dst, S.readFp(O->B));
-        break;
-      case MicroKind::Load:
-        S.writeInt(O->Dst,
-                   static_cast<int64_t>(S.loadWord(static_cast<uint64_t>(
-                       S.readInt(O->B) + O->Imm))));
-        break;
-      case MicroKind::FLoad: {
-        uint64_t Bits =
-            S.loadWord(static_cast<uint64_t>(S.readInt(O->B) + O->Imm));
-        double V;
-        std::memcpy(&V, &Bits, 8);
-        S.writeFp(O->Dst, V);
-        break;
-      }
-      case MicroKind::Store:
-        S.storeWord(static_cast<uint64_t>(S.readInt(O->B) + O->Imm),
-                    static_cast<uint64_t>(S.readInt(O->A)));
-        break;
-      case MicroKind::FStore: {
-        double V = S.readFp(O->A);
-        uint64_t Bits;
-        std::memcpy(&Bits, &V, 8);
-        S.storeWord(static_cast<uint64_t>(S.readInt(O->B) + O->Imm), Bits);
-        break;
-      }
-      }
-    }
+         ++O)
+      execMicro(S, *O);
     switch (MB.Term) {
     case Opcode::Br:
       if (S.readInt(MB.Cond) != 0) {

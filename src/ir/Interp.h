@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace bsched {
@@ -85,6 +86,185 @@ private:
 /// Architecturally executes one non-terminator instruction (terminators are
 /// control decisions for the caller). Timing is the caller's concern.
 void executeInstr(ExecState &S, const Instr &I);
+
+//===----------------------------------------------------------------------===//
+// Predecoded micro-ops
+//===----------------------------------------------------------------------===//
+//
+// Instr is heavy — memory instructions carry a symbolic address-term vector,
+// so walking Instr per dynamic instruction dominates any execution loop. The
+// predecoder flattens each instruction once into a compact micro-op with the
+// operand form resolved (reg-or-literal opcodes split into explicit register
+// and immediate variants). Both the profiling interpreter (interpret) and the
+// fast timing simulator (sim::SimImpl::Fast) run the micro-op stream;
+// execMicro is the single shared executor, so the two can never diverge
+// architecturally.
+
+enum class MicroKind : uint8_t {
+  LdI, FLdI, Mov, FMov, ItoF, FtoI,
+  IAddR, IAddI, ISubR, ISubI, IMulR, IMulI,
+  SllR, SllI, SrlR, SrlI, AndR, AndI, OrR, OrI, XorR, XorI,
+  CmpEqR, CmpEqI, CmpLtR, CmpLtI, CmpLeR, CmpLeI,
+  FAdd, FSub, FMul, FDiv, FCmpEq, FCmpLt, FCmpLe,
+  CMov, FCMov, Load, FLoad, Store, FStore,
+};
+
+/// One predecoded non-terminator instruction. For memory kinds, B is the
+/// address base register, Imm the byte offset, and A the stored value
+/// register (stores only).
+struct MicroOp {
+  MicroKind K;
+  Reg Dst, A, B;
+  int64_t Imm; ///< ALU literal, memory offset, or FLdI bit pattern.
+};
+
+/// Predecodes one non-terminator instruction (asserts on terminators).
+MicroOp decodeMicro(const Instr &I);
+
+/// Executes one micro-op; behaviour is bit-identical to executeInstr on the
+/// instruction it was decoded from. Inline so the callers' dispatch loops
+/// keep it in their hot path.
+inline void execMicro(ExecState &S, const MicroOp &O) {
+  switch (O.K) {
+  case MicroKind::LdI: S.writeInt(O.Dst, O.Imm); break;
+  case MicroKind::FLdI: {
+    double V;
+    std::memcpy(&V, &O.Imm, sizeof(double));
+    S.writeFp(O.Dst, V);
+    break;
+  }
+  case MicroKind::Mov: S.writeInt(O.Dst, S.readInt(O.A)); break;
+  case MicroKind::FMov: S.writeFp(O.Dst, S.readFp(O.A)); break;
+  case MicroKind::ItoF:
+    S.writeFp(O.Dst, static_cast<double>(S.readInt(O.A)));
+    break;
+  case MicroKind::FtoI:
+    S.writeInt(O.Dst, static_cast<int64_t>(S.readFp(O.A)));
+    break;
+  case MicroKind::IAddR:
+    S.writeInt(O.Dst, S.readInt(O.A) + S.readInt(O.B));
+    break;
+  case MicroKind::IAddI:
+    S.writeInt(O.Dst, S.readInt(O.A) + O.Imm);
+    break;
+  case MicroKind::ISubR:
+    S.writeInt(O.Dst, S.readInt(O.A) - S.readInt(O.B));
+    break;
+  case MicroKind::ISubI:
+    S.writeInt(O.Dst, S.readInt(O.A) - O.Imm);
+    break;
+  case MicroKind::IMulR:
+    S.writeInt(O.Dst, S.readInt(O.A) * S.readInt(O.B));
+    break;
+  case MicroKind::IMulI:
+    S.writeInt(O.Dst, S.readInt(O.A) * O.Imm);
+    break;
+  case MicroKind::SllR:
+    S.writeInt(O.Dst, S.readInt(O.A) << (S.readInt(O.B) & 63));
+    break;
+  case MicroKind::SllI:
+    S.writeInt(O.Dst, S.readInt(O.A) << (O.Imm & 63));
+    break;
+  case MicroKind::SrlR:
+    S.writeInt(O.Dst, static_cast<int64_t>(
+                          static_cast<uint64_t>(S.readInt(O.A)) >>
+                          (S.readInt(O.B) & 63)));
+    break;
+  case MicroKind::SrlI:
+    S.writeInt(O.Dst, static_cast<int64_t>(
+                          static_cast<uint64_t>(S.readInt(O.A)) >>
+                          (O.Imm & 63)));
+    break;
+  case MicroKind::AndR:
+    S.writeInt(O.Dst, S.readInt(O.A) & S.readInt(O.B));
+    break;
+  case MicroKind::AndI:
+    S.writeInt(O.Dst, S.readInt(O.A) & O.Imm);
+    break;
+  case MicroKind::OrR:
+    S.writeInt(O.Dst, S.readInt(O.A) | S.readInt(O.B));
+    break;
+  case MicroKind::OrI:
+    S.writeInt(O.Dst, S.readInt(O.A) | O.Imm);
+    break;
+  case MicroKind::XorR:
+    S.writeInt(O.Dst, S.readInt(O.A) ^ S.readInt(O.B));
+    break;
+  case MicroKind::XorI:
+    S.writeInt(O.Dst, S.readInt(O.A) ^ O.Imm);
+    break;
+  case MicroKind::CmpEqR:
+    S.writeInt(O.Dst, S.readInt(O.A) == S.readInt(O.B) ? 1 : 0);
+    break;
+  case MicroKind::CmpEqI:
+    S.writeInt(O.Dst, S.readInt(O.A) == O.Imm ? 1 : 0);
+    break;
+  case MicroKind::CmpLtR:
+    S.writeInt(O.Dst, S.readInt(O.A) < S.readInt(O.B) ? 1 : 0);
+    break;
+  case MicroKind::CmpLtI:
+    S.writeInt(O.Dst, S.readInt(O.A) < O.Imm ? 1 : 0);
+    break;
+  case MicroKind::CmpLeR:
+    S.writeInt(O.Dst, S.readInt(O.A) <= S.readInt(O.B) ? 1 : 0);
+    break;
+  case MicroKind::CmpLeI:
+    S.writeInt(O.Dst, S.readInt(O.A) <= O.Imm ? 1 : 0);
+    break;
+  case MicroKind::FAdd:
+    S.writeFp(O.Dst, S.readFp(O.A) + S.readFp(O.B));
+    break;
+  case MicroKind::FSub:
+    S.writeFp(O.Dst, S.readFp(O.A) - S.readFp(O.B));
+    break;
+  case MicroKind::FMul:
+    S.writeFp(O.Dst, S.readFp(O.A) * S.readFp(O.B));
+    break;
+  case MicroKind::FDiv:
+    S.writeFp(O.Dst, S.readFp(O.A) / S.readFp(O.B));
+    break;
+  case MicroKind::FCmpEq:
+    S.writeInt(O.Dst, S.readFp(O.A) == S.readFp(O.B) ? 1 : 0);
+    break;
+  case MicroKind::FCmpLt:
+    S.writeInt(O.Dst, S.readFp(O.A) < S.readFp(O.B) ? 1 : 0);
+    break;
+  case MicroKind::FCmpLe:
+    S.writeInt(O.Dst, S.readFp(O.A) <= S.readFp(O.B) ? 1 : 0);
+    break;
+  case MicroKind::CMov:
+    if (S.readInt(O.A) != 0)
+      S.writeInt(O.Dst, S.readInt(O.B));
+    break;
+  case MicroKind::FCMov:
+    if (S.readInt(O.A) != 0)
+      S.writeFp(O.Dst, S.readFp(O.B));
+    break;
+  case MicroKind::Load:
+    S.writeInt(O.Dst, static_cast<int64_t>(S.loadWord(
+                          static_cast<uint64_t>(S.readInt(O.B) + O.Imm))));
+    break;
+  case MicroKind::FLoad: {
+    uint64_t Bits =
+        S.loadWord(static_cast<uint64_t>(S.readInt(O.B) + O.Imm));
+    double V;
+    std::memcpy(&V, &Bits, 8);
+    S.writeFp(O.Dst, V);
+    break;
+  }
+  case MicroKind::Store:
+    S.storeWord(static_cast<uint64_t>(S.readInt(O.B) + O.Imm),
+                static_cast<uint64_t>(S.readInt(O.A)));
+    break;
+  case MicroKind::FStore: {
+    double V = S.readFp(O.A);
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    S.storeWord(static_cast<uint64_t>(S.readInt(O.B) + O.Imm), Bits);
+    break;
+  }
+  }
+}
 
 } // namespace ir
 } // namespace bsched

@@ -1,0 +1,573 @@
+//===- sim/FastMachine.cpp - Optimized 21164 simulator core ----------------===//
+//
+// The throughput-optimized simulator behind SimImpl::Fast. It models exactly
+// the machine ReferenceMachine.cpp models — same issue groups, same
+// scoreboard, same memory system, same statistics — and is held bit-identical
+// to it by sim_equivalence_test and the golden sim-stats test. The speed
+// comes from three structural changes, not from changing the model:
+//
+//  1. Predecoding. Each basic block is flattened once into SimOps: the
+//     ir::MicroOp executor form (shared with the profiling interpreter, so
+//     architectural behaviour cannot diverge) plus everything the pipeline
+//     asks per dynamic instruction — use list in appendUses order, def id,
+//     fixed latency, pipe class, count bucket, and flags. The per-cycle loop
+//     never touches ir::Instr or opInfo again.
+//
+//  2. Fast memory-system models (FastCaches.h): one-compare MRU TLB front,
+//     shift/mask direct-mapped caches, fixed-array MSHR file and
+//     write-buffer ring.
+//
+//  3. Run-based fetch. Straight-line code stays in one I-cache line for
+//     several instructions and in one page for hundreds; the predecoder
+//     marks those runs. The full ITLB+L1I probe happens once per run, and
+//     the remaining instructions book guaranteed hits (exact same counter
+//     and LRU-stamp updates) without probing. The hits are provable: fetch
+//     is the only client of the ITLB and L1I, and a run never leaves the
+//     head's line or page, so nothing can evict them mid-run. The D-side
+//     shares only L2/L3, which the I-side touches only on a run-head L1I
+//     miss — so the interleaving of L2/L3 accesses is also preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulators.h"
+
+#include "sim/Caches.h" // BranchPredictor (already O(1); reused verbatim)
+#include "sim/FastCaches.h"
+
+#include "ir/Interp.h"
+#include "support/RNG.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::sim;
+using namespace bsched::ir;
+
+namespace {
+
+constexpr uint8_t FlagLoad = 1, FlagStore = 2, FlagFDiv = 4, FlagTerm = 8;
+enum : uint8_t { TermRet = 0, TermBr = 1, TermJmp = 2 };
+
+constexpr unsigned BucketSpill = 7, BucketRestore = 8, NumBuckets = 9;
+
+/// One predecoded instruction: the executor micro-op plus every per-dynamic-
+/// instruction fact the pipeline needs, resolved once.
+struct SimOp {
+  MicroOp U;         ///< executor form (unused for terminators).
+  uint32_t DefId;    ///< defined register id, or Reg::InvalidId.
+  int32_t Latency;   ///< fixed issue-to-result latency (opInfo).
+  uint32_t Uses[4];  ///< source register ids, appendUses order.
+  uint32_t RunLen;   ///< fetch-run length when this op heads a run.
+  int32_t T0, T1;    ///< terminator targets.
+  uint32_t CondId;   ///< Br condition register id.
+  uint8_t NumUses;
+  uint8_t Pipe;      ///< 0 int, 1 fp, 2 mem.
+  uint8_t Bucket;    ///< InstrClass value, or spill/restore bucket.
+  uint8_t Flags;
+  uint8_t TermKind;
+};
+
+struct SimBlock {
+  uint32_t Start = 0, NumOps = 0;
+  uint64_t BaseAddr = 0;
+};
+
+uint8_t pipeOf(InstrClass Cls) {
+  switch (Cls) {
+  case InstrClass::ShortFp:
+  case InstrClass::LongFp:
+    return 1;
+  case InstrClass::LoadCls:
+  case InstrClass::StoreCls:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+/// The simulator core, specialized at compile time on the three per-
+/// instruction mode tests so the hot loop carries no model branches:
+/// Simple = the 1993 stochastic model, Fetch = I-stream modeled (neither
+/// simple nor PerfectFrontEnd), Wide = IssueWidth > 1. simulateFast
+/// dispatches once per run; every instantiation is bit-identical to the
+/// reference (the conditions fold to the same values the branches tested).
+template <bool Simple, bool Fetch, bool Wide> class FastSimulator {
+public:
+  FastSimulator(const Module &M, const MachineConfig &C, uint64_t MaxCycles)
+      : M(M), Config(C), MaxCycles(MaxCycles), State(M), L1D(C.L1D),
+        L1I(C.L1I), L2(C.L2), L3(C.L3), DTlb(C.DTlbEntries, C.PageSize),
+        ITlb(C.ITlbEntries, C.PageSize), Pred(C.BranchPredictorEntries),
+        Mshrs(C.NumMSHRs), WriteBuf(C.WriteBufferEntries), Rng(C.SimpleSeed) {}
+
+  SimResult run() {
+    if (!predecode())
+      return R;
+
+    ReadyAt.assign(M.Fn.numRegs(), 0);
+    LoadProduced.assign(M.Fn.numRegs(), 0);
+
+    assert(Simple == Config.SimpleModel && Wide == (Config.IssueWidth > 1) &&
+           Fetch == (!Simple && !Config.PerfectFrontEnd) &&
+           "dispatched to the wrong specialization");
+    uint64_t CountBy[NumBuckets] = {};
+
+    int Block = 0;
+    while (true) {
+      const SimBlock &SB = Blocks[static_cast<size_t>(Block)];
+      const SimOp *Ops = &AllOps[SB.Start];
+      uint32_t RunLeft = 0;
+      for (uint32_t I = 0;; ++I) {
+        if (Cycle > MaxCycles) {
+          R.Cycles = Cycle;
+          finishCounts(CountBy);
+          return R;
+        }
+        const SimOp &Op = Ops[I];
+
+        if (!Wide) {
+          // Single issue: one slot per cycle, no per-pipe limits.
+          if (SlotsUsed != 0)
+            closeGroup();
+        } else {
+          while (!slotAvailable(Op))
+            closeGroup();
+        }
+
+        if (Fetch) {
+          if (RunLeft != 0) {
+            // Provably resident (see file header): book the hits without
+            // probing. Counter and recency effects match a full access.
+            --RunLeft;
+            ITlb.cheapHit();
+            L1I.cheapHit(R.L1I);
+          } else {
+            fetch(SB.BaseAddr + 4ull * I);
+            RunLeft = Op.RunLen - 1;
+          }
+        }
+
+        stallOnSources(Op);
+        ++CountBy[Op.Bucket];
+        takeSlot(Op);
+
+        if (Op.Flags & FlagTerm) {
+          if (Op.TermKind == TermRet) {
+            R.Finished = true;
+            R.Cycles = Cycle + 1;
+            R.Checksum = State.outputChecksum(M);
+            finishCounts(CountBy);
+            return R;
+          }
+          int Next;
+          if (Op.TermKind == TermBr) {
+            bool Taken = State.readInt(Reg(Op.CondId)) != 0;
+            Next = Taken ? Op.T0 : Op.T1;
+            // The 1993 simple model assumes a perfect front end.
+            if (!Simple &&
+                !Pred.predictAndUpdate(SB.BaseAddr + 4ull * I, Taken)) {
+              ++R.BranchMispredicts;
+              closeGroup();
+              Cycle += static_cast<uint64_t>(Config.BranchMispredictPenalty);
+              R.BranchPenaltyCycles +=
+                  static_cast<uint64_t>(Config.BranchMispredictPenalty);
+            } else if (Taken) {
+              // No issue past a taken branch within the same cycle.
+              closeGroup();
+            }
+          } else {
+            Next = Op.T0;
+            closeGroup();
+          }
+          Block = Next;
+          break;
+        }
+
+        issueAndExec(Op);
+      }
+    }
+  }
+
+private:
+  const Module &M;
+  MachineConfig Config;
+  uint64_t MaxCycles;
+  SimResult R;
+
+  ExecState State;
+  FastCache L1D, L1I, L2, L3;
+  FastTlb DTlb, ITlb;
+  BranchPredictor Pred;
+  MshrFile Mshrs;
+  WriteFifo WriteBuf;
+  RNG Rng;
+
+  uint64_t Cycle = 0;
+  // Per-cycle issue bookkeeping (the in-order superscalar group).
+  unsigned SlotsUsed = 0, IntUsed = 0, FpUsed = 0, MemUsed = 0;
+  std::vector<uint64_t> ReadyAt;
+  std::vector<uint8_t> LoadProduced;
+  uint64_t DivBusyUntil = 0;
+
+  std::vector<SimOp> AllOps;
+  std::vector<SimBlock> Blocks;
+
+  //===--------------------------------------------------------------------===//
+  // Predecode
+  //===--------------------------------------------------------------------===//
+
+  bool predecode() {
+    size_t Total = 0;
+    for (const BasicBlock &B : M.Fn.Blocks)
+      Total += B.Instrs.size();
+    AllOps.reserve(Total);
+    Blocks.resize(M.Fn.Blocks.size());
+
+    std::vector<uint64_t> CodeAddr(M.Fn.Blocks.size());
+    uint64_t Addr = Config.CodeBase;
+    for (const BasicBlock &B : M.Fn.Blocks) {
+      CodeAddr[static_cast<size_t>(B.Id)] = Addr;
+      Addr += 4 * B.Instrs.size();
+    }
+
+    std::vector<Reg> Uses;
+    for (size_t BI = 0; BI != M.Fn.Blocks.size(); ++BI) {
+      const BasicBlock &B = M.Fn.Blocks[BI];
+      SimBlock &SB = Blocks[BI];
+      SB.Start = static_cast<uint32_t>(AllOps.size());
+      SB.NumOps = static_cast<uint32_t>(B.Instrs.size());
+      SB.BaseAddr = CodeAddr[static_cast<size_t>(B.Id)];
+
+      for (const Instr &In : B.Instrs) {
+        Uses.clear();
+        In.appendUses(Uses);
+        Reg D = In.def();
+        for (Reg Rg : Uses)
+          if (!Rg.isPhys())
+            return fail();
+        if (D.isValid() && !D.isPhys())
+          return fail();
+
+        SimOp Op{};
+        assert(Uses.size() <= 4 && "instruction with more than four sources");
+        Op.NumUses = static_cast<uint8_t>(Uses.size());
+        for (size_t UI = 0; UI != Uses.size(); ++UI)
+          Op.Uses[UI] = Uses[UI].Id;
+        const OpInfo &Info = opInfo(In.Op);
+        Op.Pipe = pipeOf(Info.Cls);
+        Op.Bucket = In.IsSpill     ? BucketSpill
+                    : In.IsRestore ? BucketRestore
+                                   : static_cast<uint8_t>(Info.Cls);
+        Op.Latency = Info.Latency;
+        Op.DefId = D.isValid() ? D.Id : Reg::InvalidId;
+        if (Info.IsTerminator) {
+          Op.Flags = FlagTerm;
+          Op.TermKind = In.Op == Opcode::Ret  ? TermRet
+                        : In.Op == Opcode::Br ? TermBr
+                                              : TermJmp;
+          Op.CondId = In.SrcA.isValid() ? In.SrcA.Id : 0;
+          Op.T0 = In.Target0;
+          Op.T1 = In.Target1;
+        } else {
+          Op.U = decodeMicro(In);
+          if (Info.IsLoad)
+            Op.Flags |= FlagLoad;
+          if (Info.IsStore)
+            Op.Flags |= FlagStore;
+          if (In.Op == Opcode::FDiv)
+            Op.Flags |= FlagFDiv;
+        }
+        AllOps.push_back(Op);
+      }
+      markFetchRuns(SB);
+    }
+    return true;
+  }
+
+  bool fail() {
+    R.Error = "simulator requires register-allocated code";
+    return false;
+  }
+
+  /// Marks maximal same-line, same-page instruction runs: RunLen on the run
+  /// head is the number of consecutive instructions sharing the head's
+  /// I-cache line and page (every later one is a guaranteed fetch hit).
+  void markFetchRuns(SimBlock &SB) {
+    if (SB.NumOps == 0)
+      return;
+    SimOp *Ops = &AllOps[SB.Start];
+    uint64_t HeadLine = SB.BaseAddr / Config.L1I.LineSize;
+    uint64_t HeadPage = SB.BaseAddr / Config.PageSize;
+    uint32_t RunStart = 0;
+    for (uint32_t I = 1; I <= SB.NumOps; ++I) {
+      bool Boundary = I == SB.NumOps;
+      if (!Boundary) {
+        uint64_t A = SB.BaseAddr + 4ull * I;
+        uint64_t Line = A / Config.L1I.LineSize;
+        uint64_t Page = A / Config.PageSize;
+        Boundary = Line != HeadLine || Page != HeadPage;
+        if (Boundary) {
+          HeadLine = Line;
+          HeadPage = Page;
+        }
+      }
+      if (Boundary) {
+        Ops[RunStart].RunLen = I - RunStart;
+        RunStart = I;
+      }
+    }
+  }
+
+  void finishCounts(const uint64_t (&CountBy)[NumBuckets]) {
+    R.Counts.ShortInt = CountBy[static_cast<int>(InstrClass::ShortInt)];
+    R.Counts.LongInt = CountBy[static_cast<int>(InstrClass::LongInt)];
+    R.Counts.ShortFp = CountBy[static_cast<int>(InstrClass::ShortFp)];
+    R.Counts.LongFp = CountBy[static_cast<int>(InstrClass::LongFp)];
+    R.Counts.Loads = CountBy[static_cast<int>(InstrClass::LoadCls)];
+    R.Counts.Stores = CountBy[static_cast<int>(InstrClass::StoreCls)];
+    R.Counts.Branches = CountBy[static_cast<int>(InstrClass::BranchCls)];
+    R.Counts.Spills = CountBy[BucketSpill];
+    R.Counts.Restores = CountBy[BucketRestore];
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Issue groups
+  //===--------------------------------------------------------------------===//
+
+  bool slotAvailable(const SimOp &Op) const {
+    if (SlotsUsed >= Config.IssueWidth)
+      return false;
+    if (!Wide)
+      return true; // the single slot is the only constraint
+    switch (Op.Pipe) {
+    case 0:
+      return IntUsed < Config.MaxIntPerCycle;
+    case 1:
+      return FpUsed < Config.MaxFpPerCycle;
+    default:
+      return MemUsed < Config.MaxMemPerCycle;
+    }
+  }
+
+  /// Ends the current issue group: the next instruction starts a new cycle.
+  void closeGroup() {
+    ++Cycle;
+    SlotsUsed = IntUsed = FpUsed = MemUsed = 0;
+  }
+
+  /// Moves time forward (stalls); any partially filled group is abandoned.
+  void advanceTo(uint64_t NewCycle) {
+    Cycle = NewCycle;
+    SlotsUsed = IntUsed = FpUsed = MemUsed = 0;
+  }
+
+  /// A stall discovered while the current instruction is issuing (divider,
+  /// TLB refill, MSHR or write-buffer pressure): time moves, and the group
+  /// is marked full so the next instruction starts a fresh cycle.
+  void stallInIssue(uint64_t NewCycle) {
+    Cycle = NewCycle;
+    SlotsUsed = Config.IssueWidth;
+  }
+
+  void takeSlot(const SimOp &Op) {
+    ++SlotsUsed;
+    if (!Wide)
+      return; // per-pipe counters are only consulted when issuing wide
+    switch (Op.Pipe) {
+    case 0: ++IntUsed; break;
+    case 1: ++FpUsed; break;
+    default: ++MemUsed; break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Front end
+  //===--------------------------------------------------------------------===//
+
+  void fetch(uint64_t Addr) {
+    if (!ITlb.access(Addr)) {
+      ++R.ITlbMisses;
+      advanceTo(Cycle + static_cast<uint64_t>(Config.TlbRefillLatency));
+      R.ITlbStallCycles += static_cast<uint64_t>(Config.TlbRefillLatency);
+    }
+    if (!L1I.access(Addr, /*Allocate=*/true, R.L1I)) {
+      int Latency = Config.L2.Latency;
+      if (!L2.access(Addr, true, R.L2)) {
+        Latency = Config.L3.Latency;
+        if (!L3.access(Addr, true, R.L3))
+          Latency = Config.MemoryLatency;
+      }
+      uint64_t Stall = static_cast<uint64_t>(Latency - Config.L1I.Latency);
+      advanceTo(Cycle + Stall);
+      R.ICacheStallCycles += Stall;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Scoreboard
+  //===--------------------------------------------------------------------===//
+
+  void stallOnSources(const SimOp &Op) {
+    uint64_t Until = Cycle;
+    bool BlameLoad = false;
+    for (uint8_t N = 0; N != Op.NumUses; ++N) {
+      uint32_t Id = Op.Uses[N];
+      uint64_t T = ReadyAt[Id];
+      if (T > Until) {
+        Until = T;
+        BlameLoad = LoadProduced[Id] != 0;
+      } else if (T == Until && T > Cycle && LoadProduced[Id] != 0) {
+        // Tie between a load and a fixed-latency producer: blame the load,
+        // like the paper's accounting of load interlocks.
+        BlameLoad = true;
+      }
+    }
+    if (Until > Cycle) {
+      uint64_t Stall = Until - Cycle;
+      if (BlameLoad)
+        R.LoadInterlockCycles += Stall;
+      else
+        R.FixedInterlockCycles += Stall;
+      advanceTo(Until);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Back end
+  //===--------------------------------------------------------------------===//
+
+  /// Data-side hierarchy access; returns the load-to-use latency.
+  int dataAccess(uint64_t Addr, bool IsLoad) {
+    if (L1D.access(Addr, /*Allocate=*/IsLoad, R.L1D))
+      return Config.L1D.Latency;
+    if (L2.access(Addr, true, R.L2))
+      return Config.L2.Latency;
+    if (L3.access(Addr, true, R.L3))
+      return Config.L3.Latency;
+    return Config.MemoryLatency;
+  }
+
+  void issueAndExec(const SimOp &Op) {
+    if (Op.Flags & FlagLoad) {
+      uint64_t Addr =
+          static_cast<uint64_t>(State.readInt(Op.U.B) + Op.U.Imm);
+      int Latency;
+      if (Simple) {
+        Latency = Rng.nextBool(Config.SimpleHitRate)
+                      ? Config.SimpleHitLatency
+                      : Config.SimpleMissLatency;
+      } else {
+        if (!DTlb.access(Addr)) {
+          ++R.DTlbMisses;
+          stallInIssue(Cycle + static_cast<uint64_t>(Config.TlbRefillLatency));
+          R.DTlbStallCycles += static_cast<uint64_t>(Config.TlbRefillLatency);
+        }
+        uint64_t Line = L1D.lineOf(Addr);
+        // A live entry's completion is always past its insert cycle, so 0
+        // (absent) and stale entries take the same miss path — exactly the
+        // reference's (found && Done > Cycle) merge condition.
+        uint64_t PendingDone = Mshrs.findDone(Line);
+        if (PendingDone > Cycle) {
+          // Merge with the outstanding miss to the same line. Keep the L1
+          // counters honest: this is another L1 access that did not hit in
+          // the live cache state.
+          Latency = static_cast<int>(PendingDone - Cycle);
+          ++R.L1D.Accesses;
+        } else {
+          Latency = dataAccess(Addr, /*IsLoad=*/true);
+          if (Latency > Config.L1D.Latency) {
+            // Lockup-free cache: take an MSHR, stalling if all are busy.
+            Mshrs.retire(Cycle);
+            if (Mshrs.size() >= Config.NumMSHRs) {
+              uint64_t Earliest = Mshrs.earliestDone();
+              R.MshrStallCycles += Earliest - Cycle;
+              stallInIssue(Earliest);
+              Mshrs.retire(Cycle);
+            }
+            Mshrs.insert(Line, Cycle + static_cast<uint64_t>(Latency));
+          }
+        }
+      }
+      ReadyAt[Op.DefId] = Cycle + static_cast<uint64_t>(Latency);
+      LoadProduced[Op.DefId] = 1;
+
+      uint64_t Bits = State.loadWord(Addr);
+      if (Op.U.K == MicroKind::FLoad) {
+        double V;
+        std::memcpy(&V, &Bits, 8);
+        State.writeFp(Op.U.Dst, V);
+      } else {
+        State.writeInt(Op.U.Dst, static_cast<int64_t>(Bits));
+      }
+      return;
+    }
+
+    if (Op.Flags & FlagStore) {
+      uint64_t Addr =
+          static_cast<uint64_t>(State.readInt(Op.U.B) + Op.U.Imm);
+      if (!Simple) {
+        if (!DTlb.access(Addr)) {
+          ++R.DTlbMisses;
+          stallInIssue(Cycle + static_cast<uint64_t>(Config.TlbRefillLatency));
+          R.DTlbStallCycles += static_cast<uint64_t>(Config.TlbRefillLatency);
+        }
+        // Write-through with no write-allocate at L1; the write buffer
+        // absorbs the L2 access time.
+        L1D.touch(Addr, R.L1D);
+        L2.access(Addr, /*Allocate=*/true, R.L2);
+        WriteBuf.drain(Cycle);
+        if (WriteBuf.size() >= Config.WriteBufferEntries) {
+          uint64_t Earliest = WriteBuf.front();
+          R.WriteBufferStallCycles += Earliest - Cycle;
+          stallInIssue(Earliest);
+          WriteBuf.drain(Cycle);
+        }
+        WriteBuf.push(Cycle + static_cast<uint64_t>(Config.L2.Latency));
+      }
+
+      uint64_t Bits;
+      if (Op.U.K == MicroKind::FStore) {
+        double V = State.readFp(Op.U.A);
+        std::memcpy(&Bits, &V, 8);
+      } else {
+        Bits = static_cast<uint64_t>(State.readInt(Op.U.A));
+      }
+      State.storeWord(Addr, Bits);
+      return;
+    }
+
+    int Latency = Simple ? 1 : Op.Latency;
+    if ((Op.Flags & FlagFDiv) && !Simple) {
+      // The divider is not pipelined.
+      if (DivBusyUntil > Cycle) {
+        R.FixedInterlockCycles += DivBusyUntil - Cycle;
+        stallInIssue(DivBusyUntil);
+      }
+      DivBusyUntil = Cycle + static_cast<uint64_t>(Latency);
+    }
+    if (Op.DefId != Reg::InvalidId) {
+      ReadyAt[Op.DefId] = Cycle + static_cast<uint64_t>(Latency);
+      LoadProduced[Op.DefId] = 0;
+    }
+    execMicro(State, Op.U);
+  }
+};
+
+} // namespace
+
+SimResult sim::detail::simulateFast(const Module &M,
+                                    const MachineConfig &Config,
+                                    uint64_t MaxCycles) {
+  const bool Simple = Config.SimpleModel;
+  const bool Fetch = !Simple && !Config.PerfectFrontEnd;
+  const bool Wide = Config.IssueWidth > 1;
+  if (Simple)
+    return Wide ? FastSimulator<true, false, true>(M, Config, MaxCycles).run()
+                : FastSimulator<true, false, false>(M, Config, MaxCycles).run();
+  if (Fetch)
+    return Wide ? FastSimulator<false, true, true>(M, Config, MaxCycles).run()
+                : FastSimulator<false, true, false>(M, Config, MaxCycles).run();
+  return Wide ? FastSimulator<false, false, true>(M, Config, MaxCycles).run()
+              : FastSimulator<false, false, false>(M, Config, MaxCycles).run();
+}

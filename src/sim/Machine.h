@@ -40,6 +40,14 @@ struct CacheConfig {
   int Latency;
 };
 
+/// Selects between the optimized simulator core (the default) and the seed
+/// implementation preserved in ReferenceMachine.cpp. The two produce
+/// bit-identical SimResults for every configuration (asserted by
+/// sim_equivalence_test and the golden sim-stats test); the reference exists
+/// as a correctness oracle and as the baseline bench_sim_throughput measures
+/// speedups against — the same twin pattern as sched::SchedImpl.
+enum class SimImpl : uint8_t { Fast, Reference };
+
 struct MachineConfig {
   // Memory hierarchy (Table 2). The 21164: 8KB direct-mapped L1 caches with
   // 32-byte lines, a 96KB 3-way on-chip L2, a board-level L3, ~50-cycle
@@ -88,6 +96,9 @@ struct MachineConfig {
   int SimpleHitLatency = 2;
   int SimpleMissLatency = 24; ///< 1990-era miss cost over a bus interconnect.
   uint64_t SimpleSeed = 12345;
+
+  /// Simulator-core implementation; results are bit-identical either way.
+  SimImpl Impl = SimImpl::Fast;
 };
 
 /// Dynamic instruction counts, bucketed as in section 4.3. Spill/restore
@@ -149,9 +160,16 @@ struct SimResult {
 /// Simulates \p M (laid out, physical registers only) to completion or until
 /// \p MaxCycles. The returned checksum matches ir::interpret's for the same
 /// module — the standing cross-check between the timing and functional
-/// models.
+/// models. The configuration is validated up front; a malformed
+/// MachineConfig (zero-set cache, zero-entry TLB or predictor, ...) yields
+/// SimResult::Error instead of undefined behaviour.
 SimResult simulate(const ir::Module &M, const MachineConfig &Config = {},
                    uint64_t MaxCycles = 50000000000ull);
+
+/// Human-readable description of the first problem with \p Config, or empty
+/// when it is simulable. simulate() calls this; exposed for tests and for
+/// callers that want to fail fast before compiling.
+std::string validateMachineConfig(const MachineConfig &Config);
 
 } // namespace sim
 } // namespace bsched

@@ -12,6 +12,7 @@
 #include "lang/Eval.h"
 #include "lang/Generate.h"
 #include "lang/Parser.h"
+#include "sim/Machine.h"
 
 #include <gtest/gtest.h>
 
@@ -116,6 +117,97 @@ TEST_P(FuzzPipeline, EveryConfigMatchesOracle) {
 // wall-clock, so the seed count trades off against the added config.
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
                          ::testing::Range<uint64_t>(0, 100));
+
+namespace {
+
+class FuzzSim : public ::testing::TestWithParam<uint64_t> {};
+
+/// Asserts every SimResult field equal between the two simulator cores.
+void expectSimResultsEqual(const sim::SimResult &F, const sim::SimResult &R,
+                           uint64_t Seed, const char *Tag) {
+  EXPECT_EQ(F.Finished, R.Finished) << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.Checksum, R.Checksum) << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.Cycles, R.Cycles) << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.Counts.total(), R.Counts.total())
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.LoadInterlockCycles, R.LoadInterlockCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.FixedInterlockCycles, R.FixedInterlockCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.ICacheStallCycles, R.ICacheStallCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.ITlbStallCycles, R.ITlbStallCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.DTlbStallCycles, R.DTlbStallCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.BranchPenaltyCycles, R.BranchPenaltyCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.MshrStallCycles, R.MshrStallCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.WriteBufferStallCycles, R.WriteBufferStallCycles)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.L1D.Accesses, R.L1D.Accesses)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.L1D.Misses, R.L1D.Misses)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.L1I.Accesses, R.L1I.Accesses)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.L1I.Misses, R.L1I.Misses)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.DTlbMisses, R.DTlbMisses)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.ITlbMisses, R.ITlbMisses)
+      << "seed " << Seed << " [" << Tag << "]";
+  EXPECT_EQ(F.BranchMispredicts, R.BranchMispredicts)
+      << "seed " << Seed << " [" << Tag << "]";
+}
+
+} // namespace
+
+// Sim-focused differential fuzzing: random programs through one compile,
+// then the fast and reference simulator cores must agree on every statistic
+// under machine models that stress different fast paths. Random CFGs reach
+// fetch-run and branch shapes the 17 curated workloads never build.
+TEST_P(FuzzSim, FastCoreMatchesReferenceCore) {
+  lang::Program P = lang::generateProgram(GetParam());
+  driver::CompileOptions Opts;
+  Opts.UnrollFactor = 4;
+  Opts.VerifyPasses = false; // legality is FuzzPipeline's job
+  driver::CompileResult C = driver::compileProgram(P, Opts);
+  ASSERT_TRUE(C.ok()) << "seed " << GetParam() << ": " << C.Error;
+
+  struct Model {
+    const char *Tag;
+    sim::MachineConfig C;
+  };
+  std::vector<Model> Models;
+  Models.push_back({"21164", {}});
+  sim::MachineConfig Simple;
+  Simple.SimpleModel = true;
+  Simple.SimpleHitRate = 0.8;
+  Models.push_back({"simple80", Simple});
+  sim::MachineConfig Starved;
+  Starved.L1D = {256, 32, 1, 2};
+  Starved.L1I = {256, 32, 1, 1};
+  Starved.NumMSHRs = 2;
+  Starved.WriteBufferEntries = 1;
+  Starved.DTlbEntries = 2;
+  Starved.ITlbEntries = 2;
+  Starved.PageSize = 4096;
+  Starved.BranchPredictorEntries = 8;
+  Models.push_back({"starved", Starved});
+
+  for (Model &M : Models) {
+    M.C.Impl = sim::SimImpl::Fast;
+    sim::SimResult F = sim::simulate(C.M, M.C, /*MaxCycles=*/400000);
+    M.C.Impl = sim::SimImpl::Reference;
+    sim::SimResult R = sim::simulate(C.M, M.C, /*MaxCycles=*/400000);
+    ASSERT_TRUE(F.ok()) << "seed " << GetParam() << ": " << F.Error;
+    expectSimResultsEqual(F, R, GetParam(), M.Tag);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SimSeeds, FuzzSim, ::testing::Range<uint64_t>(0, 25));
 
 TEST(Generator, DeterministicPerSeed) {
   lang::Program A = lang::generateProgram(42);

@@ -1,0 +1,158 @@
+//===- tests/golden_sim_test.cpp - Simulator statistics goldens ------------===//
+//
+// Pins the timing simulator's reported statistics down to the bit: every
+// workload, simulated under a spread of machine configurations, must hash to
+// the checked-in value in golden_sim_stats.inc. The hash covers EVERY
+// SimResult field — cycles, the interlock split, each stall source, cache
+// and TLB counters, predictor stats, the instruction-mix buckets, and the
+// checksum — so any change to simulated behaviour (intended or not) shows up
+// as a diff of that file. Together with sim_equivalence_test (Fast ==
+// Reference) this is the contract that lets the simulator core be rewritten
+// for speed: the goldens pin the numbers, the equivalence test pins the twin.
+//
+// Regenerating after an intentional model change:
+//   BSCHED_GOLDEN_REGEN=1 ./golden_sim_test > tests/golden_sim_stats.inc
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::driver;
+using namespace bsched::sim;
+
+namespace {
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// Serializes every SimResult field; the golden hash is over this string,
+/// so no statistic can drift unnoticed.
+std::string dumpResult(const SimResult &R) {
+  std::string S;
+  auto Add = [&S](uint64_t V) {
+    S += std::to_string(V);
+    S += ',';
+  };
+  Add(R.Finished ? 1 : 0);
+  Add(R.Checksum);
+  Add(R.Cycles);
+  Add(R.Counts.ShortInt);
+  Add(R.Counts.LongInt);
+  Add(R.Counts.ShortFp);
+  Add(R.Counts.LongFp);
+  Add(R.Counts.Loads);
+  Add(R.Counts.Stores);
+  Add(R.Counts.Branches);
+  Add(R.Counts.Spills);
+  Add(R.Counts.Restores);
+  Add(R.LoadInterlockCycles);
+  Add(R.FixedInterlockCycles);
+  Add(R.ICacheStallCycles);
+  Add(R.ITlbStallCycles);
+  Add(R.DTlbStallCycles);
+  Add(R.BranchPenaltyCycles);
+  Add(R.MshrStallCycles);
+  Add(R.WriteBufferStallCycles);
+  Add(R.L1D.Accesses);
+  Add(R.L1D.Misses);
+  Add(R.L2.Accesses);
+  Add(R.L2.Misses);
+  Add(R.L3.Accesses);
+  Add(R.L3.Misses);
+  Add(R.L1I.Accesses);
+  Add(R.L1I.Misses);
+  Add(R.DTlbMisses);
+  Add(R.ITlbMisses);
+  Add(R.BranchMispredicts);
+  return S;
+}
+
+struct MachinePoint {
+  const char *Tag;
+  MachineConfig C;
+};
+
+/// The machine models pinned per workload: the paper's 21164, the 1993
+/// stochastic model, the back-end-only variant, and a 4-wide superscalar.
+std::vector<MachinePoint> goldenMachines() {
+  std::vector<MachinePoint> Ms;
+  Ms.push_back({"21164", MachineConfig{}});
+  MachineConfig Simple;
+  Simple.SimpleModel = true;
+  Simple.SimpleHitRate = 0.8;
+  Ms.push_back({"simple80", Simple});
+  MachineConfig Pfe;
+  Pfe.PerfectFrontEnd = true;
+  Ms.push_back({"pfe", Pfe});
+  MachineConfig W4;
+  W4.IssueWidth = 4;
+  Ms.push_back({"w4", W4});
+  return Ms;
+}
+
+struct GoldenRow {
+  const char *Machine;
+  const char *Workload;
+  uint64_t Hash;
+};
+
+const GoldenRow GoldenTable[] = {
+#include "golden_sim_stats.inc"
+    {"", "", 0}, // sentinel so the array is never empty pre-regeneration
+};
+
+const GoldenRow *findGolden(const std::string &Machine,
+                            const std::string &Workload) {
+  for (const GoldenRow &R : GoldenTable)
+    if (Machine == R.Machine && Workload == R.Workload)
+      return &R;
+  return nullptr;
+}
+
+} // namespace
+
+TEST(GoldenSimStats, EveryWorkloadMatchesPinnedStats) {
+  bool Regen = std::getenv("BSCHED_GOLDEN_REGEN") != nullptr;
+  CompileOptions Opts;
+  Opts.UnrollFactor = 4;  // spills and bigger blocks make the stats richer
+  Opts.VerifyPasses = false;
+  std::vector<MachinePoint> Machines = goldenMachines();
+  for (const Workload &W : workloads()) {
+    lang::Program P = parseWorkload(W);
+    CompileResult C = compileProgram(P, Opts);
+    ASSERT_TRUE(C.ok()) << W.Name << ": " << C.Error;
+    for (const MachinePoint &M : Machines) {
+      SimResult R = simulate(C.M, M.C);
+      ASSERT_TRUE(R.ok()) << W.Name << " [" << M.Tag << "]: " << R.Error;
+      ASSERT_TRUE(R.Finished) << W.Name << " [" << M.Tag << "]";
+      uint64_t H = fnv1a(dumpResult(R));
+      if (Regen) {
+        std::printf("    {\"%s\", \"%s\", 0x%016llxull},\n", M.Tag, W.Name,
+                    static_cast<unsigned long long>(H));
+        continue;
+      }
+      const GoldenRow *G = findGolden(M.Tag, W.Name);
+      ASSERT_NE(G, nullptr)
+          << W.Name << " [" << M.Tag << "]: no golden entry "
+          << "(regenerate tests/golden_sim_stats.inc)";
+      EXPECT_EQ(G->Hash, H)
+          << W.Name << " [" << M.Tag << "]: simulated statistics changed "
+          << "(regenerate tests/golden_sim_stats.inc if intended)";
+    }
+  }
+}

@@ -1,0 +1,222 @@
+//===- tests/sim_equivalence_test.cpp - Fast vs reference simulator --------===//
+//
+// The twin contract for the simulator rewrite: SimImpl::Fast (predecoded
+// micro-ops, MRU/one-probe memory-system fast paths, run-based fetch) must
+// reproduce SimImpl::Reference (the preserved seed simulator) bit for bit —
+// every SimResult field, not just the checksum — across the full workload
+// suite and a spread of machine configurations chosen to drive every fast
+// path and its fallback:
+//
+//  * the full 21164 hierarchy (runs the fetch-run and MRU machinery hard);
+//  * the 1993 simple stochastic model (RNG draw ordering);
+//  * PerfectFrontEnd (no fetch modeling at all);
+//  * superscalar widths (issue-group bookkeeping);
+//  * a starved machine (1-2 entry TLBs/MSHRs/write buffer: every stall
+//    path, constant MSHR pressure, TLB thrash);
+//  * non-power-of-two geometries (division/modulo fallbacks instead of the
+//    shift/mask paths, including a non-power-of-two page size).
+//
+// Budget-capped runs are compared too: the two cores must stop at the same
+// cycle with identical partial statistics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::driver;
+using namespace bsched::sim;
+
+namespace {
+
+/// Asserts every field of two SimResults equal.
+void expectSimEqual(const SimResult &F, const SimResult &R,
+                    const std::string &What) {
+  EXPECT_EQ(F.Error, R.Error) << What;
+  EXPECT_EQ(F.Finished, R.Finished) << What;
+  EXPECT_EQ(F.Checksum, R.Checksum) << What;
+  EXPECT_EQ(F.Cycles, R.Cycles) << What;
+  EXPECT_EQ(F.Counts.ShortInt, R.Counts.ShortInt) << What;
+  EXPECT_EQ(F.Counts.LongInt, R.Counts.LongInt) << What;
+  EXPECT_EQ(F.Counts.ShortFp, R.Counts.ShortFp) << What;
+  EXPECT_EQ(F.Counts.LongFp, R.Counts.LongFp) << What;
+  EXPECT_EQ(F.Counts.Loads, R.Counts.Loads) << What;
+  EXPECT_EQ(F.Counts.Stores, R.Counts.Stores) << What;
+  EXPECT_EQ(F.Counts.Branches, R.Counts.Branches) << What;
+  EXPECT_EQ(F.Counts.Spills, R.Counts.Spills) << What;
+  EXPECT_EQ(F.Counts.Restores, R.Counts.Restores) << What;
+  EXPECT_EQ(F.LoadInterlockCycles, R.LoadInterlockCycles) << What;
+  EXPECT_EQ(F.FixedInterlockCycles, R.FixedInterlockCycles) << What;
+  EXPECT_EQ(F.ICacheStallCycles, R.ICacheStallCycles) << What;
+  EXPECT_EQ(F.ITlbStallCycles, R.ITlbStallCycles) << What;
+  EXPECT_EQ(F.DTlbStallCycles, R.DTlbStallCycles) << What;
+  EXPECT_EQ(F.BranchPenaltyCycles, R.BranchPenaltyCycles) << What;
+  EXPECT_EQ(F.MshrStallCycles, R.MshrStallCycles) << What;
+  EXPECT_EQ(F.WriteBufferStallCycles, R.WriteBufferStallCycles) << What;
+  EXPECT_EQ(F.L1D.Accesses, R.L1D.Accesses) << What;
+  EXPECT_EQ(F.L1D.Misses, R.L1D.Misses) << What;
+  EXPECT_EQ(F.L2.Accesses, R.L2.Accesses) << What;
+  EXPECT_EQ(F.L2.Misses, R.L2.Misses) << What;
+  EXPECT_EQ(F.L3.Accesses, R.L3.Accesses) << What;
+  EXPECT_EQ(F.L3.Misses, R.L3.Misses) << What;
+  EXPECT_EQ(F.L1I.Accesses, R.L1I.Accesses) << What;
+  EXPECT_EQ(F.L1I.Misses, R.L1I.Misses) << What;
+  EXPECT_EQ(F.DTlbMisses, R.DTlbMisses) << What;
+  EXPECT_EQ(F.ITlbMisses, R.ITlbMisses) << What;
+  EXPECT_EQ(F.BranchMispredicts, R.BranchMispredicts) << What;
+}
+
+/// Runs both cores on \p M and asserts bit-identical results.
+void expectTwinsAgree(const ir::Module &M, MachineConfig C,
+                      uint64_t MaxCycles, const std::string &What) {
+  C.Impl = SimImpl::Fast;
+  SimResult F = simulate(M, C, MaxCycles);
+  C.Impl = SimImpl::Reference;
+  SimResult R = simulate(M, C, MaxCycles);
+  expectSimEqual(F, R, What);
+}
+
+MachineConfig simpleModel(double HitRate) {
+  MachineConfig C;
+  C.SimpleModel = true;
+  C.SimpleHitRate = HitRate;
+  return C;
+}
+
+MachineConfig perfectFrontEnd() {
+  MachineConfig C;
+  C.PerfectFrontEnd = true;
+  return C;
+}
+
+MachineConfig width(unsigned W, bool Pfe = false) {
+  MachineConfig C;
+  C.IssueWidth = W;
+  C.PerfectFrontEnd = Pfe;
+  return C;
+}
+
+/// Near-minimal resources: 2-entry TLBs, 2 MSHRs, a 1-entry write buffer,
+/// tiny caches and predictor. Every stall path fires constantly, MSHR and
+/// write-buffer pressure is permanent, and the TLB MRU path thrashes.
+MachineConfig starved() {
+  MachineConfig C;
+  C.L1D = {256, 32, 1, 2};
+  C.L1I = {256, 32, 1, 1};
+  C.L2 = {2048, 32, 2, 6};
+  C.L3 = {16384, 64, 1, 15};
+  C.NumMSHRs = 2;
+  C.WriteBufferEntries = 1;
+  C.DTlbEntries = 2;
+  C.ITlbEntries = 2;
+  C.PageSize = 4096;
+  C.TlbRefillLatency = 9;
+  C.BranchPredictorEntries = 8;
+  return C;
+}
+
+/// Non-power-of-two geometry everywhere: set counts of 150/100/1875, a
+/// 1000-byte page. Exercises the division/modulo fallbacks of the fast
+/// cache/TLB models (the shift/mask paths cannot engage).
+MachineConfig oddGeometry() {
+  MachineConfig C;
+  C.L1D = {4800, 32, 1, 2};   // 150 sets
+  C.L1I = {4800, 32, 1, 1};   // 150 sets
+  C.L2 = {9600, 32, 3, 6};    // 100 sets
+  C.L3 = {120000, 64, 1, 15}; // 1875 sets
+  C.PageSize = 1000;
+  C.DTlbEntries = 3;
+  C.ITlbEntries = 3;
+  C.BranchPredictorEntries = 7;
+  return C;
+}
+
+} // namespace
+
+/// The core grid: every workload under the machine models the experiments
+/// actually use (full 21164, the 1993 simple model, back-end-only), capped
+/// so the reference core's cost stays bounded. 51 workload x config points.
+TEST(SimEquivalence, AllWorkloadsCoreConfigs) {
+  CompileOptions Opts;
+  Opts.UnrollFactor = 4;
+  Opts.VerifyPasses = false;
+  const MachineConfig Configs[] = {MachineConfig{}, simpleModel(0.8),
+                                   perfectFrontEnd()};
+  const char *Tags[] = {"21164", "simple80", "pfe"};
+  for (const Workload &W : workloads()) {
+    lang::Program P = parseWorkload(W);
+    CompileResult C = compileProgram(P, Opts);
+    ASSERT_TRUE(C.ok()) << W.Name << ": " << C.Error;
+    for (size_t I = 0; I != 3; ++I)
+      expectTwinsAgree(C.M, Configs[I], /*MaxCycles=*/1000000,
+                       std::string(W.Name) + " [" + Tags[I] + "]");
+  }
+}
+
+/// Stress configurations on a subset of workloads: superscalar widths,
+/// starved resources, non-power-of-two geometries, the 0.95 simple model.
+TEST(SimEquivalence, StressConfigs) {
+  CompileOptions Opts;
+  Opts.UnrollFactor = 8;
+  Opts.TraceScheduling = true;
+  Opts.RegAlloc.AllocatablePerClass = 8; // spills: restores hammer the L1D
+  Opts.VerifyPasses = false;
+  struct Point {
+    const char *Tag;
+    MachineConfig C;
+  };
+  const Point Points[] = {
+      {"w2", width(2)},           {"w4+pfe", width(4, true)},
+      {"starved", starved()},     {"oddgeom", oddGeometry()},
+      {"simple95", simpleModel(0.95)},
+  };
+  const auto &All = workloads();
+  for (size_t WI = 0; WI < All.size() && WI < 5; ++WI) {
+    lang::Program P = parseWorkload(All[WI]);
+    CompileResult C = compileProgram(P, Opts);
+    ASSERT_TRUE(C.ok()) << All[WI].Name << ": " << C.Error;
+    for (const Point &Pt : Points)
+      expectTwinsAgree(C.M, Pt.C, /*MaxCycles=*/600000,
+                       std::string(All[WI].Name) + " [" + Pt.Tag + "]");
+  }
+}
+
+/// Uncapped runs: the twins agree through to completion, including the
+/// checksum and the exact final cycle.
+TEST(SimEquivalence, FullRunsToCompletion) {
+  CompileOptions Opts;
+  Opts.VerifyPasses = false;
+  const auto &All = workloads();
+  for (size_t WI = 0; WI < All.size() && WI < 3; ++WI) {
+    lang::Program P = parseWorkload(All[WI]);
+    CompileResult C = compileProgram(P, Opts);
+    ASSERT_TRUE(C.ok()) << All[WI].Name << ": " << C.Error;
+    MachineConfig M;
+    M.Impl = SimImpl::Fast;
+    SimResult F = simulate(C.M, M);
+    ASSERT_TRUE(F.Finished) << All[WI].Name;
+    M.Impl = SimImpl::Reference;
+    SimResult R = simulate(C.M, M);
+    ASSERT_TRUE(R.Finished) << All[WI].Name;
+    expectSimEqual(F, R, All[WI].Name);
+  }
+}
+
+/// Tiny cycle budgets slice execution at arbitrary points — including
+/// mid-run in the fetch machinery and mid-stall; the partial statistics
+/// must still match exactly at every cut.
+TEST(SimEquivalence, BudgetCutsAgreeEverywhere) {
+  CompileOptions Opts;
+  Opts.VerifyPasses = false;
+  lang::Program P = parseWorkload(workloads().front());
+  CompileResult C = compileProgram(P, Opts);
+  ASSERT_TRUE(C.ok()) << C.Error;
+  for (uint64_t Cap : {0ull, 1ull, 7ull, 100ull, 1000ull, 5000ull, 50000ull})
+    expectTwinsAgree(C.M, MachineConfig{}, Cap,
+                     "budget " + std::to_string(Cap));
+}

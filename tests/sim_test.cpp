@@ -262,6 +262,149 @@ Out[0] = s + t;
   EXPECT_LE(RB.LoadInterlockCycles, RT.LoadInterlockCycles);
 }
 
+//===----------------------------------------------------------------------===//
+// Configuration validation (negative paths)
+//===----------------------------------------------------------------------===//
+//
+// Malformed configurations used to be undefined behaviour (a zero-set cache
+// divides by zero in the set index; a zero-entry predictor indexes mod 0).
+// simulate() now validates up front and returns SimResult::Error for both
+// simulator cores.
+
+namespace {
+
+/// Expects simulate() under both cores to reject \p C with a validation
+/// error rather than faulting.
+void expectRejected(const MachineConfig &C, const char *What) {
+  EXPECT_NE(validateMachineConfig(C), "") << What;
+  Module M = compile(TinyKernel);
+  for (SimImpl Impl : {SimImpl::Fast, SimImpl::Reference}) {
+    MachineConfig WithImpl = C;
+    WithImpl.Impl = Impl;
+    SimResult R = simulate(M, WithImpl);
+    EXPECT_FALSE(R.ok()) << What;
+    EXPECT_NE(R.Error.find("invalid machine configuration"), std::string::npos)
+        << What << ": " << R.Error;
+    EXPECT_FALSE(R.Finished);
+  }
+}
+
+} // namespace
+
+TEST(SimConfig, DefaultsAreValid) {
+  EXPECT_EQ(validateMachineConfig(MachineConfig{}), "");
+}
+
+TEST(SimConfig, ZeroSetCacheRejected) {
+  // SizeBytes < LineSize * Assoc leaves zero sets: the set index would be
+  // a modulo by zero on the first access.
+  MachineConfig C;
+  C.L1D.SizeBytes = 16; // one 32-byte line does not fit
+  expectRejected(C, "zero-set L1D");
+}
+
+TEST(SimConfig, ZeroLineSizeRejected) {
+  MachineConfig C;
+  C.L2.LineSize = 0;
+  expectRejected(C, "zero line size");
+}
+
+TEST(SimConfig, ZeroAssocRejected) {
+  MachineConfig C;
+  C.L3.Assoc = 0;
+  expectRejected(C, "zero associativity");
+}
+
+TEST(SimConfig, ZeroLatencyCacheRejected) {
+  MachineConfig C;
+  C.L1I.Latency = 0;
+  expectRejected(C, "zero cache latency");
+}
+
+TEST(SimConfig, ZeroEntryBranchPredictorRejected) {
+  // Counter lookup is (Addr >> 2) % entries: mod zero.
+  MachineConfig C;
+  C.BranchPredictorEntries = 0;
+  expectRejected(C, "zero-entry predictor");
+}
+
+TEST(SimConfig, ZeroEntryTlbRejected) {
+  MachineConfig C;
+  C.DTlbEntries = 0;
+  expectRejected(C, "zero-entry DTLB");
+  MachineConfig C2;
+  C2.ITlbEntries = 0;
+  expectRejected(C2, "zero-entry ITLB");
+}
+
+TEST(SimConfig, ZeroPageSizeRejected) {
+  MachineConfig C;
+  C.PageSize = 0;
+  expectRejected(C, "zero page size");
+}
+
+TEST(SimConfig, ZeroMshrsRejected) {
+  MachineConfig C;
+  C.NumMSHRs = 0;
+  expectRejected(C, "zero MSHRs");
+}
+
+TEST(SimConfig, ZeroWriteBufferRejected) {
+  MachineConfig C;
+  C.WriteBufferEntries = 0;
+  expectRejected(C, "zero write-buffer entries");
+}
+
+TEST(SimConfig, ZeroIssueWidthRejected) {
+  MachineConfig C;
+  C.IssueWidth = 0;
+  expectRejected(C, "zero issue width");
+}
+
+TEST(SimConfig, ZeroPerClassLimitRejectedWhenSuperscalar) {
+  MachineConfig C;
+  C.IssueWidth = 2;
+  C.MaxMemPerCycle = 0;
+  expectRejected(C, "zero per-class limit at width 2");
+  // At width 1 the per-class limits are unused, so the same value is fine.
+  MachineConfig C1 = C;
+  C1.IssueWidth = 1;
+  EXPECT_EQ(validateMachineConfig(C1), "");
+}
+
+TEST(SimConfig, SimpleModelLatenciesValidated) {
+  MachineConfig C;
+  C.SimpleModel = true;
+  C.SimpleMissLatency = 0;
+  expectRejected(C, "zero simple-model miss latency");
+}
+
+TEST(SimConfig, NegativeLatenciesRejected) {
+  MachineConfig C;
+  C.MemoryLatency = 0;
+  expectRejected(C, "zero memory latency");
+  MachineConfig C2;
+  C2.TlbRefillLatency = -1;
+  expectRejected(C2, "negative TLB refill");
+  MachineConfig C3;
+  C3.BranchMispredictPenalty = -1;
+  expectRejected(C3, "negative mispredict penalty");
+}
+
+TEST(SimConfig, ReferenceImplSelectable) {
+  // The seed simulator stays selectable (the twin pattern): same checksum,
+  // same cycle count as the fast core on a real workload.
+  Module M = compile(StreamKernel);
+  MachineConfig Ref;
+  Ref.Impl = SimImpl::Reference;
+  SimResult RR = simulate(M, Ref);
+  SimResult RF = simulate(M, MachineConfig{});
+  ASSERT_TRUE(RR.Finished);
+  ASSERT_TRUE(RF.Finished);
+  EXPECT_EQ(RR.Checksum, RF.Checksum);
+  EXPECT_EQ(RR.Cycles, RF.Cycles);
+}
+
 TEST(Sim, StatsAreInternallyConsistent) {
   Module M = compile(StreamKernel);
   SimResult R = simulate(M);
