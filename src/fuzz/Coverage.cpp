@@ -1,0 +1,135 @@
+//===- fuzz/Coverage.cpp - Feature-coverage map for the fuzzer --------------===//
+
+#include "fuzz/Coverage.h"
+
+using namespace bsched;
+using namespace bsched::fuzz;
+
+uint64_t fuzz::log2Bucket(uint64_t V) {
+  uint64_t B = 0;
+  while (V) {
+    ++B;
+    V >>= 1;
+  }
+  return B;
+}
+
+namespace {
+
+/// SplitMix64-style mixer; the map only needs a stable, well-spread hash of
+/// the (config, feature, bucket) triple.
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+size_t bitIndex(unsigned Cfg, Feature F, uint64_t Bucket) {
+  uint64_t Key = (static_cast<uint64_t>(Cfg) << 32) |
+                 (static_cast<uint64_t>(static_cast<uint8_t>(F)) << 24);
+  return static_cast<size_t>(mix(Key ^ mix(Bucket)) &
+                             (CoverageMap::NumBits - 1));
+}
+
+} // namespace
+
+bool CoverageMap::add(unsigned Cfg, Feature F, uint64_t Bucket) {
+  size_t Bit = bitIndex(Cfg, F, Bucket);
+  uint64_t &W = Words[Bit / 64];
+  uint64_t Mask = 1ull << (Bit % 64);
+  if (W & Mask)
+    return false;
+  W |= Mask;
+  ++Count;
+  return true;
+}
+
+size_t CoverageMap::merge(const CoverageMap &O) {
+  size_t New = 0;
+  for (size_t I = 0; I != Words.size(); ++I) {
+    uint64_t Fresh = O.Words[I] & ~Words[I];
+    if (Fresh) {
+      New += static_cast<size_t>(__builtin_popcountll(Fresh));
+      Words[I] |= Fresh;
+    }
+  }
+  Count += New;
+  return New;
+}
+
+bool CoverageMap::wouldGrow(const CoverageMap &O) const {
+  for (size_t I = 0; I != Words.size(); ++I)
+    if (O.Words[I] & ~Words[I])
+      return true;
+  return false;
+}
+
+void fuzz::addCompileFeatures(CoverageMap &M, unsigned Cfg,
+                              const driver::CompileResult &C) {
+  auto Add = [&](Feature F, uint64_t V) { M.add(Cfg, F, log2Bucket(V)); };
+
+  Add(Feature::SpilledVRegs, static_cast<uint64_t>(C.RegAlloc.SpilledVRegs));
+  Add(Feature::SpillStores, static_cast<uint64_t>(C.RegAlloc.SpillStores));
+  Add(Feature::RestoreLoads, static_cast<uint64_t>(C.RegAlloc.RestoreLoads));
+  Add(Feature::Remats, static_cast<uint64_t>(C.RegAlloc.Remats));
+  Add(Feature::IntRegsUsed, C.RegAlloc.IntRegsUsed);
+  Add(Feature::FpRegsUsed, C.RegAlloc.FpRegsUsed);
+
+  Add(Feature::LoopsUnrolled, static_cast<uint64_t>(C.Unroll.LoopsUnrolled));
+  Add(Feature::LoopsFullyUnrolled,
+      static_cast<uint64_t>(C.Unroll.LoopsFullyUnrolled));
+  Add(Feature::LoopsPeeled, static_cast<uint64_t>(C.Locality.LoopsPeeled));
+  Add(Feature::SpatialRefs, static_cast<uint64_t>(C.Locality.SpatialRefs));
+  Add(Feature::TemporalRefs, static_cast<uint64_t>(C.Locality.TemporalRefs));
+  Add(Feature::CleanupIterations,
+      static_cast<uint64_t>(C.Cleanup.Iterations));
+  Add(Feature::DeadRemoved, static_cast<uint64_t>(C.Cleanup.DeadRemoved));
+
+  Add(Feature::Traces, static_cast<uint64_t>(C.Trace.Traces));
+  Add(Feature::MultiBlockTraces,
+      static_cast<uint64_t>(C.Trace.MultiBlockTraces));
+  Add(Feature::LongestTrace, static_cast<uint64_t>(C.Trace.LongestTrace));
+  Add(Feature::CompensationBlocks,
+      static_cast<uint64_t>(C.Trace.CompensationBlocks));
+  Add(Feature::CompensationInstrs,
+      static_cast<uint64_t>(C.Trace.CompensationInstrs));
+
+  // Schedule-slot histogram: which log2 block-size classes exist, and how
+  // many blocks the schedule spreads over.
+  for (const ir::BasicBlock &B : C.M.Fn.Blocks)
+    M.add(Cfg, Feature::BlockSizeClass, log2Bucket(B.Instrs.size()));
+  Add(Feature::NumBlocks, C.M.Fn.Blocks.size());
+
+  // Verifier predicates: on a healthy tree these never fire; when they do,
+  // each diagnostic kind is its own signal so a mutant tripping a *new*
+  // predicate is always corpus-worthy.
+  for (const verify::Diagnostic &D : C.VerifyDiags)
+    M.add(Cfg, Feature::VerifyDiagKind,
+          static_cast<uint64_t>(static_cast<uint8_t>(D.Kind)));
+}
+
+void fuzz::addSimFeatures(CoverageMap &M, unsigned Cfg,
+                          const sim::SimResult &R) {
+  auto Add = [&](Feature F, uint64_t V) { M.add(Cfg, F, log2Bucket(V)); };
+
+  Add(Feature::Cycles, R.Cycles);
+  Add(Feature::LoadInterlock, R.LoadInterlockCycles);
+  Add(Feature::FixedInterlock, R.FixedInterlockCycles);
+  Add(Feature::ICacheStall, R.ICacheStallCycles);
+  Add(Feature::ITlbStall, R.ITlbStallCycles);
+  Add(Feature::DTlbStall, R.DTlbStallCycles);
+  Add(Feature::BranchPenalty, R.BranchPenaltyCycles);
+  Add(Feature::MshrStall, R.MshrStallCycles);
+  Add(Feature::WriteBufferStall, R.WriteBufferStallCycles);
+  Add(Feature::L1DMisses, R.L1D.Misses);
+  Add(Feature::L2Misses, R.L2.Misses);
+  Add(Feature::L3Misses, R.L3.Misses);
+  Add(Feature::L1IMisses, R.L1I.Misses);
+  Add(Feature::DTlbMisses, R.DTlbMisses);
+  Add(Feature::ITlbMisses, R.ITlbMisses);
+  Add(Feature::BranchMispredicts, R.BranchMispredicts);
+  Add(Feature::SpillsExecuted, R.Counts.Spills + R.Counts.Restores);
+  if (R.Counts.total())
+    Add(Feature::CyclesPerInstr, R.Cycles / R.Counts.total());
+}

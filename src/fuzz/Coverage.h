@@ -1,0 +1,97 @@
+//===- fuzz/Coverage.h - Feature-coverage map for the fuzzer ----*- C++ -*-===//
+///
+/// \file
+/// Cheap feedback for coverage-guided fuzzing. The pipeline already exports
+/// counters as a side effect of compiling and simulating — spill statistics,
+/// trace shapes, schedule-slot (block-size) histograms, verifier-predicate
+/// hits, and cache/TLB/MSHR/write-buffer event counts from the simulator
+/// cores. Each (feature, log2 bucket, config) triple is hashed into a
+/// fixed-size bitmap; a mutant earns a place in the corpus when it lights a
+/// bit no earlier input has. No instrumentation or rebuild is needed: the
+/// "coverage" is behavioural, which is exactly what matters for a compiler
+/// whose rare paths (deep spills, odd trace splits, MSHR saturation) are
+/// reached by program *shape*, not by code location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_FUZZ_COVERAGE_H
+#define BALSCHED_FUZZ_COVERAGE_H
+
+#include "driver/Compiler.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+namespace fuzz {
+
+/// Behavioural features bucketed into the coverage bitmap. Values are part
+/// of the map's hash domain only (not persisted), so reordering merely
+/// relabels bits.
+enum class Feature : uint8_t {
+  // Register allocation.
+  SpilledVRegs, SpillStores, RestoreLoads, Remats, IntRegsUsed, FpRegsUsed,
+  // Transformations.
+  LoopsUnrolled, LoopsFullyUnrolled, LoopsPeeled, SpatialRefs, TemporalRefs,
+  CleanupIterations, DeadRemoved,
+  // Trace shapes.
+  Traces, MultiBlockTraces, LongestTrace, CompensationBlocks,
+  CompensationInstrs,
+  // Schedule-slot histogram: one feature per log2 block-size class.
+  BlockSizeClass, NumBlocks,
+  // Verifier predicates (diagnostic kinds; populated only by failures).
+  VerifyDiagKind,
+  // Simulator events.
+  Cycles, LoadInterlock, FixedInterlock, ICacheStall, ITlbStall, DTlbStall,
+  BranchPenalty, MshrStall, WriteBufferStall, L1DMisses, L2Misses, L3Misses,
+  L1IMisses, DTlbMisses, ITlbMisses, BranchMispredicts, SpillsExecuted,
+  CyclesPerInstr,
+};
+
+/// Log2-style bucketing: 0 -> 0, otherwise 1 + floor(log2(V)). Collapses
+/// raw counters into ~65 classes so "some spilling" and "deep spilling"
+/// are distinct signals but 1000 vs 1001 stall cycles are not.
+uint64_t log2Bucket(uint64_t V);
+
+/// Fixed-size feature bitmap (2^16 bits, 8 KB). Thread-compatible: each
+/// fuzz job fills a local map, and the fuzzer merges maps at deterministic
+/// round boundaries.
+class CoverageMap {
+public:
+  static constexpr size_t NumBits = 1u << 16;
+
+  CoverageMap() : Words(NumBits / 64, 0) {}
+
+  /// Records (feature, bucket) under configuration index \p Cfg. Returns
+  /// true when the bit was not previously set in this map.
+  bool add(unsigned Cfg, Feature F, uint64_t Bucket);
+
+  /// ORs \p O into this map; returns how many bits were newly set.
+  size_t merge(const CoverageMap &O);
+
+  /// True if \p O contains at least one bit this map lacks.
+  bool wouldGrow(const CoverageMap &O) const;
+
+  size_t bitsSet() const { return Count; }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t Count = 0;
+};
+
+/// Extracts the compile-side features of \p C (spills, trace shapes, block
+/// sizes, transformation counters, verifier diagnostics) into \p M under
+/// configuration index \p Cfg.
+void addCompileFeatures(CoverageMap &M, unsigned Cfg,
+                        const driver::CompileResult &C);
+
+/// Extracts the simulator event buckets of \p R into \p M under
+/// configuration index \p Cfg (callers offset Cfg per machine model so the
+/// same event under a different model is a different signal).
+void addSimFeatures(CoverageMap &M, unsigned Cfg, const sim::SimResult &R);
+
+} // namespace fuzz
+} // namespace bsched
+
+#endif // BALSCHED_FUZZ_COVERAGE_H

@@ -1,0 +1,184 @@
+//===- fuzz/FuzzMain.cpp - bsched-fuzz command-line driver ------------------===//
+///
+/// \file
+/// Standalone coverage-guided differential fuzzer. Typical runs:
+///
+///   bsched-fuzz --seconds 60 --threads 4 --seed 1 --corpus out/
+///   bsched-fuzz --rounds 8 --seed 7            # fully deterministic
+///   bsched-fuzz --replay tests/corpus/repro-0-sim-twin-divergence.repro
+///
+/// Exit status: 0 = clean campaign (or a --replay that no longer fails),
+/// 1 = at least one differential failure, 2 = usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace bsched;
+
+namespace {
+
+void printUsage(std::ostream &OS) {
+  OS << "usage: bsched-fuzz [options]\n"
+        "\n"
+        "Coverage-guided differential fuzzer for the balanced-scheduling\n"
+        "pipeline: mutates generated kernel programs, cross-checks the AST\n"
+        "evaluator, both scheduler implementations, the IR interpreter and\n"
+        "both simulator cores, and reduces any mismatch to a minimal repro.\n"
+        "\n"
+        "options:\n"
+        "  --seconds <f>    wall-clock budget, checked at round boundaries\n"
+        "                   (default 10; ignored when --rounds is given)\n"
+        "  --rounds <n>     run exactly n mutation rounds (deterministic\n"
+        "                   regardless of wall clock)\n"
+        "  --threads <n>    worker threads (default 1; results are\n"
+        "                   identical for any value)\n"
+        "  --seed <n>       campaign seed (default 1)\n"
+        "  --jobs <n>       mutated candidates per round (default 24)\n"
+        "  --initial <n>    generator-seeded corpus size (default 16)\n"
+        "  --corpus <dir>   write reduced repro files here\n"
+        "  --no-reduce      report failures without reducing them\n"
+        "  --no-sim         skip the simulator differential sweep\n"
+        "  --replay <file>  replay one repro file through the oracle and\n"
+        "                   report whether it still fails\n"
+        "  --quiet          suppress per-round progress lines\n"
+        "  --help           this text\n";
+}
+
+bool parseU64(const char *S, uint64_t &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+bool parseF64(const char *S, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(S, &End);
+  return End && *End == '\0' && End != S;
+}
+
+int replayFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "bsched-fuzz: cannot open '" << Path << "'\n";
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  fuzz::Repro R;
+  std::string Err;
+  if (!fuzz::parseRepro(Buf.str(), R, Err)) {
+    std::cerr << "bsched-fuzz: " << Path << ": " << Err << "\n";
+    return 2;
+  }
+  fuzz::Failure F = fuzz::replayRepro(R, Err);
+  if (!Err.empty()) {
+    std::cerr << "bsched-fuzz: " << Path << ": " << Err << "\n";
+    return 2;
+  }
+  if (F.Kind == fuzz::FailureKind::None) {
+    std::cout << Path << ": clean (recorded kind was '" << R.Kind << "')\n";
+    return 0;
+  }
+  std::cout << Path << ": still fails: " << fuzz::failureKindName(F.Kind)
+            << " " << F.Detail << "\n";
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  fuzz::FuzzOptions Opts;
+  Opts.Seconds = 10.0;
+  std::string ReplayPath;
+
+  for (int I = 1; I < argc; ++I) {
+    const std::string A = argv[I];
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::cerr << "bsched-fuzz: " << Flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    uint64_t U = 0;
+    double D = 0;
+    if (A == "--help" || A == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (A == "--seconds") {
+      const char *V = NextArg("--seconds");
+      if (!V || !parseF64(V, D) || D < 0) return 2;
+      Opts.Seconds = D;
+    } else if (A == "--rounds") {
+      const char *V = NextArg("--rounds");
+      if (!V || !parseU64(V, U)) return 2;
+      Opts.Rounds = static_cast<int>(U);
+    } else if (A == "--threads") {
+      const char *V = NextArg("--threads");
+      if (!V || !parseU64(V, U) || U == 0) return 2;
+      Opts.Threads = static_cast<unsigned>(U);
+    } else if (A == "--seed") {
+      const char *V = NextArg("--seed");
+      if (!V || !parseU64(V, U)) return 2;
+      Opts.Seed = U;
+    } else if (A == "--jobs") {
+      const char *V = NextArg("--jobs");
+      if (!V || !parseU64(V, U) || U == 0) return 2;
+      Opts.JobsPerRound = static_cast<int>(U);
+    } else if (A == "--initial") {
+      const char *V = NextArg("--initial");
+      if (!V || !parseU64(V, U) || U == 0) return 2;
+      Opts.InitialSeeds = static_cast<int>(U);
+    } else if (A == "--corpus") {
+      const char *V = NextArg("--corpus");
+      if (!V) return 2;
+      Opts.CorpusDir = V;
+    } else if (A == "--replay") {
+      const char *V = NextArg("--replay");
+      if (!V) return 2;
+      ReplayPath = V;
+    } else if (A == "--no-reduce") {
+      Opts.ReduceFailures = false;
+    } else if (A == "--no-sim") {
+      Opts.Oracle.RunSim = false;
+    } else if (A == "--quiet") {
+      Opts.Verbose = false;
+    } else {
+      std::cerr << "bsched-fuzz: unknown option '" << A << "'\n";
+      printUsage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (!ReplayPath.empty())
+    return replayFile(ReplayPath);
+
+  fuzz::FuzzReport Report = fuzz::runFuzzer(Opts, &std::cout);
+
+  std::cout << "done: " << Report.Iterations << " programs, "
+            << Report.RoundsRun << " rounds, corpus " << Report.CorpusSize
+            << ", coverage " << Report.CoverageBits << " bits, "
+            << Report.Failures.size() << " failure(s)\n";
+  if (!Report.clean()) {
+    for (const fuzz::FailureRecord &R : Report.Failures) {
+      std::cout << "  " << fuzz::failureKindName(R.Fail.Kind);
+      if (!R.Fail.ConfigTag.empty())
+        std::cout << " config='" << R.Fail.ConfigTag << "'";
+      if (!R.Fail.MachineTag.empty())
+        std::cout << " machine=" << R.Fail.MachineTag;
+      if (!R.FilePath.empty())
+        std::cout << " repro=" << R.FilePath;
+      std::cout << "\n";
+    }
+    return 1;
+  }
+  return 0;
+}

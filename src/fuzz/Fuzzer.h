@@ -1,0 +1,91 @@
+//===- fuzz/Fuzzer.h - Coverage-guided differential fuzzing loop -*- C++ -*-===//
+///
+/// \file
+/// The fuzzing campaign driver behind the bsched-fuzz CLI: a corpus of
+/// kernel-language programs evolves under the structured mutator, guided by
+/// the behavioural CoverageMap, with every candidate judged by the
+/// differential oracle and every failure shrunk by the reducer into a
+/// repro file.
+///
+/// The loop is organized in rounds so that multi-threaded runs stay
+/// deterministic: each round schedules a fixed batch of jobs whose RNG
+/// streams depend only on (campaign seed, job index), runs them on a
+/// support/ThreadPool, and merges results in job order at the round
+/// barrier. Corpus content after round K is therefore identical for any
+/// --threads value; a wall-clock budget only decides *how many* rounds run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_FUZZ_FUZZER_H
+#define BALSCHED_FUZZ_FUZZER_H
+
+#include "fuzz/Mutate.h"
+#include "fuzz/Oracle.h"
+#include "fuzz/Repro.h"
+#include "lang/Generate.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsched {
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  unsigned Threads = 1;
+  /// Wall-clock budget in seconds, checked at round boundaries; 0 = run
+  /// exactly Rounds rounds.
+  double Seconds = 10.0;
+  /// Explicit round count (fully deterministic campaigns); 0 = time-driven.
+  int Rounds = 0;
+  /// Mutated candidates per round (one oracle sweep each).
+  int JobsPerRound = 24;
+  /// Generator-seeded programs the corpus starts from.
+  int InitialSeeds = 16;
+  /// Corpus-size cap; growth stops once reached (coverage still counts).
+  size_t MaxCorpus = 512;
+  /// Probability a job starts from a fresh generated program instead of
+  /// mutating a corpus parent.
+  double FreshProgramChance = 0.1;
+  /// Mutations applied per job: 1 + uniform[0, MutationsPerJob).
+  int MutationsPerJob = 3;
+  /// Directory reduced repro files are written to ("" = don't write).
+  std::string CorpusDir;
+  /// Shrink failures with the reducer before reporting them.
+  bool ReduceFailures = true;
+  /// Per-round progress lines on the log stream.
+  bool Verbose = true;
+
+  OracleOptions Oracle;
+  MutateOptions Mutate;
+  lang::GenerateOptions Generate;
+};
+
+struct FailureRecord {
+  Failure Fail;
+  std::string OriginalSource; ///< program that first hit the failure.
+  Repro Reduced;              ///< reduced program + stripped options.
+  std::string FilePath;       ///< repro file written, if CorpusDir set.
+};
+
+struct FuzzReport {
+  uint64_t Iterations = 0; ///< oracle sweeps (initial seeds + mutants).
+  int RoundsRun = 0;
+  size_t CorpusSize = 0;
+  size_t CoverageBits = 0;
+  MutationCounts Mutations;
+  std::vector<FailureRecord> Failures;
+
+  bool clean() const { return Failures.empty(); }
+};
+
+/// Runs a fuzzing campaign. Progress and failure reports go to \p Log when
+/// non-null (the CLI passes stdout; tests pass nullptr).
+FuzzReport runFuzzer(const FuzzOptions &Opts, std::ostream *Log = nullptr);
+
+} // namespace fuzz
+} // namespace bsched
+
+#endif // BALSCHED_FUZZ_FUZZER_H

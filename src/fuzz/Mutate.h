@@ -1,0 +1,81 @@
+//===- fuzz/Mutate.h - Structured AST mutator -------------------*- C++ -*-===//
+///
+/// \file
+/// Structured mutation over lang::Program ASTs, layered on the generator:
+/// where lang::generateProgram samples whole programs, the mutator makes one
+/// local, validity-preserving edit — statement insertion/deletion/swaps,
+/// affine-subscript perturbation, loop-bound and conditional rewrites, and
+/// array-geometry changes — so the coverage-guided fuzzer can walk outward
+/// from corpus entries instead of resampling from scratch.
+///
+/// Every mutation is validated before it is accepted: the mutant must pass
+/// lang::checkProgram (which also re-inserts implicit conversions), survive a
+/// print -> parse round trip, and evaluate cleanly under the AST oracle
+/// within a statement budget (which rejects out-of-bounds subscripts and
+/// runaway loops). Invalid candidates are rolled back and another mutation
+/// kind is tried, so mutateProgram either returns a valid mutant or leaves
+/// the input untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_FUZZ_MUTATE_H
+#define BALSCHED_FUZZ_MUTATE_H
+
+#include "lang/AST.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace bsched {
+namespace fuzz {
+
+enum class MutationKind : uint8_t {
+  InsertAssign,     ///< new scalar/array store built from in-scope names.
+  InsertLoop,       ///< new small counted loop around a fresh assignment.
+  DeleteStmt,       ///< remove one statement.
+  SwapStmts,        ///< swap two adjacent statements in a block.
+  PerturbSubscript, ///< rewrite one array-subscript dimension.
+  RewriteLoopBounds,///< change a literal trip count or the step.
+  RewriteCond,      ///< flip/negate a conditional or swap its branches.
+  ResizeArray,      ///< grow or shrink one array dimension.
+  ToggleLayout,     ///< flip row-major/column-major on one array.
+  ToggleOutput,     ///< flip checksum participation of a non-primary array.
+};
+constexpr int NumMutationKinds = 10;
+
+const char *mutationKindName(MutationKind K);
+
+struct MutateOptions {
+  /// Candidate mutations tried before giving up on this step.
+  int Attempts = 24;
+  /// AST-eval statement budget a mutant must finish within.
+  uint64_t EvalBudget = 2000000;
+  /// Reject mutants whose statement count (estimateCost proxy) exceeds this.
+  int MaxCost = 4096;
+  /// Upper bound for any array dimension after a resize.
+  int64_t MaxDim = 256;
+};
+
+/// Per-kind accept/reject bookkeeping (diagnostics for the fuzzer log).
+struct MutationCounts {
+  uint64_t Applied[NumMutationKinds] = {};
+  uint64_t Rejected = 0;
+};
+
+/// Applies one valid mutation to \p P in place, drawing randomness from
+/// \p Rng. Returns the mutation kind applied, or std::nullopt if no valid
+/// mutant was found within Opts.Attempts (P is then unchanged).
+std::optional<MutationKind> mutateProgram(lang::Program &P, RNG &Rng,
+                                          const MutateOptions &Opts = {},
+                                          MutationCounts *Counts = nullptr);
+
+/// The validity gate mutateProgram enforces; exposed so tests and the
+/// reducer can apply the same contract. Returns an empty string when \p P
+/// checks, reparses and evaluates in bounds, otherwise the first diagnostic.
+std::string validateProgram(const lang::Program &P, uint64_t EvalBudget);
+
+} // namespace fuzz
+} // namespace bsched
+
+#endif // BALSCHED_FUZZ_MUTATE_H

@@ -1,0 +1,270 @@
+//===- fuzz/Oracle.cpp - Differential oracle for one candidate --------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "ir/Interp.h"
+#include "lang/Eval.h"
+#include "lang/Parser.h"
+
+#include <utility>
+
+using namespace bsched;
+using namespace bsched::fuzz;
+
+const char *fuzz::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None: return "none";
+  case FailureKind::EvalError: return "eval-error";
+  case FailureKind::CompileError: return "compile-error";
+  case FailureKind::VerifierDiag: return "verifier-diag";
+  case FailureKind::SchedTwinDivergence: return "sched-twin-divergence";
+  case FailureKind::InterpDivergence: return "interp-divergence";
+  case FailureKind::SimError: return "sim-error";
+  case FailureKind::SimTwinDivergence: return "sim-twin-divergence";
+  case FailureKind::SimDivergence: return "sim-divergence";
+  }
+  return "?";
+}
+
+std::string fuzz::diffSimResults(const sim::SimResult &F,
+                                 const sim::SimResult &R) {
+  auto Diff = [](const char *Name, uint64_t A, uint64_t B) {
+    return std::string(Name) + " fast=" + std::to_string(A) +
+           " ref=" + std::to_string(B);
+  };
+#define BS_CHECK(FIELD)                                                        \
+  if (F.FIELD != R.FIELD)                                                      \
+  return Diff(#FIELD, static_cast<uint64_t>(F.FIELD),                          \
+              static_cast<uint64_t>(R.FIELD))
+  BS_CHECK(Finished);
+  BS_CHECK(Checksum);
+  BS_CHECK(Cycles);
+  BS_CHECK(Counts.ShortInt);
+  BS_CHECK(Counts.LongInt);
+  BS_CHECK(Counts.ShortFp);
+  BS_CHECK(Counts.LongFp);
+  BS_CHECK(Counts.Loads);
+  BS_CHECK(Counts.Stores);
+  BS_CHECK(Counts.Branches);
+  BS_CHECK(Counts.Spills);
+  BS_CHECK(Counts.Restores);
+  BS_CHECK(LoadInterlockCycles);
+  BS_CHECK(FixedInterlockCycles);
+  BS_CHECK(ICacheStallCycles);
+  BS_CHECK(ITlbStallCycles);
+  BS_CHECK(DTlbStallCycles);
+  BS_CHECK(BranchPenaltyCycles);
+  BS_CHECK(MshrStallCycles);
+  BS_CHECK(WriteBufferStallCycles);
+  BS_CHECK(L1D.Accesses);
+  BS_CHECK(L1D.Misses);
+  BS_CHECK(L2.Accesses);
+  BS_CHECK(L2.Misses);
+  BS_CHECK(L3.Accesses);
+  BS_CHECK(L3.Misses);
+  BS_CHECK(L1I.Accesses);
+  BS_CHECK(L1I.Misses);
+  BS_CHECK(DTlbMisses);
+  BS_CHECK(ITlbMisses);
+  BS_CHECK(BranchMispredicts);
+#undef BS_CHECK
+  if (F.Error != R.Error)
+    return "Error fast='" + F.Error + "' ref='" + R.Error + "'";
+  return "";
+}
+
+namespace {
+
+/// The compile configuration the simulator sweep runs under (the FuzzSim
+/// setup: moderate unrolling builds interesting blocks; the verifier is the
+/// compile sweep's job).
+driver::CompileOptions simCompileConfig() {
+  driver::CompileOptions O;
+  O.UnrollFactor = 4;
+  O.VerifyPasses = false;
+  return O;
+}
+
+Failure fail(FailureKind K, std::string ConfigTag, int ConfigIndex,
+             std::string MachineTag, std::string Detail) {
+  Failure F;
+  F.Kind = K;
+  F.ConfigTag = std::move(ConfigTag);
+  F.ConfigIndex = ConfigIndex;
+  F.MachineTag = std::move(MachineTag);
+  F.Detail = std::move(Detail);
+  return F;
+}
+
+/// Compile-side differential for one configuration; fills \p Cov when given.
+Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
+                      const driver::CompileOptions &Config, int Index,
+                      bool CheckSchedTwin, CoverageMap *Cov) {
+  const std::string Tag = Config.tag();
+  driver::CompileResult C = driver::compileProgram(P, Config);
+  if (Cov)
+    addCompileFeatures(*Cov, static_cast<unsigned>(Index), C);
+  if (!C.VerifyDiags.empty()) {
+    std::string Text;
+    for (const verify::Diagnostic &D : C.VerifyDiags)
+      Text += verify::toString(D) + "\n";
+    return fail(FailureKind::VerifierDiag, Tag, Index, "", Text);
+  }
+  if (!C.ok())
+    return fail(FailureKind::CompileError, Tag, Index, "", C.Error);
+
+  ir::InterpResult I = ir::interpret(C.M);
+  if (!I.Finished)
+    return fail(FailureKind::InterpDivergence, Tag, Index, "",
+                "interpreter exceeded its instruction budget");
+  if (I.Checksum != RefChecksum)
+    return fail(FailureKind::InterpDivergence, Tag, Index, "",
+                "checksum interp=" + std::to_string(I.Checksum) +
+                    " eval=" + std::to_string(RefChecksum));
+
+  if (CheckSchedTwin) {
+    driver::CompileOptions RefOpts = Config;
+    RefOpts.Balance.Impl = sched::SchedImpl::Reference;
+    driver::CompileResult RC = driver::compileProgram(P, RefOpts);
+    if (!RC.ok())
+      return fail(FailureKind::SchedTwinDivergence, Tag, Index, "",
+                  "reference pipeline failed: " + RC.Error);
+    if (ir::printFunction(C.M.Fn) != ir::printFunction(RC.M.Fn))
+      return fail(FailureKind::SchedTwinDivergence, Tag, Index, "",
+                  "fast and reference compiled code differ");
+  }
+  return {};
+}
+
+/// Simulator differential under one machine model; fills \p Cov when given.
+Failure simOracle(const ir::Module &M, uint64_t RefChecksum,
+                  const MachinePoint &Point, unsigned CovCfg,
+                  uint64_t MaxCycles, CoverageMap *Cov) {
+  sim::MachineConfig C = Point.Config;
+  C.Impl = sim::SimImpl::Fast;
+  sim::SimResult F = sim::simulate(M, C, MaxCycles);
+  C.Impl = sim::SimImpl::Reference;
+  sim::SimResult R = sim::simulate(M, C, MaxCycles);
+  if (Cov)
+    addSimFeatures(*Cov, CovCfg, F);
+  if (!F.ok())
+    return fail(FailureKind::SimError, "", -1, Point.Tag, F.Error);
+  if (std::string D = diffSimResults(F, R); !D.empty())
+    return fail(FailureKind::SimTwinDivergence, "", -1, Point.Tag, D);
+  if (F.Finished && F.Checksum != RefChecksum)
+    return fail(FailureKind::SimDivergence, "", -1, Point.Tag,
+                "checksum sim=" + std::to_string(F.Checksum) +
+                    " eval=" + std::to_string(RefChecksum));
+  return {};
+}
+
+} // namespace
+
+OracleRun fuzz::runOracle(const lang::Program &Input,
+                          const OracleOptions &Opts) {
+  OracleRun Run;
+  const std::vector<driver::CompileOptions> Configs =
+      Opts.Configs.empty() ? differentialCompileConfigs() : Opts.Configs;
+  const std::vector<MachinePoint> Machines =
+      Opts.Machines.empty() ? differentialMachinePoints() : Opts.Machines;
+
+  // Normalize before judging: evalProgram honors whatever type/conversion
+  // annotations the AST carries, while compileProgram re-checks its own
+  // copy — an unchecked input would make the oracle disagree with itself.
+  lang::Program P = Input;
+  if (std::string E = lang::checkProgram(P); !E.empty()) {
+    Run.Failures.push_back(
+        fail(FailureKind::EvalError, "", -1, "", "check: " + E));
+    return Run;
+  }
+
+  lang::EvalResult Ref = lang::evalProgram(P, Opts.EvalBudget);
+  if (!Ref.ok()) {
+    Run.Failures.push_back(
+        fail(FailureKind::EvalError, "", -1, "", Ref.Error));
+    return Run;
+  }
+
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    Failure F = compileOracle(P, Ref.Checksum, Configs[I],
+                              static_cast<int>(I), Opts.CheckSchedTwin,
+                              &Run.Cov);
+    if (F.Kind != FailureKind::None) {
+      Run.Failures.push_back(std::move(F));
+      if (Opts.StopOnFirstFailure)
+        return Run;
+    }
+  }
+
+  if (Opts.RunSim) {
+    driver::CompileResult C = driver::compileProgram(P, simCompileConfig());
+    if (!C.ok()) {
+      Run.Failures.push_back(fail(FailureKind::CompileError,
+                                  simCompileConfig().tag(), -1, "",
+                                  C.Error));
+      return Run;
+    }
+    for (size_t I = 0; I != Machines.size(); ++I) {
+      // Offset the coverage config index past the compile sweep so "MSHR
+      // stalls under starved" and "... under 21164" are distinct bits.
+      Failure F = simOracle(C.M, Ref.Checksum, Machines[I],
+                            static_cast<unsigned>(1000 + I),
+                            Opts.SimMaxCycles, &Run.Cov);
+      if (F.Kind != FailureKind::None) {
+        Run.Failures.push_back(std::move(F));
+        if (Opts.StopOnFirstFailure)
+          return Run;
+      }
+    }
+  }
+  return Run;
+}
+
+Failure fuzz::runCompileOracle(const lang::Program &Input,
+                               const driver::CompileOptions &Config,
+                               const OracleOptions &Opts) {
+  lang::Program P = Input;
+  if (std::string E = lang::checkProgram(P); !E.empty())
+    return fail(FailureKind::EvalError, "", -1, "", "check: " + E);
+  lang::EvalResult Ref = lang::evalProgram(P, Opts.EvalBudget);
+  if (!Ref.ok())
+    return fail(FailureKind::EvalError, "", -1, "", Ref.Error);
+  return compileOracle(P, Ref.Checksum, Config, -1, Opts.CheckSchedTwin,
+                       nullptr);
+}
+
+Failure fuzz::runSimOracle(const lang::Program &Input,
+                           const sim::MachineConfig &Machine,
+                           const std::string &MachineTag,
+                           const OracleOptions &Opts) {
+  lang::Program P = Input;
+  if (std::string E = lang::checkProgram(P); !E.empty())
+    return fail(FailureKind::EvalError, "", -1, "", "check: " + E);
+  lang::EvalResult Ref = lang::evalProgram(P, Opts.EvalBudget);
+  if (!Ref.ok())
+    return fail(FailureKind::EvalError, "", -1, "", Ref.Error);
+  driver::CompileResult C = driver::compileProgram(P, simCompileConfig());
+  if (!C.ok())
+    return fail(FailureKind::CompileError, simCompileConfig().tag(), -1, "",
+                C.Error);
+  MachinePoint Point{MachineTag.c_str(), Machine};
+  return simOracle(C.M, Ref.Checksum, Point, 0, Opts.SimMaxCycles, nullptr);
+}
+
+Failure fuzz::replayRepro(const Repro &R, std::string &Err,
+                          const OracleOptions &Opts) {
+  Err.clear();
+  lang::ParseResult P = lang::parseProgram(R.Source, "repro");
+  if (!P.ok()) {
+    Err = "parse: " + P.Error;
+    return fail(FailureKind::EvalError, "", -1, "", Err);
+  }
+  if (std::string E = lang::checkProgram(P.Prog); !E.empty()) {
+    Err = "check: " + E;
+    return fail(FailureKind::EvalError, "", -1, "", Err);
+  }
+  if (!R.MachineTag.empty())
+    return runSimOracle(P.Prog, machineByTag(R.MachineTag), R.MachineTag,
+                        Opts);
+  return runCompileOracle(P.Prog, R.Options, Opts);
+}

@@ -1,0 +1,120 @@
+//===- fuzz/Oracle.h - Differential oracle for one candidate ----*- C++ -*-===//
+///
+/// \file
+/// Runs one candidate program through every cross-check the repo has and
+/// classifies any disagreement:
+///
+///   AST eval  ==  ir::interpret(compiled)     per compile configuration
+///   verify::  finds no diagnostic             per compile configuration
+///   SchedImpl::Fast == SchedImpl::Reference   byte-identical compiled code
+///   SimImpl::Fast == SimImpl::Reference       every SimResult field, per
+///                                             machine model
+///   sim checksum == AST eval checksum         when the run finishes
+///
+/// The compile sweep uses the canonical fuzz::differentialCompileConfigs()
+/// list; the simulator sweep compiles once (unroll 4, the FuzzSim setup) and
+/// runs each machine point of fuzz::differentialMachinePoints() under both
+/// cores. Along the way the oracle fills a CoverageMap, so one call yields
+/// both the verdict and the feedback signal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_FUZZ_ORACLE_H
+#define BALSCHED_FUZZ_ORACLE_H
+
+#include "fuzz/Configs.h"
+#include "fuzz/Coverage.h"
+#include "fuzz/Repro.h"
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsched {
+namespace fuzz {
+
+enum class FailureKind : uint8_t {
+  None,
+  EvalError,          ///< the AST oracle itself rejected the program.
+  CompileError,       ///< a configuration failed to compile.
+  VerifierDiag,       ///< verify:: produced diagnostics.
+  SchedTwinDivergence,///< fast vs reference compile output differs.
+  InterpDivergence,   ///< interpreter checksum != AST eval checksum.
+  SimError,           ///< a simulator run errored out.
+  SimTwinDivergence,  ///< fast vs reference SimResult field mismatch.
+  SimDivergence,      ///< finished sim checksum != AST eval checksum.
+};
+
+const char *failureKindName(FailureKind K);
+
+/// One classified mismatch, localized to the configuration (and machine
+/// model, for simulator failures) that exposed it.
+struct Failure {
+  FailureKind Kind = FailureKind::None;
+  std::string ConfigTag;  ///< CompileOptions::tag() of the exposing config.
+  int ConfigIndex = -1;   ///< index into the oracle's compile-config list.
+  std::string MachineTag; ///< machine point, for Sim* kinds.
+  std::string Detail;     ///< first differing field / diagnostic / error.
+};
+
+struct OracleOptions {
+  /// Compile configurations to sweep; empty = differentialCompileConfigs().
+  std::vector<driver::CompileOptions> Configs;
+  /// Machine models for the simulator sweep; empty =
+  /// differentialMachinePoints().
+  std::vector<MachinePoint> Machines;
+  /// Compile every config a second time with SchedImpl::Reference and
+  /// require byte-identical output (doubles compile cost).
+  bool CheckSchedTwin = true;
+  /// Run the simulator differential sweep.
+  bool RunSim = true;
+  /// Cycle cap per simulator run; the twins must agree at the cut as well.
+  uint64_t SimMaxCycles = 400000;
+  /// AST-eval statement budget.
+  uint64_t EvalBudget = 200000000;
+  /// Stop at the first failure instead of sweeping every configuration.
+  bool StopOnFirstFailure = true;
+};
+
+struct OracleRun {
+  std::vector<Failure> Failures; ///< empty on a clean candidate.
+  CoverageMap Cov;               ///< behavioural coverage of this candidate.
+
+  bool clean() const { return Failures.empty(); }
+};
+
+/// Runs the full differential oracle on \p P.
+OracleRun runOracle(const lang::Program &P, const OracleOptions &Opts = {});
+
+/// Runs only the compile-side oracle for one configuration (used by the
+/// reducer's predicate, where re-sweeping every config per candidate would
+/// dominate reduction time). Returns the first failure, Kind==None if clean.
+Failure runCompileOracle(const lang::Program &P,
+                         const driver::CompileOptions &Config,
+                         const OracleOptions &Opts = {});
+
+/// Runs only the simulator twin/checksum oracle under \p Machine (compile
+/// config fixed to the FuzzSim setup). Kind==None if clean.
+Failure runSimOracle(const lang::Program &P, const sim::MachineConfig &Machine,
+                     const std::string &MachineTag,
+                     const OracleOptions &Opts = {});
+
+/// Replays a repro file's payload: parses and checks the source, then
+/// re-runs the oracle leg the repro came from (the simulator oracle under
+/// machineByTag(R.MachineTag) when the tag is set, the compile oracle under
+/// R.Options otherwise). Kind==None means the bug no longer reproduces —
+/// the steady state tests/corpus/ asserts. Unparseable sources are reported
+/// through \p Err with Kind==EvalError.
+Failure replayRepro(const Repro &R, std::string &Err,
+                    const OracleOptions &Opts = {});
+
+/// First differing SimResult field between \p F and \p R rendered as
+/// "field fast=X ref=Y", or "" when all fields match. Shared by the oracle
+/// and the corpus replay test.
+std::string diffSimResults(const sim::SimResult &F, const sim::SimResult &R);
+
+} // namespace fuzz
+} // namespace bsched
+
+#endif // BALSCHED_FUZZ_ORACLE_H

@@ -1,0 +1,189 @@
+//===- fuzz/Repro.cpp - Reduced-failure repro files -------------------------===//
+
+#include "fuzz/Repro.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace bsched;
+using namespace bsched::fuzz;
+using namespace bsched::driver;
+
+namespace {
+
+const char *schedulerName(sched::SchedulerKind K) {
+  switch (K) {
+  case sched::SchedulerKind::Traditional: return "traditional";
+  case sched::SchedulerKind::Balanced: return "balanced";
+  case sched::SchedulerKind::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+bool parseScheduler(const std::string &V, sched::SchedulerKind &Out) {
+  if (V == "traditional")
+    Out = sched::SchedulerKind::Traditional;
+  else if (V == "balanced")
+    Out = sched::SchedulerKind::Balanced;
+  else if (V == "hybrid")
+    Out = sched::SchedulerKind::Hybrid;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+std::string fuzz::writeRepro(const Repro &R) {
+  const CompileOptions D; // defaults: only deviations are written
+  const CompileOptions &O = R.Options;
+  std::ostringstream S;
+  S << "# bsched-fuzz repro\n";
+  if (!R.Kind.empty())
+    S << "kind: " << R.Kind << "\n";
+  if (!R.Detail.empty()) {
+    // Keep the detail single-line; newlines would break the line format.
+    std::string Flat = R.Detail;
+    for (char &C : Flat)
+      if (C == '\n')
+        C = ' ';
+    S << "detail: " << Flat << "\n";
+  }
+  if (!R.MachineTag.empty())
+    S << "machine: " << R.MachineTag << "\n";
+
+  auto OptInt = [&S](const char *Key, long long V, long long Default) {
+    if (V != Default)
+      S << "option " << Key << " " << V << "\n";
+  };
+  if (O.Scheduler != D.Scheduler)
+    S << "option scheduler " << schedulerName(O.Scheduler) << "\n";
+  OptInt("unroll", O.UnrollFactor, D.UnrollFactor);
+  OptInt("trace", O.TraceScheduling, D.TraceScheduling);
+  OptInt("estprofile", O.UseEstimatedProfile, D.UseEstimatedProfile);
+  OptInt("locality", O.LocalityAnalysis, D.LocalityAnalysis);
+  OptInt("cleanup", O.CleanupIR, D.CleanupIR);
+  OptInt("verify", O.VerifyPasses, D.VerifyPasses);
+  OptInt("strengthred", O.Lower.StrengthReduction,
+         D.Lower.StrengthReduction);
+  OptInt("ifconv", O.Lower.IfConversion, D.Lower.IfConversion);
+  OptInt("allocatable", O.RegAlloc.AllocatablePerClass,
+         D.RegAlloc.AllocatablePerClass);
+  OptInt("balancefixed", O.Balance.BalanceFixedOps,
+         D.Balance.BalanceFixedOps);
+  OptInt("respecthits", O.Balance.RespectHitAnnotations,
+         D.Balance.RespectHitAnnotations);
+  OptInt("pressure", O.Balance.PressureThreshold,
+         D.Balance.PressureThreshold);
+  OptInt("hybridcost", O.Balance.HybridLoadCost, D.Balance.HybridLoadCost);
+  if (O.Balance.WeightCap != D.Balance.WeightCap)
+    S << "option weightcap " << O.Balance.WeightCap << "\n";
+  S << "---\n";
+  S << R.Source;
+  if (!R.Source.empty() && R.Source.back() != '\n')
+    S << "\n";
+  return S.str();
+}
+
+bool fuzz::parseRepro(const std::string &Text, Repro &Out, std::string &Err) {
+  Out = Repro{};
+  std::istringstream In(Text);
+  std::string Line;
+  bool SawSeparator = false;
+  int LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line == "---") {
+      SawSeparator = true;
+      break;
+    }
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    auto StartsWith = [&Line](const char *Prefix) {
+      return Line.rfind(Prefix, 0) == 0;
+    };
+    if (StartsWith("kind: ")) {
+      Out.Kind = Line.substr(6);
+      continue;
+    }
+    if (StartsWith("detail: ")) {
+      Out.Detail = Line.substr(8);
+      continue;
+    }
+    if (StartsWith("machine: ")) {
+      Out.MachineTag = Line.substr(9);
+      continue;
+    }
+    if (StartsWith("option ")) {
+      std::istringstream L(Line.substr(7));
+      std::string Key, Value;
+      if (!(L >> Key >> Value)) {
+        Err = "line " + std::to_string(LineNo) + ": malformed option";
+        return false;
+      }
+      CompileOptions &O = Out.Options;
+      if (Key == "scheduler") {
+        if (!parseScheduler(Value, O.Scheduler)) {
+          Err = "line " + std::to_string(LineNo) + ": unknown scheduler '" +
+                Value + "'";
+          return false;
+        }
+        continue;
+      }
+      if (Key == "weightcap") {
+        O.Balance.WeightCap = std::strtod(Value.c_str(), nullptr);
+        continue;
+      }
+      long long V = std::strtoll(Value.c_str(), nullptr, 10);
+      if (Key == "unroll")
+        O.UnrollFactor = static_cast<int>(V);
+      else if (Key == "trace")
+        O.TraceScheduling = V != 0;
+      else if (Key == "estprofile")
+        O.UseEstimatedProfile = V != 0;
+      else if (Key == "locality")
+        O.LocalityAnalysis = V != 0;
+      else if (Key == "cleanup")
+        O.CleanupIR = V != 0;
+      else if (Key == "verify")
+        O.VerifyPasses = V != 0;
+      else if (Key == "strengthred")
+        O.Lower.StrengthReduction = V != 0;
+      else if (Key == "ifconv")
+        O.Lower.IfConversion = V != 0;
+      else if (Key == "allocatable")
+        O.RegAlloc.AllocatablePerClass = static_cast<unsigned>(V);
+      else if (Key == "balancefixed")
+        O.Balance.BalanceFixedOps = V != 0;
+      else if (Key == "respecthits")
+        O.Balance.RespectHitAnnotations = V != 0;
+      else if (Key == "pressure")
+        O.Balance.PressureThreshold = static_cast<unsigned>(V);
+      else if (Key == "hybridcost")
+        O.Balance.HybridLoadCost = static_cast<int>(V);
+      else {
+        Err = "line " + std::to_string(LineNo) + ": unknown option '" + Key +
+              "'";
+        return false;
+      }
+      continue;
+    }
+    Err = "line " + std::to_string(LineNo) + ": unrecognized line: " + Line;
+    return false;
+  }
+  if (!SawSeparator) {
+    Err = "missing '---' source separator";
+    return false;
+  }
+  std::string Source;
+  while (std::getline(In, Line)) {
+    Source += Line;
+    Source += '\n';
+  }
+  if (Source.empty()) {
+    Err = "empty source section";
+    return false;
+  }
+  Out.Source = std::move(Source);
+  return true;
+}

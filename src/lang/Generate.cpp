@@ -5,6 +5,7 @@
 #include "lang/Parser.h"
 #include "support/RNG.h"
 
+#include <algorithm>
 #include <cassert>
 #include <string>
 #include <vector>
@@ -22,10 +23,15 @@ public:
     P.Name = "fuzz";
 
     // All fp arrays share the leading dimension so index-array values are
-    // always in range for any of them.
+    // always in range for any of them. The lead dimension is at least 8
+    // (loops need room for a few unrolled trips), so MaxArrayElems below 8
+    // cannot be honored: the subtraction would wrap nextBelow's uint64_t
+    // bound. Assert in debug builds and clamp otherwise.
+    assert(Opts.MaxArrayElems >= 8 &&
+           "GenerateOptions::MaxArrayElems must be at least 8");
+    const int64_t MaxElems = std::max<int64_t>(Opts.MaxArrayElems, 8);
     LeadDim = 8 + static_cast<int64_t>(
-                      Rng.nextBelow(static_cast<uint64_t>(
-                          Opts.MaxArrayElems - 7)));
+                      Rng.nextBelow(static_cast<uint64_t>(MaxElems - 7)));
     int NumArrays =
         1 + static_cast<int>(Rng.nextBelow(
                 static_cast<uint64_t>(Opts.MaxArrays)));

@@ -1,0 +1,41 @@
+//===- tests/TestConfigs.h - Shared differential-test configs ---*- C++ -*-===//
+//
+// The compile configurations and machine models the differential tests
+// sweep. Three tests used to carry hand-copied variants of these lists
+// (fuzz_test, sim_equivalence_test, golden_sim_test); the canonical copies
+// now live in src/fuzz/Configs.{h,cpp} so the coverage-guided fuzzer runs
+// the exact same matrix, and this header just re-exports them under the
+// names the tests use.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_TESTS_TESTCONFIGS_H
+#define BALSCHED_TESTS_TESTCONFIGS_H
+
+#include "fuzz/Configs.h"
+
+namespace bsched {
+namespace test {
+
+/// Compiler configurations that exercise distinct code paths; every entry
+/// keeps VerifyPasses on. See fuzz::differentialCompileConfigs().
+inline std::vector<driver::CompileOptions> fuzzConfigs() {
+  return fuzz::differentialCompileConfigs();
+}
+
+using fuzz::MachinePoint;
+
+/// Machine models the FuzzSim-style twin-equivalence sweeps run under.
+inline std::vector<MachinePoint> simDifferentialMachines() {
+  return fuzz::differentialMachinePoints();
+}
+
+/// Machine models whose per-workload statistics golden_sim_test pins.
+inline std::vector<MachinePoint> goldenSimMachines() {
+  return fuzz::goldenMachinePoints();
+}
+
+} // namespace test
+} // namespace bsched
+
+#endif // BALSCHED_TESTS_TESTCONFIGS_H

@@ -7,6 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestConfigs.h"
+
 #include "driver/Compiler.h"
 #include "ir/Interp.h"
 #include "lang/Eval.h"
@@ -17,69 +19,11 @@
 #include <gtest/gtest.h>
 
 using namespace bsched;
+using test::fuzzConfigs;
 
 namespace {
 
 class FuzzPipeline : public ::testing::TestWithParam<uint64_t> {};
-
-/// The configurations that exercise distinct code paths.
-std::vector<driver::CompileOptions> fuzzConfigs() {
-  std::vector<driver::CompileOptions> Cs;
-  for (auto Kind : {sched::SchedulerKind::Traditional,
-                    sched::SchedulerKind::Balanced}) {
-    auto Add = [&](int LU, bool TrS, bool LA) {
-      driver::CompileOptions O;
-      O.Scheduler = Kind;
-      O.UnrollFactor = LU;
-      O.TraceScheduling = TrS;
-      O.LocalityAnalysis = LA;
-      Cs.push_back(O);
-    };
-    Add(1, false, false);
-    Add(4, false, false);
-    Add(8, true, true);
-  }
-  // Estimated-profile trace scheduling (exercises the static estimator on
-  // arbitrary CFGs) and the hybrid per-block chooser.
-  driver::CompileOptions Est;
-  Est.TraceScheduling = true;
-  Est.UseEstimatedProfile = true;
-  Est.UnrollFactor = 4;
-  Cs.push_back(Est);
-  driver::CompileOptions Hy;
-  Hy.Scheduler = sched::SchedulerKind::Hybrid;
-  Cs.push_back(Hy);
-  // Lowering options off (exercises the generic code paths).
-  driver::CompileOptions Plain;
-  Plain.Lower.StrengthReduction = false;
-  Plain.Lower.IfConversion = false;
-  Cs.push_back(Plain);
-  // Tight register file (exercises spilling on every program).
-  driver::CompileOptions Tight;
-  Tight.UnrollFactor = 4;
-  Tight.RegAlloc.AllocatablePerClass = 6;
-  Cs.push_back(Tight);
-  // Register-pressure-hostile: heavy unrolling feeding trace scheduling
-  // into a near-minimal register file, so every program spills across the
-  // restore/remat/scratch paths of regalloc::LinearScan.
-  driver::CompileOptions Spill;
-  Spill.UnrollFactor = 8;
-  Spill.TraceScheduling = true;
-  Spill.RegAlloc.AllocatablePerClass = 4;
-  Cs.push_back(Spill);
-  // Large-block stress for the optimized scheduler core: heavy unrolling
-  // plus traces builds the biggest regions (where the fast DAG builder's
-  // bucketed disambiguation and the bitset weight sweeps engage, past the
-  // small-region reference fallback), with fixed-latency balancing on to
-  // cover the widened weight denominators.
-  driver::CompileOptions Big;
-  Big.Scheduler = sched::SchedulerKind::Balanced;
-  Big.UnrollFactor = 8;
-  Big.TraceScheduling = true;
-  Big.Balance.BalanceFixedOps = true;
-  Cs.push_back(Big);
-  return Cs;
-}
 
 } // namespace
 
@@ -176,32 +120,11 @@ TEST_P(FuzzSim, FastCoreMatchesReferenceCore) {
   driver::CompileResult C = driver::compileProgram(P, Opts);
   ASSERT_TRUE(C.ok()) << "seed " << GetParam() << ": " << C.Error;
 
-  struct Model {
-    const char *Tag;
-    sim::MachineConfig C;
-  };
-  std::vector<Model> Models;
-  Models.push_back({"21164", {}});
-  sim::MachineConfig Simple;
-  Simple.SimpleModel = true;
-  Simple.SimpleHitRate = 0.8;
-  Models.push_back({"simple80", Simple});
-  sim::MachineConfig Starved;
-  Starved.L1D = {256, 32, 1, 2};
-  Starved.L1I = {256, 32, 1, 1};
-  Starved.NumMSHRs = 2;
-  Starved.WriteBufferEntries = 1;
-  Starved.DTlbEntries = 2;
-  Starved.ITlbEntries = 2;
-  Starved.PageSize = 4096;
-  Starved.BranchPredictorEntries = 8;
-  Models.push_back({"starved", Starved});
-
-  for (Model &M : Models) {
-    M.C.Impl = sim::SimImpl::Fast;
-    sim::SimResult F = sim::simulate(C.M, M.C, /*MaxCycles=*/400000);
-    M.C.Impl = sim::SimImpl::Reference;
-    sim::SimResult R = sim::simulate(C.M, M.C, /*MaxCycles=*/400000);
+  for (test::MachinePoint &M : test::simDifferentialMachines()) {
+    M.Config.Impl = sim::SimImpl::Fast;
+    sim::SimResult F = sim::simulate(C.M, M.Config, /*MaxCycles=*/400000);
+    M.Config.Impl = sim::SimImpl::Reference;
+    sim::SimResult R = sim::simulate(C.M, M.Config, /*MaxCycles=*/400000);
     ASSERT_TRUE(F.ok()) << "seed " << GetParam() << ": " << F.Error;
     expectSimResultsEqual(F, R, GetParam(), M.Tag);
   }
@@ -225,6 +148,35 @@ TEST(Generator, ProgramsAreReparseable) {
     ASSERT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Error << "\n" << Text;
     EXPECT_EQ(lang::checkProgram(R.Prog), "");
   }
+}
+
+TEST(Generator, TinyMaxArrayElemsIsRejected) {
+  // The shared lead dimension is at least 8, so MaxArrayElems cannot go
+  // below that. It used to underflow the nextBelow(MaxArrayElems - 7)
+  // bound (wrapping to a near-2^64 draw and absurd array sizes); now the
+  // generator asserts in debug builds and clamps to 8 otherwise.
+  lang::GenerateOptions Boundary;
+  Boundary.MaxArrayElems = 8; // smallest honorable value: LeadDim == 8
+  for (uint64_t Seed = 0; Seed != 10; ++Seed) {
+    lang::Program P = lang::generateProgram(Seed, Boundary);
+    ASSERT_FALSE(P.Arrays.empty()) << "seed " << Seed;
+    for (const lang::ArrayDecl &A : P.Arrays)
+      EXPECT_EQ(A.Dims[0], 8) << "seed " << Seed << " array " << A.Name;
+    EXPECT_TRUE(lang::evalProgram(P, /*MaxStmts=*/2000000).ok())
+        << "seed " << Seed;
+  }
+#ifdef NDEBUG
+  // Release builds clamp instead of asserting; the result is identical to
+  // MaxArrayElems == 8.
+  lang::GenerateOptions Tiny;
+  Tiny.MaxArrayElems = 3;
+  for (uint64_t Seed = 0; Seed != 10; ++Seed) {
+    lang::Program P = lang::generateProgram(Seed, Tiny);
+    EXPECT_EQ(lang::printProgram(P),
+              lang::printProgram(lang::generateProgram(Seed, Boundary)))
+        << "seed " << Seed;
+  }
+#endif
 }
 
 TEST(Generator, ProgramsTerminateQuickly) {

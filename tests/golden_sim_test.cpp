@@ -15,6 +15,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestConfigs.h"
+
 #include "driver/Experiment.h"
 
 #include <gtest/gtest.h>
@@ -82,29 +84,6 @@ std::string dumpResult(const SimResult &R) {
   return S;
 }
 
-struct MachinePoint {
-  const char *Tag;
-  MachineConfig C;
-};
-
-/// The machine models pinned per workload: the paper's 21164, the 1993
-/// stochastic model, the back-end-only variant, and a 4-wide superscalar.
-std::vector<MachinePoint> goldenMachines() {
-  std::vector<MachinePoint> Ms;
-  Ms.push_back({"21164", MachineConfig{}});
-  MachineConfig Simple;
-  Simple.SimpleModel = true;
-  Simple.SimpleHitRate = 0.8;
-  Ms.push_back({"simple80", Simple});
-  MachineConfig Pfe;
-  Pfe.PerfectFrontEnd = true;
-  Ms.push_back({"pfe", Pfe});
-  MachineConfig W4;
-  W4.IssueWidth = 4;
-  Ms.push_back({"w4", W4});
-  return Ms;
-}
-
 struct GoldenRow {
   const char *Machine;
   const char *Workload;
@@ -131,13 +110,16 @@ TEST(GoldenSimStats, EveryWorkloadMatchesPinnedStats) {
   CompileOptions Opts;
   Opts.UnrollFactor = 4;  // spills and bigger blocks make the stats richer
   Opts.VerifyPasses = false;
-  std::vector<MachinePoint> Machines = goldenMachines();
+  // The pinned machine list is shared with the fuzzer; the hashes in
+  // golden_sim_stats.inc depend on the exact configuration values, so
+  // fuzz::goldenMachinePoints() must never change silently.
+  std::vector<test::MachinePoint> Machines = test::goldenSimMachines();
   for (const Workload &W : workloads()) {
     lang::Program P = parseWorkload(W);
     CompileResult C = compileProgram(P, Opts);
     ASSERT_TRUE(C.ok()) << W.Name << ": " << C.Error;
-    for (const MachinePoint &M : Machines) {
-      SimResult R = simulate(C.M, M.C);
+    for (const test::MachinePoint &M : Machines) {
+      SimResult R = simulate(C.M, M.Config);
       ASSERT_TRUE(R.ok()) << W.Name << " [" << M.Tag << "]: " << R.Error;
       ASSERT_TRUE(R.Finished) << W.Name << " [" << M.Tag << "]";
       uint64_t H = fnv1a(dumpResult(R));

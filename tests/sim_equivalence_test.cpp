@@ -21,6 +21,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestConfigs.h"
+
 #include "driver/Experiment.h"
 
 #include <gtest/gtest.h>
@@ -31,6 +33,14 @@
 using namespace bsched;
 using namespace bsched::driver;
 using namespace bsched::sim;
+
+// The machine-model builders live in src/fuzz/Configs.cpp now, shared with
+// the coverage-guided fuzzer; these aliases keep the test bodies readable.
+using fuzz::oddGeometryMachine;
+using fuzz::perfectFrontEndMachine;
+using fuzz::simpleModelMachine;
+using fuzz::starvedMachine;
+using fuzz::widthMachine;
 
 namespace {
 
@@ -81,61 +91,6 @@ void expectTwinsAgree(const ir::Module &M, MachineConfig C,
   expectSimEqual(F, R, What);
 }
 
-MachineConfig simpleModel(double HitRate) {
-  MachineConfig C;
-  C.SimpleModel = true;
-  C.SimpleHitRate = HitRate;
-  return C;
-}
-
-MachineConfig perfectFrontEnd() {
-  MachineConfig C;
-  C.PerfectFrontEnd = true;
-  return C;
-}
-
-MachineConfig width(unsigned W, bool Pfe = false) {
-  MachineConfig C;
-  C.IssueWidth = W;
-  C.PerfectFrontEnd = Pfe;
-  return C;
-}
-
-/// Near-minimal resources: 2-entry TLBs, 2 MSHRs, a 1-entry write buffer,
-/// tiny caches and predictor. Every stall path fires constantly, MSHR and
-/// write-buffer pressure is permanent, and the TLB MRU path thrashes.
-MachineConfig starved() {
-  MachineConfig C;
-  C.L1D = {256, 32, 1, 2};
-  C.L1I = {256, 32, 1, 1};
-  C.L2 = {2048, 32, 2, 6};
-  C.L3 = {16384, 64, 1, 15};
-  C.NumMSHRs = 2;
-  C.WriteBufferEntries = 1;
-  C.DTlbEntries = 2;
-  C.ITlbEntries = 2;
-  C.PageSize = 4096;
-  C.TlbRefillLatency = 9;
-  C.BranchPredictorEntries = 8;
-  return C;
-}
-
-/// Non-power-of-two geometry everywhere: set counts of 150/100/1875, a
-/// 1000-byte page. Exercises the division/modulo fallbacks of the fast
-/// cache/TLB models (the shift/mask paths cannot engage).
-MachineConfig oddGeometry() {
-  MachineConfig C;
-  C.L1D = {4800, 32, 1, 2};   // 150 sets
-  C.L1I = {4800, 32, 1, 1};   // 150 sets
-  C.L2 = {9600, 32, 3, 6};    // 100 sets
-  C.L3 = {120000, 64, 1, 15}; // 1875 sets
-  C.PageSize = 1000;
-  C.DTlbEntries = 3;
-  C.ITlbEntries = 3;
-  C.BranchPredictorEntries = 7;
-  return C;
-}
-
 } // namespace
 
 /// The core grid: every workload under the machine models the experiments
@@ -145,8 +100,8 @@ TEST(SimEquivalence, AllWorkloadsCoreConfigs) {
   CompileOptions Opts;
   Opts.UnrollFactor = 4;
   Opts.VerifyPasses = false;
-  const MachineConfig Configs[] = {MachineConfig{}, simpleModel(0.8),
-                                   perfectFrontEnd()};
+  const MachineConfig Configs[] = {MachineConfig{}, simpleModelMachine(0.8),
+                                   perfectFrontEndMachine()};
   const char *Tags[] = {"21164", "simple80", "pfe"};
   for (const Workload &W : workloads()) {
     lang::Program P = parseWorkload(W);
@@ -171,9 +126,9 @@ TEST(SimEquivalence, StressConfigs) {
     MachineConfig C;
   };
   const Point Points[] = {
-      {"w2", width(2)},           {"w4+pfe", width(4, true)},
-      {"starved", starved()},     {"oddgeom", oddGeometry()},
-      {"simple95", simpleModel(0.95)},
+      {"w2", widthMachine(2)},           {"w4+pfe", widthMachine(4, true)},
+      {"starved", starvedMachine()},     {"oddgeom", oddGeometryMachine()},
+      {"simple95", simpleModelMachine(0.95)},
   };
   const auto &All = workloads();
   for (size_t WI = 0; WI < All.size() && WI < 5; ++WI) {
