@@ -86,11 +86,17 @@ unsigned countInstrs(const ir::Module &M) {
 }
 
 /// Per-phase timings over a workload's lowered (and unrolled) module:
-/// cleanup and the profiling interpreter at pipeline scope, then the three
-/// scheduler phases over every schedulable block.
+/// cleanup and the profiling interpreter at pipeline scope, the three
+/// scheduler phases over every schedulable block, and (for trace configs)
+/// the trace scheduler end to end with the fast core's formation /
+/// compaction / compensation split.
 struct PhaseTimes {
   uint64_t CleanupNs = 0, ProfileNs = 0;
   uint64_t DagNs = 0, WeightsNs = 0, ListNs = 0;
+  uint64_t TraceTotalNs = 0; ///< whole traceScheduleFunction call.
+  /// TraceStats phase split (fast core only; zero for the reference twin,
+  /// which reports just the total).
+  uint64_t TraceFormNs = 0, TraceCompactNs = 0, TraceCompNs = 0;
 };
 
 /// Mirrors the pipeline up to (but excluding) scheduling, then times each
@@ -123,12 +129,30 @@ PhaseTimes timePhases(const lang::Program &Source, int Unroll, bool Traces,
     opt::cleanupModule(Copy, Ref);
   });
   opt::cleanupModule(LR.M);
-  if (Traces)
+  if (Traces) {
     T.ProfileNs = bestOf(Reps, [&] {
       ir::InterpResult IR =
           Ref ? ir::interpretByInstr(LR.M) : ir::interpret(LR.M);
       (void)IR;
     });
+    // Trace scheduling mutates the module, so each rep works on a fresh copy
+    // (the copy cost is common to both implementations). The fast core's
+    // TraceStats timers split the total into formation / compaction /
+    // compensation; the reference twin reports only the total.
+    ir::InterpResult Profile = ir::interpret(LR.M);
+    sched::BalanceOptions TOpts;
+    TOpts.Impl = Impl;
+    trace::TraceStats Last;
+    T.TraceTotalNs = bestOf(Reps, [&] {
+      ir::Module Copy = LR.M;
+      Last = trace::traceScheduleFunction(
+          Copy, Profile, sched::SchedulerKind::Balanced, TOpts,
+          Ref ? trace::TraceImpl::Reference : trace::TraceImpl::Fast);
+    });
+    T.TraceFormNs = Last.FormNs;
+    T.TraceCompactNs = Last.CompactNs;
+    T.TraceCompNs = Last.CompensationNs;
+  }
 
   std::vector<std::vector<const ir::Instr *>> Regions;
   for (const ir::BasicBlock &B : LR.M.Fn.Blocks) {
@@ -324,6 +348,28 @@ int main(int argc, char **argv) {
     std::printf("  %-12s  %8.0f kinstr/s  end-to-end speedup %.2fx\n",
                 C.Tag.c_str(), Row.instrsPerSec() / 1e3,
                 Row.speedup());
+    if (C.Traces) {
+      uint64_t Form = 0, Compact = 0, Comp = 0, FastTr = 0, RefTr = 0;
+      for (const WorkloadRow &R : Row.Rows) {
+        Form += R.FastPhases.TraceFormNs;
+        Compact += R.FastPhases.TraceCompactNs;
+        Comp += R.FastPhases.TraceCompNs;
+        FastTr += R.FastPhases.TraceTotalNs;
+        RefTr += R.RefPhases.TraceTotalNs;
+      }
+      std::string CoreSpeedup;
+      if (FastTr && RefTr)
+        CoreSpeedup = "  (trace core " +
+                      fmtDouble(static_cast<double>(RefTr) /
+                                    static_cast<double>(FastTr),
+                                2) +
+                      "x)";
+      std::printf("                trace form %.2f ms  compact %.2f ms  "
+                  "compensation %.2f ms%s\n",
+                  static_cast<double>(Form) / 1e6,
+                  static_cast<double>(Compact) / 1e6,
+                  static_cast<double>(Comp) / 1e6, CoreSpeedup.c_str());
+    }
     Results.push_back(std::move(Row));
   }
 
@@ -403,11 +449,16 @@ int main(int argc, char **argv) {
           << ", \"dag_ns\": " << W.FastPhases.DagNs
           << ", \"weights_ns\": " << W.FastPhases.WeightsNs
           << ", \"listsched_ns\": " << W.FastPhases.ListNs
+          << ", \"trace_total_ns\": " << W.FastPhases.TraceTotalNs
+          << ", \"trace_form_ns\": " << W.FastPhases.TraceFormNs
+          << ", \"trace_compact_ns\": " << W.FastPhases.TraceCompactNs
+          << ", \"trace_compensation_ns\": " << W.FastPhases.TraceCompNs
           << ", \"ref_cleanup_ns\": " << W.RefPhases.CleanupNs
           << ", \"ref_profile_ns\": " << W.RefPhases.ProfileNs
           << ", \"ref_dag_ns\": " << W.RefPhases.DagNs
           << ", \"ref_weights_ns\": " << W.RefPhases.WeightsNs
-          << ", \"ref_listsched_ns\": " << W.RefPhases.ListNs << "}}"
+          << ", \"ref_listsched_ns\": " << W.RefPhases.ListNs
+          << ", \"ref_trace_total_ns\": " << W.RefPhases.TraceTotalNs << "}}"
           << (WI + 1 == R.Rows.size() ? "\n" : ",\n");
       }
       J << "     ]}" << (CI + 1 == Results.size() ? "\n" : ",\n");

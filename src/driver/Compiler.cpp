@@ -2,6 +2,7 @@
 
 #include "driver/Compiler.h"
 
+#include "driver/ProfileCache.h"
 #include "ir/Interp.h"
 #include "trace/EstimateProfile.h"
 #include "lang/Parser.h"
@@ -90,16 +91,20 @@ CompileResult driver::compileProgram(const lang::Program &Source,
   if (Opts.VerifyPasses)
     PreSched = R.M;
   if (Opts.TraceScheduling) {
+    // The fast pipeline memoizes the profiling run on the module's content
+    // (driver/ProfileCache.h): sweeps recompile the same module under many
+    // scheduler configurations, and the profile depends on none of them.
     ir::InterpResult Profile = Opts.UseEstimatedProfile
                                    ? trace::estimateProfile(R.M.Fn)
                                    : (Ref ? ir::interpretByInstr(R.M)
-                                          : ir::interpret(R.M));
+                                          : profileModule(R.M));
     if (!Profile.Finished) {
       R.Error = "profiling run exceeded the instruction budget";
       return R;
     }
-    R.Trace = trace::traceScheduleFunction(R.M, Profile, Opts.Scheduler,
-                                           Opts.Balance);
+    R.Trace = trace::traceScheduleFunction(
+        R.M, Profile, Opts.Scheduler, Opts.Balance,
+        Ref ? trace::TraceImpl::Reference : Opts.TraceImpl);
     if (Opts.VerifyPasses &&
         Flag(verify::verifyTraceSchedule(PreSched, R.M, R.Trace.Formed),
              "trace-schedule"))

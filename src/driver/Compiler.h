@@ -53,6 +53,12 @@ struct CompileOptions {
   lower::LowerOptions Lower;
   regalloc::RegAllocOptions RegAlloc;
 
+  /// Trace-scheduling core (fast by default; the seed twin for timing
+  /// baselines and differential checks). Balance.Impl == Reference selects
+  /// the reference twin regardless, so the reference pipeline stays the
+  /// whole seed pipeline.
+  trace::TraceImpl TraceImpl = trace::TraceImpl::Fast;
+
   /// Short textual tag, e.g. "BS+LU4+TrS".
   std::string tag() const;
 };

@@ -1,0 +1,118 @@
+//===- driver/ProfileCache.cpp - Memoized profiling runs -------------------===//
+
+#include "driver/ProfileCache.h"
+
+#include <mutex>
+#include <unordered_map>
+
+using namespace bsched;
+using namespace bsched::driver;
+using namespace bsched::ir;
+
+namespace {
+
+/// FNV-1a over the module state the interpreter reads. Two modules with equal
+/// hashes-input produce identical InterpResults by construction: the
+/// interpreter's behaviour is a function of exactly these fields (plus the
+/// zero-initialized register file and memory image, whose sizes are
+/// included). Scheduling metadata the interpreter never touches — memory
+/// dependence terms, hit/miss hints, locality groups, spill flags — is
+/// deliberately excluded so reschedulings of the same code share a profile.
+class Hasher {
+public:
+  void word(uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  }
+  uint64_t hash() const { return H; }
+
+private:
+  uint64_t H = 1469598103934665603ull;
+};
+
+uint64_t hashModule(const Module &M, uint64_t MaxInstrs) {
+  Hasher H;
+  H.word(MaxInstrs);
+  H.word(M.MemorySize);
+  H.word(M.Fn.numRegs());
+  H.word(M.Arrays.size());
+  for (const ArrayInfo &A : M.Arrays) {
+    H.word(A.Base);
+    H.word(static_cast<uint64_t>(A.sizeBytes()));
+    H.word(A.IsOutput ? 1 : 0);
+  }
+  H.word(M.Fn.Blocks.size());
+  for (const BasicBlock &B : M.Fn.Blocks) {
+    H.word(B.Instrs.size());
+    for (const Instr &I : B.Instrs) {
+      H.word(static_cast<uint64_t>(I.Op));
+      H.word(I.Dst.Id);
+      H.word(I.SrcA.Id);
+      H.word(I.SrcB.Id);
+      H.word(static_cast<uint64_t>(I.Imm));
+      H.word(I.Base.Id);
+      H.word(static_cast<uint64_t>(I.Offset));
+      H.word(static_cast<uint64_t>(I.Target0));
+      H.word(static_cast<uint64_t>(I.Target1));
+    }
+  }
+  return H.hash();
+}
+
+struct Cache {
+  std::mutex Mu;
+  std::unordered_map<uint64_t, InterpResult> Map;
+  ProfileCacheStats Stats;
+};
+
+Cache &cache() {
+  static Cache C;
+  return C;
+}
+
+/// Growth bound: experiment sweeps see a few dozen distinct modules, fuzzing
+/// sees a stream of unique ones. Dropping everything on overflow keeps the
+/// worst case bounded without any bookkeeping on the hit path.
+constexpr size_t MaxEntries = 256;
+
+} // namespace
+
+InterpResult driver::profileModule(const Module &M, uint64_t MaxInstrs) {
+  uint64_t Key = hashModule(M, MaxInstrs);
+  Cache &C = cache();
+  {
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    auto It = C.Map.find(Key);
+    if (It != C.Map.end()) {
+      ++C.Stats.Hits;
+      return It->second;
+    }
+    ++C.Stats.Misses;
+  }
+  // Interpret outside the lock: concurrent misses on the same module do
+  // redundant work but never block one another, and both compute the same
+  // result.
+  InterpResult R = interpret(M, MaxInstrs);
+  {
+    std::lock_guard<std::mutex> Lock(C.Mu);
+    if (C.Map.size() >= MaxEntries)
+      C.Map.clear();
+    C.Map.emplace(Key, R);
+  }
+  return R;
+}
+
+ProfileCacheStats driver::profileCacheStats() {
+  Cache &C = cache();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  return C.Stats;
+}
+
+void driver::clearProfileCache() {
+  Cache &C = cache();
+  std::lock_guard<std::mutex> Lock(C.Mu);
+  C.Map.clear();
+  C.Stats = {};
+}

@@ -62,6 +62,14 @@ std::vector<CompileOptions> fuzz::differentialCompileConfigs() {
   Big.TraceScheduling = true;
   Big.Balance.BalanceFixedOps = true;
   Cs.push_back(Big);
+  // Trace-hostile: with if-conversion off every diamond survives into the
+  // CFG, maximizing splits, joins and compensation blocks — the paths where
+  // the fast trace core's incremental predecessor/DAG bookkeeping could
+  // drift from the reference twin.
+  CompileOptions TraceHostile;
+  TraceHostile.TraceScheduling = true;
+  TraceHostile.Lower.IfConversion = false;
+  Cs.push_back(TraceHostile);
   return Cs;
 }
 

@@ -18,6 +18,7 @@ const char *fuzz::failureKindName(FailureKind K) {
   case FailureKind::CompileError: return "compile-error";
   case FailureKind::VerifierDiag: return "verifier-diag";
   case FailureKind::SchedTwinDivergence: return "sched-twin-divergence";
+  case FailureKind::TraceTwinDivergence: return "trace-twin-divergence";
   case FailureKind::InterpDivergence: return "interp-divergence";
   case FailureKind::SimError: return "sim-error";
   case FailureKind::SimTwinDivergence: return "sim-twin-divergence";
@@ -99,7 +100,8 @@ Failure fail(FailureKind K, std::string ConfigTag, int ConfigIndex,
 /// Compile-side differential for one configuration; fills \p Cov when given.
 Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
                       const driver::CompileOptions &Config, int Index,
-                      bool CheckSchedTwin, CoverageMap *Cov) {
+                      bool CheckSchedTwin, bool CheckTraceTwin,
+                      CoverageMap *Cov) {
   const std::string Tag = Config.tag();
   driver::CompileResult C = driver::compileProgram(P, Config);
   if (Cov)
@@ -132,6 +134,21 @@ Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
     if (ir::printFunction(C.M.Fn) != ir::printFunction(RC.M.Fn))
       return fail(FailureKind::SchedTwinDivergence, Tag, Index, "",
                   "fast and reference compiled code differ");
+  }
+
+  // Trace twin: only the trace-scheduling core differs (the fast scheduler
+  // core runs in both pipelines), isolating any divergence to trace
+  // formation, compaction, or compensation bookkeeping.
+  if (CheckTraceTwin && Config.TraceScheduling) {
+    driver::CompileOptions RefOpts = Config;
+    RefOpts.TraceImpl = trace::TraceImpl::Reference;
+    driver::CompileResult RC = driver::compileProgram(P, RefOpts);
+    if (!RC.ok())
+      return fail(FailureKind::TraceTwinDivergence, Tag, Index, "",
+                  "reference trace pipeline failed: " + RC.Error);
+    if (ir::printFunction(C.M.Fn) != ir::printFunction(RC.M.Fn))
+      return fail(FailureKind::TraceTwinDivergence, Tag, Index, "",
+                  "fast and reference trace-scheduled code differ");
   }
   return {};
 }
@@ -188,7 +205,7 @@ OracleRun fuzz::runOracle(const lang::Program &Input,
   for (size_t I = 0; I != Configs.size(); ++I) {
     Failure F = compileOracle(P, Ref.Checksum, Configs[I],
                               static_cast<int>(I), Opts.CheckSchedTwin,
-                              &Run.Cov);
+                              Opts.CheckTraceTwin, &Run.Cov);
     if (F.Kind != FailureKind::None) {
       Run.Failures.push_back(std::move(F));
       if (Opts.StopOnFirstFailure)
@@ -230,7 +247,7 @@ Failure fuzz::runCompileOracle(const lang::Program &Input,
   if (!Ref.ok())
     return fail(FailureKind::EvalError, "", -1, "", Ref.Error);
   return compileOracle(P, Ref.Checksum, Config, -1, Opts.CheckSchedTwin,
-                       nullptr);
+                       Opts.CheckTraceTwin, nullptr);
 }
 
 Failure fuzz::runSimOracle(const lang::Program &Input,

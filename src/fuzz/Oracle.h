@@ -7,6 +7,8 @@
 ///   AST eval  ==  ir::interpret(compiled)     per compile configuration
 ///   verify::  finds no diagnostic             per compile configuration
 ///   SchedImpl::Fast == SchedImpl::Reference   byte-identical compiled code
+///   TraceImpl::Fast == TraceImpl::Reference   byte-identical compiled code,
+///                                             per trace-scheduling config
 ///   SimImpl::Fast == SimImpl::Reference       every SimResult field, per
 ///                                             machine model
 ///   sim checksum == AST eval checksum         when the run finishes
@@ -40,6 +42,7 @@ enum class FailureKind : uint8_t {
   CompileError,       ///< a configuration failed to compile.
   VerifierDiag,       ///< verify:: produced diagnostics.
   SchedTwinDivergence,///< fast vs reference compile output differs.
+  TraceTwinDivergence,///< fast vs reference trace-scheduling output differs.
   InterpDivergence,   ///< interpreter checksum != AST eval checksum.
   SimError,           ///< a simulator run errored out.
   SimTwinDivergence,  ///< fast vs reference SimResult field mismatch.
@@ -67,6 +70,10 @@ struct OracleOptions {
   /// Compile every config a second time with SchedImpl::Reference and
   /// require byte-identical output (doubles compile cost).
   bool CheckSchedTwin = true;
+  /// Compile every trace-scheduling config a further time with
+  /// TraceImpl::Reference (the fast scheduler core otherwise — only the
+  /// trace core differs) and require byte-identical output.
+  bool CheckTraceTwin = true;
   /// Run the simulator differential sweep.
   bool RunSim = true;
   /// Cycle cap per simulator run; the twins must agree at the cut as well.

@@ -75,6 +75,14 @@ public:
 
   const std::vector<uint8_t> &memory() const { return Memory; }
 
+  /// Raw state access for the predecoded execution loops: the register file
+  /// and memory image are separate allocations, so hot loops may hold
+  /// restrict-qualified pointers to both without reloading them across
+  /// stores (the encapsulated accessors above defeat that analysis).
+  uint64_t *regsData() { return Regs.data(); }
+  uint8_t *memData() { return Memory.data(); }
+  size_t memSize() const { return Memory.size(); }
+
   /// FNV-1a checksum over the module's output arrays.
   uint64_t outputChecksum(const Module &M) const;
 

@@ -90,84 +90,104 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs,
   if (Impl == SchedImpl::Reference)
     return reference::buildDepDAG(Instrs);
 
-  unsigned N = static_cast<unsigned>(Instrs.size());
-  DepDAG G(N);
+  // The fast algorithm lives in DepDAGBuilder (one implementation, shared
+  // with the trace scheduler's incremental use); the one-shot entry point is
+  // a region of known size appended in one sweep.
+  DepDAGBuilder B;
+  B.beginRegion(static_cast<unsigned>(Instrs.size()));
+  for (const Instr *In : Instrs)
+    B.append(In);
+  B.finalize();
+  return std::move(B.graph());
+}
 
-  // --- Sizing pass ----------------------------------------------------------
-  // One scan to size the dense tables: the register id space, the array id
-  // space, the locality groups, and the memory-op ordinal space.
-  uint32_t NumRegs = 0;
-  int NumArrays = 0, NumGroups = 0;
-  unsigned NumMemOps = 0;
-  std::vector<Reg> Uses;
-  for (const Instr *In : Instrs) {
-    Uses.clear();
-    In->appendUses(Uses);
-    for (Reg R : Uses)
-      NumRegs = std::max(NumRegs, R.Id + 1);
-    if (Reg D = In->def(); D.isValid())
-      NumRegs = std::max(NumRegs, D.Id + 1);
-    if (In->isMem()) {
-      ++NumMemOps;
-      NumArrays = std::max(NumArrays, In->Mem.ArrayId + 1);
-      for (const MemRef::Term &T : In->Mem.Terms)
-        NumRegs = std::max(NumRegs, T.RegId + 1);
-    }
-    NumGroups = std::max(NumGroups, In->LocalityGroup + 1);
+//===----------------------------------------------------------------------===//
+// DepDAGBuilder
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr unsigned None = ~0u;
+} // namespace
+
+void DepDAGBuilder::ensureReg(uint32_t Id) {
+  if (Id < LastDef.size())
+    return;
+  LastDef.resize(Id + 1, None);
+  Readers.resize(Id + 1);
+  DefCount.resize(Id + 1, 0);
+}
+
+void DepDAGBuilder::beginRegion(unsigned NumNodes) {
+  N = NumNodes;
+  Appended = 0;
+  G.reset(NumNodes);
+  Nodes.clear();
+  Nodes.reserve(NumNodes);
+  // Register tables are high-water sized: clear the prefix in use rather
+  // than reallocating (Readers keeps each per-register vector's capacity).
+  std::fill(LastDef.begin(), LastDef.end(), None);
+  for (std::vector<unsigned> &R : Readers)
+    R.clear();
+  std::fill(DefCount.begin(), DefCount.end(), 0);
+  MemIdx.clear();
+  FormKey.clear();
+  NumArrays = 0;
+  NumGroups = 0;
+}
+
+void DepDAGBuilder::append(const Instr *In) {
+  assert(Appended < N && "more instructions than beginRegion declared");
+  unsigned I = Appended++;
+  Nodes.push_back(In);
+
+  // Register dependences: LastDef[r] = most recent writer, Readers[r] =
+  // readers of the current value, DefCount[r] = definition epoch for
+  // memory-form stamping. Streaming this phase is sound because its state
+  // after instruction I depends only on instructions 0..I.
+  Uses.clear();
+  In->appendUses(Uses);
+  for (Reg R : Uses) {
+    ensureReg(R.Id);
+    if (LastDef[R.Id] != None)
+      G.addEdge(LastDef[R.Id], I); // true dependence
+    Readers[R.Id].push_back(I);
   }
 
-  // --- Register dependences -------------------------------------------------
-  // LastDef[r] = index of most recent writer; Readers[r] = readers of the
-  // current value; DefCount[r] = definition epoch for memory-form stamping.
-  constexpr unsigned None = ~0u;
-  std::vector<unsigned> LastDef(NumRegs, None);
-  std::vector<std::vector<unsigned>> Readers(NumRegs);
-  std::vector<uint32_t> DefCount(NumRegs, 0);
+  if (Reg D = In->def(); D.isValid()) {
+    ensureReg(D.Id);
+    if (LastDef[D.Id] != None)
+      G.addEdge(LastDef[D.Id], I); // output dependence
+    for (unsigned Rd : Readers[D.Id])
+      G.addEdge(Rd, I); // anti dependence
+    Readers[D.Id].clear();
+    LastDef[D.Id] = I;
+    ++DefCount[D.Id];
+  }
 
   // Per memory op (in region order): its instruction index, and — when the
   // address has a comparable affine form — the bucket key encoding
   // (ArrayId, (RegId, Coeff, epoch)...). An empty key means "no form".
-  std::vector<unsigned> MemIdx;
-  MemIdx.reserve(NumMemOps);
-  std::vector<std::vector<int64_t>> FormKey;
-  FormKey.reserve(NumMemOps);
-
-  for (unsigned I = 0; I != N; ++I) {
-    const Instr &In = *Instrs[I];
-
-    Uses.clear();
-    In.appendUses(Uses);
-    for (Reg R : Uses) {
-      if (LastDef[R.Id] != None)
-        G.addEdge(LastDef[R.Id], I); // true dependence
-      Readers[R.Id].push_back(I);
-    }
-
-    if (Reg D = In.def(); D.isValid()) {
-      if (LastDef[D.Id] != None)
-        G.addEdge(LastDef[D.Id], I); // output dependence
-      for (unsigned Rd : Readers[D.Id])
-        G.addEdge(Rd, I); // anti dependence
-      Readers[D.Id].clear();
-      LastDef[D.Id] = I;
-      ++DefCount[D.Id];
-    }
-
-    if (In.isMem()) {
-      MemIdx.push_back(I);
-      std::vector<int64_t> Key;
-      if (In.Mem.HasForm) {
-        Key.reserve(1 + 3 * In.Mem.Terms.size());
-        Key.push_back(In.Mem.ArrayId);
-        for (const MemRef::Term &T : In.Mem.Terms) {
-          Key.push_back(T.RegId);
-          Key.push_back(T.Coeff);
-          Key.push_back(DefCount[T.RegId]);
-        }
+  if (In->isMem()) {
+    MemIdx.push_back(I);
+    std::vector<int64_t> Key;
+    if (In->Mem.HasForm) {
+      Key.reserve(1 + 3 * In->Mem.Terms.size());
+      Key.push_back(In->Mem.ArrayId);
+      for (const MemRef::Term &T : In->Mem.Terms) {
+        ensureReg(T.RegId);
+        Key.push_back(T.RegId);
+        Key.push_back(T.Coeff);
+        Key.push_back(DefCount[T.RegId]);
       }
-      FormKey.push_back(std::move(Key));
     }
+    FormKey.push_back(std::move(Key));
+    NumArrays = std::max(NumArrays, In->Mem.ArrayId + 1);
   }
+  NumGroups = std::max(NumGroups, In->LocalityGroup + 1);
+}
+
+DepDAG &DepDAGBuilder::finalize() {
+  assert(Appended == N && "region incomplete at finalize");
 
   // --- Memory dependences ---------------------------------------------------
   // For each op J (over the mem-op ordinal space 0..M-1), the earlier
@@ -179,15 +199,21 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs,
   //
   // computed with O(M/64) word operations plus a constant-radius window scan
   // in J's form bucket, instead of proving every pair disjoint individually.
-  unsigned M = NumMemOps;
-  BitVec Prior(M), StoresPrior(M), UnknownPrior(M);
-  std::vector<BitVec> ArrayPrior(static_cast<size_t>(NumArrays), BitVec(M));
-  std::vector<bool> OrdIsStore(M, false);
+  unsigned M = static_cast<unsigned>(MemIdx.size());
+  Prior.resizeCleared(M);
+  StoresPrior.resizeCleared(M);
+  UnknownPrior.resizeCleared(M);
+  Conflicts.resizeCleared(M);
+  ArrScratch.resizeCleared(M);
+  if (ArrayPrior.size() < static_cast<size_t>(NumArrays))
+    ArrayPrior.resize(static_cast<size_t>(NumArrays));
+  for (int A = 0; A != NumArrays; ++A)
+    ArrayPrior[static_cast<size_t>(A)].resizeCleared(M);
+  OrdIsStore.assign(M, false);
   std::unordered_map<std::vector<int64_t>, FormBucket, KeyHash> Buckets;
-  BitVec Conflicts(M), ArrScratch(M);
 
   for (unsigned J = 0; J != M; ++J) {
-    const Instr &In = *Instrs[MemIdx[J]];
+    const Instr &In = *Nodes[MemIdx[J]];
     const MemRef &Mem = In.Mem;
     bool JStore = In.isStore();
     OrdIsStore[J] = JStore;
@@ -213,7 +239,7 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs,
       for (; It != B.ByConst.end() && It->first < Mem.Const + Radius; ++It) {
         int64_t Delta = std::llabs(Mem.Const - It->first);
         for (unsigned K : It->second) {
-          const MemRef &MK = Instrs[MemIdx[K]]->Mem;
+          const MemRef &MK = Nodes[MemIdx[K]]->Mem;
           if (Delta < std::max(MK.Size, Mem.Size) &&
               (JStore || OrdIsStore[K]))
             Conflicts.set(K);
@@ -247,9 +273,9 @@ DepDAG sched::buildDepDAG(const std::vector<const Instr *> &Instrs,
   // Single forward pass: each hit is anchored below the *nearest preceding*
   // miss of its group. (A two-pass version keyed on the last miss per group
   // silently dropped the arc for hits sandwiched between two misses.)
-  std::vector<unsigned> LastMiss(static_cast<size_t>(NumGroups), None);
+  LastMiss.assign(static_cast<size_t>(NumGroups), None);
   for (unsigned I = 0; I != N; ++I) {
-    const Instr &In = *Instrs[I];
+    const Instr &In = *Nodes[I];
     if (!In.isLoad() || In.LocalityGroup < 0)
       continue;
     if (In.HM == HitMiss::Miss) {

@@ -57,6 +57,23 @@ public:
   const std::vector<unsigned> &succs(unsigned N) const { return Succs[N]; }
   const std::vector<unsigned> &preds(unsigned N) const { return Preds[N]; }
 
+  /// Re-initializes to an empty graph over \p NumNodes nodes, retaining the
+  /// per-node adjacency and bitset storage already allocated. DepDAGBuilder
+  /// uses this to recycle one graph across the regions of a function instead
+  /// of paying NumNodes+1 allocations per region.
+  void reset(unsigned NumNodes) {
+    unsigned Keep = std::min(size(), NumNodes);
+    for (unsigned I = 0; I != Keep; ++I) {
+      Succs[I].clear();
+      Preds[I].clear();
+    }
+    Succs.resize(NumNodes);
+    Preds.resize(NumNodes);
+    Edge.resize(NumNodes);
+    for (BitVec &B : Edge)
+      B.resizeCleared(NumNodes);
+  }
+
   /// Topological order (by Kahn's algorithm); asserts the graph is acyclic.
   std::vector<unsigned> topoOrder() const;
 
@@ -85,6 +102,69 @@ DepDAG buildDepDAG(const std::vector<const ir::Instr *> &Instrs,
 /// terminator, which must be the last element of \p Instrs.
 void addBlockControlEdges(DepDAG &G,
                           const std::vector<const ir::Instr *> &Instrs);
+
+/// Incremental builder over the fast algorithm of buildDepDAG, for callers
+/// that build one region after another (the trace scheduler: every trace and
+/// every remaining single block of a function). Two things distinguish it
+/// from the one-shot entry point:
+///
+///  - the region is appended instruction by instruction (a trace appends
+///    block by block as it is assembled), with register dependences emitted
+///    during append — the register phase's state evolution is prefix-closed,
+///    so streaming it produces exactly the one-shot builder's edges;
+///  - every table, bitset, and the graph itself is recycled across regions
+///    (DepDAG::reset), turning the per-region allocation storm into a few
+///    amortized clears.
+///
+/// Edge order is identical to buildDepDAG's — all register edges in
+/// instruction order, then memory edges in memory-ordinal order, then
+/// locality arcs — which keeps succ/pred adjacency orders, and therefore
+/// every downstream floating-point accumulation and ready-list tie-break,
+/// bit-identical to the one-shot builder (asserted by the golden-schedule
+/// and trace-equivalence tests).
+class DepDAGBuilder {
+public:
+  /// Starts a region of exactly \p NumNodes instructions.
+  void beginRegion(unsigned NumNodes);
+
+  /// Appends the next region instruction (program order) and emits its
+  /// register dependences; capture of memory forms is epoch-stamped here,
+  /// exactly as in the one-shot builder's first phase.
+  void append(const ir::Instr *In);
+
+  /// Runs the deferred memory and locality phases. The returned graph (and
+  /// everything it references) stays valid until the next beginRegion.
+  DepDAG &finalize();
+
+  DepDAG &graph() { return G; }
+
+private:
+  void ensureReg(uint32_t Id);
+
+  DepDAG G{0};
+  unsigned N = 0;         ///< region size declared by beginRegion.
+  unsigned Appended = 0;  ///< instructions appended so far.
+
+  // Region instructions (for the deferred phases).
+  std::vector<const ir::Instr *> Nodes;
+
+  // Register phase state, high-water sized across regions.
+  std::vector<unsigned> LastDef;
+  std::vector<std::vector<unsigned>> Readers;
+  std::vector<uint32_t> DefCount;
+  std::vector<ir::Reg> Uses;
+
+  // Memory/locality phase inputs collected during append.
+  std::vector<unsigned> MemIdx;
+  std::vector<std::vector<int64_t>> FormKey;
+  int NumArrays = 0, NumGroups = 0;
+
+  // Memory phase scratch, recycled across regions.
+  BitVec Prior, StoresPrior, UnknownPrior, Conflicts, ArrScratch;
+  std::vector<BitVec> ArrayPrior;
+  std::vector<bool> OrdIsStore;
+  std::vector<unsigned> LastMiss;
+};
 
 } // namespace sched
 } // namespace bsched

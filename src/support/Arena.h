@@ -1,0 +1,121 @@
+//===- support/Arena.h - Bump-pointer arena ---------------------*- C++ -*-===//
+///
+/// \file
+/// A bump-pointer arena for transient hot-path scratch (in the spirit of
+/// llvm::BumpPtrAllocator). The trace-scheduling and profiling hot paths
+/// allocate many short-lived arrays per region — per-trace node tables,
+/// segment buffers, predecoded op streams — whose lifetimes all end
+/// together. Carving them out of one arena turns that churn into pointer
+/// bumps, and reset() recycles the memory for the next region without
+/// returning it to the heap.
+///
+/// Only trivially-destructible element types are supported: reset() and the
+/// destructor free memory without running destructors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SUPPORT_ARENA_H
+#define BALSCHED_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace bsched {
+
+class Arena {
+public:
+  explicit Arena(size_t FirstChunkBytes = 1u << 16)
+      : FirstChunkBytes(FirstChunkBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Bytes of storage aligned to \p Align (a power of two).
+  void *allocate(size_t Bytes, size_t Align) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    uintptr_t P = (Cur + Align - 1) & ~static_cast<uintptr_t>(Align - 1);
+    if (P + Bytes > End) {
+      grow(Bytes + Align);
+      P = (Cur + Align - 1) & ~static_cast<uintptr_t>(Align - 1);
+    }
+    Cur = P + Bytes;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Returns an uninitialized array of \p N elements of \p T.
+  template <typename T> T *alloc(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Returns an array of \p N value-initialized (zeroed) elements.
+  template <typename T> T *allocZeroed(size_t N) {
+    T *P = alloc<T>(N);
+    for (size_t I = 0; I != N; ++I)
+      P[I] = T();
+    return P;
+  }
+
+  /// Recycles all memory for reuse. Chunks are retained, so a steady-state
+  /// caller (one reset per region) stops touching the heap entirely.
+  void reset() {
+    ChunkIdx = 0;
+    if (!Chunks.empty()) {
+      Cur = reinterpret_cast<uintptr_t>(Chunks[0].Data.get());
+      End = Cur + Chunks[0].Size;
+    } else {
+      Cur = End = 0;
+    }
+  }
+
+  /// Total bytes of chunk storage owned (capacity, not live allocations).
+  size_t capacityBytes() const {
+    size_t S = 0;
+    for (const Chunk &C : Chunks)
+      S += C.Size;
+    return S;
+  }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Data;
+    size_t Size = 0;
+  };
+
+  void grow(size_t MinBytes) {
+    // Reuse the next retained chunk when it is big enough; otherwise insert
+    // a fresh chunk (doubling sizes) at the current position.
+    while (ChunkIdx + 1 < Chunks.size()) {
+      ++ChunkIdx;
+      if (Chunks[ChunkIdx].Size >= MinBytes) {
+        Cur = reinterpret_cast<uintptr_t>(Chunks[ChunkIdx].Data.get());
+        End = Cur + Chunks[ChunkIdx].Size;
+        return;
+      }
+    }
+    size_t Size = Chunks.empty() ? FirstChunkBytes : Chunks.back().Size * 2;
+    if (Size < MinBytes)
+      Size = MinBytes;
+    Chunk C;
+    C.Data = std::make_unique<char[]>(Size);
+    C.Size = Size;
+    Chunks.push_back(std::move(C));
+    ChunkIdx = Chunks.size() - 1;
+    Cur = reinterpret_cast<uintptr_t>(Chunks.back().Data.get());
+    End = Cur + Size;
+  }
+
+  size_t FirstChunkBytes;
+  std::vector<Chunk> Chunks;
+  size_t ChunkIdx = 0;
+  uintptr_t Cur = 0, End = 0;
+};
+
+} // namespace bsched
+
+#endif // BALSCHED_SUPPORT_ARENA_H

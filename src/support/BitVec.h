@@ -41,6 +41,13 @@ public:
       W = 0;
   }
 
+  /// Re-initializes to \p NewBits bits, all zero, retaining the word
+  /// storage's capacity (for scratch sets reused across regions).
+  void resizeCleared(unsigned NewBits) {
+    NumBits = NewBits;
+    Words.assign((NewBits + 63) / 64, 0);
+  }
+
   /// this |= Other. Returns true if any bit changed.
   bool orWith(const BitVec &Other) {
     assert(NumBits == Other.NumBits && "size mismatch");

@@ -1,25 +1,49 @@
 //===- trace/Trace.cpp - Profile-guided trace scheduling -------------------===//
+//
+// The optimized trace-scheduling core (TraceImpl::Fast). Three things
+// distinguish it from the seed implementation preserved in
+// TraceReference.cpp:
+//
+//  - dense indices everywhere: trace formation walks a flat successor table
+//    and a predecessor CSR instead of materializing successor/predecessor
+//    vectors per step, and the scheduler maintains per-block predecessor
+//    lists incrementally across compensation edits instead of rescanning
+//    the whole function per join;
+//  - the cross-block dependence DAG is extended incrementally as each block
+//    joins the trace (sched::DepDAGBuilder), the region is a vector of
+//    pointers into the trace blocks rather than a copied instruction
+//    vector, and the scheduled segments are MOVED into place (every segment
+//    is staged before any block is assigned, so later segments still read
+//    live source buffers; compensation then copies the installed
+//    instructions back out through the position mapping);
+//  - transient position/home/segment arrays live in a bump-pointer arena
+//    (support/Arena.h) that is rewound per trace, and every vector scratch
+//    is recycled across traces.
+//
+// Output is byte-identical to the reference twin — same traces, same
+// schedules, same compensation blocks in the same order. The golden-schedule
+// tests, trace_equivalence_test, and the fuzz oracle's trace twin check
+// assert this; the comments below flag every spot where the equivalence is
+// non-obvious (tie-break order, duplicate predecessor entries, move-install
+// lifetimes).
+//
+//===----------------------------------------------------------------------===//
 
 #include "trace/Trace.h"
-
-#include "trace/EstimateProfile.h"
 
 #include "ir/CFG.h"
 #include "ir/Liveness.h"
 #include "sched/DepDAG.h"
+#include "support/Arena.h"
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <chrono>
 
 using namespace bsched;
 using namespace bsched::trace;
 using namespace bsched::ir;
 using namespace bsched::sched;
-
-//===----------------------------------------------------------------------===//
-// Back-edge detection
-//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -28,6 +52,13 @@ uint64_t edgeCount(const InterpResult &Profile, int From, size_t Slot) {
   if (static_cast<size_t>(From) >= Profile.EdgeCounts.size() || Slot >= 2)
     return 0;
   return Profile.EdgeCounts[From][Slot];
+}
+
+uint64_t nsSince(std::chrono::steady_clock::time_point T0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
 }
 
 } // namespace
@@ -41,6 +72,22 @@ std::vector<Trace> trace::formTraces(const Function &F,
   size_t N = F.Blocks.size();
   std::vector<std::vector<bool>> Back = findBackEdges(F);
 
+  // Flat successor table in the terminator's (taken, fallthrough) slot
+  // order, replacing the per-step successors() vector materialization.
+  std::vector<int> Succ(2 * N, -1);
+  std::vector<uint8_t> NumSucc(N, 0);
+  for (size_t B = 0; B != N; ++B) {
+    const Instr &T = F.Blocks[B].terminator();
+    if (T.Op == Opcode::Br) {
+      Succ[2 * B] = T.Target0;
+      Succ[2 * B + 1] = T.Target1;
+      NumSucc[B] = 2;
+    } else if (T.Op == Opcode::Jmp) {
+      Succ[2 * B] = T.Target0;
+      NumSucc[B] = 1;
+    }
+  }
+
   // Traces stay within one loop level: growth never crosses an edge that
   // leaves a loop (out of a latch) or enters one (into a header). Beyond
   // matching the Multiflow restriction that traces do not cross loop
@@ -48,12 +95,34 @@ std::vector<Trace> trace::formTraces(const Function &F,
   // back edge, so every segment of a scheduled trace executes at most once
   // per trace entry (the compensation-code invariant).
   std::vector<bool> IsHeader(N, false), IsLatch(N, false);
-  for (size_t B = 0; B != N; ++B) {
-    std::vector<int> Succs = F.Blocks[B].successors();
-    for (size_t K = 0; K != Succs.size(); ++K)
+  for (size_t B = 0; B != N; ++B)
+    for (unsigned K = 0; K != NumSucc[B]; ++K)
       if (Back[B][K]) {
         IsLatch[B] = true;
-        IsHeader[Succs[K]] = true;
+        IsHeader[Succ[2 * B + K]] = true;
+      }
+
+  // Predecessor CSR enumerating in-edges in (block id, successor slot)
+  // order — exactly Function::predecessors' iteration order, one entry per
+  // parallel edge. Backward growth below therefore performs the identical
+  // sequence of strictly-greater comparisons as the seed's rescan (a
+  // duplicated predecessor contributes no update on its repeat visits).
+  std::vector<unsigned> PredStart(N + 1, 0);
+  for (size_t B = 0; B != N; ++B)
+    for (unsigned K = 0; K != NumSucc[B]; ++K)
+      ++PredStart[static_cast<size_t>(Succ[2 * B + K]) + 1];
+  for (size_t B = 0; B != N; ++B)
+    PredStart[B + 1] += PredStart[B];
+  std::vector<int> PredBlock(PredStart[N]);
+  std::vector<uint8_t> PredSlot(PredStart[N]);
+  {
+    std::vector<unsigned> Fill(PredStart.begin(), PredStart.end() - 1);
+    for (size_t B = 0; B != N; ++B)
+      for (unsigned K = 0; K != NumSucc[B]; ++K) {
+        unsigned &At = Fill[static_cast<size_t>(Succ[2 * B + K])];
+        PredBlock[At] = static_cast<int>(B);
+        PredSlot[At] = static_cast<uint8_t>(K);
+        ++At;
       }
   }
 
@@ -72,6 +141,7 @@ std::vector<Trace> trace::formTraces(const Function &F,
 
   std::vector<bool> Taken(N, false);
   std::vector<Trace> Traces;
+  std::vector<int> Prefix;
 
   for (int Seed : Seeds) {
     if (Taken[Seed])
@@ -82,16 +152,16 @@ std::vector<Trace> trace::formTraces(const Function &F,
     // Grow forward along the hottest non-back edge into fresh blocks.
     int B = Seed;
     while (!IsLatch[B]) {
-      std::vector<int> Succs = F.Blocks[B].successors();
       int Best = -1;
       uint64_t BestCount = 0;
-      for (size_t K = 0; K != Succs.size(); ++K) {
-        if (Back[B][K] || Taken[Succs[K]] || IsHeader[Succs[K]])
+      for (unsigned K = 0; K != NumSucc[B]; ++K) {
+        int S = Succ[2 * static_cast<size_t>(B) + K];
+        if (Back[B][K] || Taken[S] || IsHeader[S])
           continue;
         uint64_t C = edgeCount(Profile, B, K);
         if (C > BestCount) {
           BestCount = C;
-          Best = Succs[K];
+          Best = S;
         }
       }
       if (Best < 0)
@@ -101,30 +171,33 @@ std::vector<Trace> trace::formTraces(const Function &F,
       B = Best;
     }
 
-    // Grow backward along the hottest incoming non-back edge.
+    // Grow backward along the hottest incoming non-back edge; the prefix is
+    // collected outward and reversed into place (equivalent to the seed's
+    // repeated front insertion).
+    Prefix.clear();
     B = Seed;
     while (!IsHeader[B]) {
       int Best = -1;
       uint64_t BestCount = 0;
-      for (int P : F.predecessors(B)) {
-        if (Taken[P] || IsLatch[P])
+      for (unsigned E = PredStart[B]; E != PredStart[B + 1]; ++E) {
+        int P = PredBlock[E];
+        if (Taken[P] || IsLatch[P] || Back[P][PredSlot[E]])
           continue;
-        std::vector<int> Succs = F.Blocks[P].successors();
-        for (size_t K = 0; K != Succs.size(); ++K) {
-          if (Succs[K] != B || Back[P][K])
-            continue;
-          uint64_t C = edgeCount(Profile, P, K);
-          if (C > BestCount) {
-            BestCount = C;
-            Best = P;
-          }
+        uint64_t C = edgeCount(Profile, P, PredSlot[E]);
+        if (C > BestCount) {
+          BestCount = C;
+          Best = P;
         }
       }
       if (Best < 0)
         break;
-      T.insert(T.begin(), Best);
+      Prefix.push_back(Best);
       Taken[Best] = true;
       B = Best;
+    }
+    if (!Prefix.empty()) {
+      std::reverse(Prefix.begin(), Prefix.end());
+      T.insert(T.begin(), Prefix.begin(), Prefix.end());
     }
 
     Traces.push_back(std::move(T));
@@ -146,7 +219,10 @@ public:
 
   TraceStats run() {
     Liveness L = computeLiveness(M.Fn);
+    auto T0 = std::chrono::steady_clock::now();
     std::vector<Trace> Traces = formTraces(M.Fn, Profile);
+    buildPredLists();
+    Stats.FormNs = nsSince(T0);
     Stats.Traces = static_cast<int>(Traces.size());
     Stats.Formed = Traces;
     for (const Trace &T : Traces) {
@@ -169,52 +245,95 @@ private:
   BalanceOptions Opts;
   TraceStats Stats;
 
+  /// Region state recycled across traces and single blocks.
+  DepDAGBuilder Builder;
+  Arena A;
+  std::vector<const Instr *> Ptrs;
+  std::vector<std::vector<Instr>> Segs;
+  std::vector<unsigned> Crossed;
+  std::vector<int> OffPreds;
+
+  /// Per-block predecessor ids, one entry per in-edge, in (block id,
+  /// successor slot) order — the exact contents Function::predecessors
+  /// would return, maintained incrementally as compensation retargets
+  /// edges (instead of an O(blocks) rescan per join).
+  std::vector<std::vector<int>> PredList;
+
+  void buildPredLists() {
+    const Function &F = M.Fn;
+    PredList.assign(F.Blocks.size(), {});
+    for (const BasicBlock &B : F.Blocks)
+      for (int S : B.successors())
+        PredList[S].push_back(B.Id);
+  }
+
   void scheduleSingleBlock(int B) {
     BasicBlock &BB = M.Fn.Blocks[B];
     if (BB.Instrs.size() <= 2)
       return;
-    std::vector<const Instr *> Ptrs;
-    for (const Instr &I : BB.Instrs)
+    auto T0 = std::chrono::steady_clock::now();
+    // sched::scheduleRegion with the recycled incremental builder; the
+    // install moves instructions instead of copying them (the source
+    // vector stays alive until the final assignment).
+    Ptrs.clear();
+    Ptrs.reserve(BB.Instrs.size());
+    Builder.beginRegion(static_cast<unsigned>(BB.Instrs.size()));
+    for (const Instr &I : BB.Instrs) {
       Ptrs.push_back(&I);
-    std::vector<unsigned> Order = scheduleRegion(Ptrs, Kind, Opts);
+      Builder.append(&I);
+    }
+    DepDAG &G = Builder.finalize();
+    addBlockControlEdges(G, Ptrs);
+    SchedulerKind RegionKind = effectiveKind(Kind, Ptrs, Opts);
+    std::vector<double> W = RegionKind == SchedulerKind::Balanced
+                                ? balancedWeights(G, Ptrs, Opts)
+                                : traditionalWeights(Ptrs);
+    std::vector<unsigned> Order = listSchedule(G, W, Ptrs,
+                                               Opts.PressureThreshold,
+                                               Opts.Impl);
     std::vector<Instr> NewInstrs;
     NewInstrs.reserve(BB.Instrs.size());
     for (unsigned I : Order)
-      NewInstrs.push_back(BB.Instrs[I]);
+      NewInstrs.push_back(std::move(BB.Instrs[I]));
     BB.Instrs = std::move(NewInstrs);
+    Stats.CompactNs += nsSince(T0);
   }
 
   void scheduleTrace(const Trace &T, const Liveness &L) {
+    auto T0 = std::chrono::steady_clock::now();
     Function &F = M.Fn;
     size_t K = T.size();
+    A.reset();
 
-    // Region = concatenated instructions; remember each one's home position
-    // in the trace and the terminator node ids.
-    std::vector<Instr> Region;
-    std::vector<int> Home;
-    std::vector<unsigned> TermNode(K);
+    size_t Total = 0;
+    for (int B : T)
+      Total += F.Blocks[B].Instrs.size();
+
+    // Region = concatenated instruction pointers into the trace blocks (no
+    // copies); the cross-block DAG is extended incrementally as each block
+    // joins the region. Home positions and terminator node ids live in the
+    // per-trace arena.
+    int *Home = A.alloc<int>(Total);
+    unsigned *TermNode = A.alloc<unsigned>(K);
+    Ptrs.clear();
+    Ptrs.reserve(Total);
+    Builder.beginRegion(static_cast<unsigned>(Total));
     for (size_t Pos = 0; Pos != K; ++Pos) {
-      const BasicBlock &B = F.Blocks[T[Pos]];
-      for (const Instr &I : B.Instrs) {
-        Region.push_back(I);
-        Home.push_back(static_cast<int>(Pos));
+      for (const Instr &I : F.Blocks[T[Pos]].Instrs) {
+        Home[Ptrs.size()] = static_cast<int>(Pos);
+        Ptrs.push_back(&I);
+        Builder.append(&I);
       }
-      TermNode[Pos] = static_cast<unsigned>(Region.size()) - 1;
+      TermNode[Pos] = static_cast<unsigned>(Ptrs.size()) - 1;
     }
-
-    std::vector<const Instr *> Ptrs;
-    Ptrs.reserve(Region.size());
-    for (const Instr &I : Region)
-      Ptrs.push_back(&I);
-
-    DepDAG G = buildDepDAG(Ptrs, Opts.Impl);
+    DepDAG &G = Builder.finalize();
 
     // Control constraints.
     // (a) Branches keep their relative order.
     for (size_t Pos = 1; Pos != K; ++Pos)
       G.addEdge(TermNode[Pos - 1], TermNode[Pos]);
     // (b) No downward motion past the home block's terminator.
-    for (unsigned I = 0; I != Region.size(); ++I)
+    for (unsigned I = 0; I != Total; ++I)
       G.addEdge(I, TermNode[static_cast<size_t>(Home[I])]);
     // (c) Upward motion above a split is speculative: only safe
     //     instructions may cross, and only when the instruction's home
@@ -232,7 +351,7 @@ private:
       if (OffTrace < 0)
         continue; // Unconditional jump to the next trace block: no split.
       uint64_t SplitFreq = FreqOf(Split);
-      for (unsigned I = 0; I != Region.size(); ++I) {
+      for (unsigned I = 0; I != Total; ++I) {
         if (Home[I] <= static_cast<int>(Split) || Ptrs[I]->isTerminator())
           continue;
         if (FreqOf(static_cast<size_t>(Home[I])) >= SplitFreq &&
@@ -250,12 +369,12 @@ private:
     for (size_t Mm = 1; Mm != K; ++Mm) {
       uint64_t OnFlow = edgeFlow(T[Mm - 1], T[Mm]);
       uint64_t OffFlow = 0;
-      for (int P : F.predecessors(T[Mm]))
+      for (int P : PredList[T[Mm]])
         if (P != T[Mm - 1])
           OffFlow += edgeFlow(P, T[Mm]);
       if (OffFlow == 0 || 2 * OffFlow < OnFlow)
         continue; // joins with negligible off-trace flow stay free
-      for (unsigned I = 0; I != Region.size(); ++I)
+      for (unsigned I = 0; I != Total; ++I)
         if (Home[I] >= static_cast<int>(Mm))
           G.addEdge(TermNode[Mm - 1], I);
     }
@@ -272,48 +391,62 @@ private:
 
     // --- Reconstruction --------------------------------------------------
     // Cut the schedule at the terminators; segment Pos replaces trace block
-    // T[Pos], so every external edge keeps its target.
-    std::vector<std::vector<unsigned>> Segments(K);
+    // T[Pos], so every external edge keeps its target. Order doubles as the
+    // segment concatenation: SegOff[Pos] is segment Pos's start position.
+    size_t *SegOff = A.alloc<size_t>(K + 1);
+    size_t *PosOf = A.alloc<size_t>(Total);
+    int *SegOfNode = A.alloc<int>(Total);
     {
       size_t Seg = 0;
-      for (unsigned Node : Order) {
+      SegOff[0] = 0;
+      for (size_t P = 0; P != Order.size(); ++P) {
+        unsigned Node = Order[P];
         assert(Seg < K && "instructions scheduled after the last terminator");
-        Segments[Seg].push_back(Node);
-        if (Ptrs[Node]->isTerminator())
+        PosOf[Node] = P;
+        SegOfNode[Node] = static_cast<int>(Seg);
+        if (Ptrs[Node]->isTerminator()) {
           ++Seg;
+          SegOff[Seg] = P + 1;
+        }
       }
       assert(Seg == K && "terminator count mismatch");
     }
 
-    // Positions for the join bookkeeping.
-    std::vector<size_t> PosOf(Region.size());
-    for (size_t P = 0; P != Order.size(); ++P)
-      PosOf[Order[P]] = P;
-
-    // Install the segments first: compensation below retargets terminators
-    // of off-trace predecessors, which may themselves be trace blocks (a
-    // loop back edge re-entering the trace), so their final instruction
-    // lists must already be in place.
+    // Install by moving: stage EVERY segment before assigning ANY block, so
+    // later segments still read live source buffers (the assignment below
+    // frees them). Swapping (rather than moving) the staged vectors in
+    // recycles both allocations across traces.
+    if (Segs.size() < K)
+      Segs.resize(K);
     for (size_t Pos = 0; Pos != K; ++Pos) {
-      std::vector<Instr> NewInstrs;
-      NewInstrs.reserve(Segments[Pos].size());
-      for (unsigned Node : Segments[Pos])
-        NewInstrs.push_back(Region[Node]);
-      F.Blocks[T[Pos]].Instrs = std::move(NewInstrs);
+      std::vector<Instr> &S = Segs[Pos];
+      S.clear();
+      S.reserve(SegOff[Pos + 1] - SegOff[Pos]);
+      for (size_t P = SegOff[Pos]; P != SegOff[Pos + 1]; ++P)
+        S.push_back(std::move(const_cast<Instr &>(*Ptrs[Order[P]])));
     }
+    for (size_t Pos = 0; Pos != K; ++Pos)
+      std::swap(F.Blocks[T[Pos]].Instrs, Segs[Pos]);
+    Stats.CompactNs += nsSince(T0);
 
     // Compensation: for each join (off-trace edge entering T[m], m > 0),
     // copy every instruction whose home is below the join but which was
-    // scheduled above it (i.e. before term_{m-1}).
+    // scheduled above it (i.e. before term_{m-1}). The originals were moved
+    // into their scheduled slots above; node I now lives in segment
+    // SegOfNode[I] at offset PosOf[I] - SegOff[SegOfNode[I]], and installed
+    // non-terminators are never modified afterwards (retargeting only
+    // touches terminators), so copying the installed instruction is
+    // copying the original.
+    auto T1 = std::chrono::steady_clock::now();
     for (size_t Mm = 1; Mm != K; ++Mm) {
-      std::vector<int> OffPreds;
-      for (int P : F.predecessors(T[Mm]))
+      OffPreds.clear();
+      for (int P : PredList[T[Mm]])
         if (P != T[Mm - 1])
           OffPreds.push_back(P);
       if (OffPreds.empty())
         continue;
-      std::vector<unsigned> Crossed;
-      for (unsigned I = 0; I != Region.size(); ++I)
+      Crossed.clear();
+      for (unsigned I = 0; I != Total; ++I)
         if (Home[I] >= static_cast<int>(Mm) &&
             PosOf[I] < PosOf[TermNode[Mm - 1]])
           Crossed.push_back(I); // Already in original order by construction.
@@ -321,9 +454,15 @@ private:
         continue;
 
       int Comp = F.makeBlock();
+      assert(static_cast<size_t>(Comp) == PredList.size() &&
+             "predecessor lists out of step with block creation");
+      PredList.emplace_back();
       ++Stats.CompensationBlocks;
+      F.Blocks[Comp].Instrs.reserve(Crossed.size() + 1);
       for (unsigned I : Crossed) {
-        F.Blocks[Comp].Instrs.push_back(Region[I]);
+        size_t S = static_cast<size_t>(SegOfNode[I]);
+        F.Blocks[Comp].Instrs.push_back(
+            F.Blocks[T[S]].Instrs[PosOf[I] - SegOff[S]]);
         ++Stats.CompensationInstrs;
       }
       Instr Jmp;
@@ -338,7 +477,24 @@ private:
         if (Term.Op == Opcode::Br && Term.Target1 == T[Mm])
           Term.Target1 = Comp;
       }
+
+      // Incremental predecessor maintenance: the off-trace in-edges of
+      // T[Mm] now enter Comp (same relative order), and Comp's jump enters
+      // T[Mm]. Comp's id is the global maximum, so appending it keeps the
+      // list in Function::predecessors' (id, slot) order.
+      std::vector<int> &JoinPreds = PredList[T[Mm]];
+      std::vector<int> &CompPreds = PredList[static_cast<size_t>(Comp)];
+      size_t Keep = 0;
+      for (size_t E = 0; E != JoinPreds.size(); ++E) {
+        if (JoinPreds[E] == T[Mm - 1])
+          JoinPreds[Keep++] = JoinPreds[E];
+        else
+          CompPreds.push_back(JoinPreds[E]);
+      }
+      JoinPreds.resize(Keep);
+      JoinPreds.push_back(Comp);
     }
+    Stats.CompensationNs += nsSince(T1);
   }
 
   /// Profile count of the CFG edge From -> To (summing parallel edges).
@@ -387,6 +543,8 @@ private:
 
 TraceStats trace::traceScheduleFunction(Module &M, const InterpResult &Profile,
                                         SchedulerKind Kind,
-                                        BalanceOptions Opts) {
+                                        BalanceOptions Opts, TraceImpl Impl) {
+  if (Impl == TraceImpl::Reference)
+    return reference::traceScheduleFunction(M, Profile, Kind, Opts);
   return TraceScheduler(M, Profile, Kind, Opts).run();
 }

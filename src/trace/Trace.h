@@ -38,6 +38,15 @@
 namespace bsched {
 namespace trace {
 
+/// Selects between the optimized trace-scheduling core (the default) and the
+/// original seed implementation preserved in TraceReference.cpp. The two
+/// produce byte-identical output — same traces, same schedules, same
+/// compensation blocks in the same order — asserted by the golden-schedule
+/// tests, trace_equivalence_test, and the fuzz oracle's trace twin check.
+/// The reference exists as a correctness oracle and as the baseline that
+/// bench_compile_throughput measures the trace overhaul against.
+enum class TraceImpl : uint8_t { Fast, Reference };
+
 /// Formed traces (block ids in control-flow order); exposed for tests and
 /// the Figure-2 example.
 using Trace = std::vector<int>;
@@ -48,6 +57,13 @@ struct TraceStats {
   int LongestTrace = 0;       ///< in blocks.
   int CompensationBlocks = 0;
   int CompensationInstrs = 0;
+  /// Phase timers, nanoseconds (fast core only; the reference twin leaves
+  /// them zero): trace formation, trace compaction (DAG build + weights +
+  /// list scheduling + install, including the leftover single blocks), and
+  /// compensation bookkeeping.
+  uint64_t FormNs = 0;
+  uint64_t CompactNs = 0;
+  uint64_t CompensationNs = 0;
   /// The traces actually formed, in scheduling order: the certificate the
   /// static verifier audits compensation code against.
   std::vector<Trace> Formed;
@@ -62,11 +78,26 @@ std::vector<Trace> formTraces(const ir::Function &F,
 /// Trace-schedules every trace of \p M (profile from ir::interpret on the
 /// same module), inserting compensation blocks as needed, then list-schedules
 /// the remaining single blocks. Uses the given scheduler for instruction
-/// weights.
+/// weights; \p Impl selects the seed implementation instead (identical
+/// output, see TraceImpl).
 TraceStats traceScheduleFunction(ir::Module &M,
                                  const ir::InterpResult &Profile,
                                  sched::SchedulerKind Kind,
-                                 sched::BalanceOptions Opts = {});
+                                 sched::BalanceOptions Opts = {},
+                                 TraceImpl Impl = TraceImpl::Fast);
+
+namespace reference {
+
+/// The seed trace-formation and trace-scheduling implementation, preserved
+/// verbatim (TraceReference.cpp) behind TraceImpl::Reference.
+std::vector<Trace> formTraces(const ir::Function &F,
+                              const ir::InterpResult &Profile);
+TraceStats traceScheduleFunction(ir::Module &M,
+                                 const ir::InterpResult &Profile,
+                                 sched::SchedulerKind Kind,
+                                 sched::BalanceOptions Opts);
+
+} // namespace reference
 
 } // namespace trace
 } // namespace bsched

@@ -121,6 +121,16 @@ TEST(GoldenSchedule, FastMatchesReferenceAndGoldens) {
       EXPECT_EQ(Fast, Ref) << W.Name << " [" << Opts.tag()
                            << "]: optimized scheduler diverged from the "
                               "reference implementation";
+      if (Opts.TraceScheduling) {
+        // The trace-core twin must hit the same golden bytes: fast scheduler
+        // core both times, only the trace scheduler differs.
+        CompileOptions TraceRef = Opts;
+        TraceRef.TraceImpl = trace::TraceImpl::Reference;
+        std::string TR = compiledText(P, TraceRef, sched::SchedImpl::Fast);
+        EXPECT_EQ(Fast, TR) << W.Name << " [" << Opts.tag()
+                            << "]: fast trace core diverged from the "
+                               "reference trace twin";
+      }
       uint64_t H = fnv1a(Fast);
       if (Regen) {
         std::printf("    {\"%s\", \"%s\", 0x%016llxull},\n",
