@@ -91,6 +91,11 @@ unsigned countInstrs(const ir::Module &M) {
 /// the trace scheduler end to end with the fast core's formation /
 /// compaction / compensation split.
 struct PhaseTimes {
+  /// Front-end: lang::parseProgram and lang::checkProgram over the raw
+  /// kernel text (ROADMAP item 1: with these, the phase breakdown finally
+  /// sums to wall time). Implementation-independent — measured once per
+  /// workload/config, identical for the reference twin.
+  uint64_t ParseNs = 0, CheckNs = 0;
   uint64_t CleanupNs = 0, ProfileNs = 0;
   uint64_t DagNs = 0, WeightsNs = 0, ListNs = 0;
   uint64_t TraceTotalNs = 0; ///< whole traceScheduleFunction call.
@@ -102,8 +107,30 @@ struct PhaseTimes {
 /// Mirrors the pipeline up to (but excluding) scheduling, then times each
 /// phase with the given implementation (Reference selects the seed cleanup,
 /// interpreter, DAG builder, weights, and list scheduler).
-PhaseTimes timePhases(const lang::Program &Source, int Unroll, bool Traces,
-                      int Reps, sched::SchedImpl Impl) {
+PhaseTimes timePhases(const Workload &W, const lang::Program &Source,
+                      int Unroll, bool Traces, int Reps,
+                      sched::SchedImpl Impl) {
+  PhaseTimes T;
+  // Front end, from the raw text. checkProgram annotates the AST in place,
+  // so each rep checks a fresh parse (the copy cost is the parse itself,
+  // timed separately above it).
+  T.ParseNs = bestOf(Reps, [&] {
+    lang::ParseResult PR = lang::parseProgram(W.Source, W.Name);
+    (void)PR;
+  });
+  lang::ParseResult Parsed = lang::parseProgram(W.Source, W.Name);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "FATAL: parse %s: %s\n", W.Name, Parsed.Error.c_str());
+    std::exit(1);
+  }
+  T.CheckNs = bestOf(Reps, [&] {
+    lang::Program Copy = Parsed.Prog;
+    if (std::string E = lang::checkProgram(Copy); !E.empty()) {
+      std::fprintf(stderr, "FATAL: check %s: %s\n", W.Name, E.c_str());
+      std::exit(1);
+    }
+  });
+
   lang::Program P = Source;
   if (Unroll > 1) {
     xform::unrollLoops(P, Unroll);
@@ -121,7 +148,6 @@ PhaseTimes timePhases(const lang::Program &Source, int Unroll, bool Traces,
   }
   bool Ref = Impl == sched::SchedImpl::Reference;
 
-  PhaseTimes T;
   // Cleanup mutates the module, so each rep works on a fresh copy; the copy
   // cost is common to both implementations.
   T.CleanupNs = bestOf(Reps, [&] {
@@ -338,11 +364,11 @@ int main(int argc, char **argv) {
           CompileResult CR = compileProgram(P, Ref);
           (void)CR;
         });
-        R.RefPhases = timePhases(P, C.Unroll, C.Traces, 1,
+        R.RefPhases = timePhases(W, P, C.Unroll, C.Traces, 1,
                                  sched::SchedImpl::Reference);
       }
       R.FastPhases =
-          timePhases(P, C.Unroll, C.Traces, Reps, sched::SchedImpl::Fast);
+          timePhases(W, P, C.Unroll, C.Traces, Reps, sched::SchedImpl::Fast);
       Row.Rows.push_back(std::move(R));
     }
     std::printf("  %-12s  %8.0f kinstr/s  end-to-end speedup %.2fx\n",
@@ -444,7 +470,9 @@ int main(int argc, char **argv) {
         J << "      {\"name\": \"" << W.Name << "\", \"instrs\": " << W.Instrs
           << ", \"compile_ns\": " << W.FastNs
           << ", \"ref_compile_ns\": " << W.RefNs
-          << ", \"phases\": {\"cleanup_ns\": " << W.FastPhases.CleanupNs
+          << ", \"phases\": {\"parse_ns\": " << W.FastPhases.ParseNs
+          << ", \"check_ns\": " << W.FastPhases.CheckNs
+          << ", \"cleanup_ns\": " << W.FastPhases.CleanupNs
           << ", \"profile_ns\": " << W.FastPhases.ProfileNs
           << ", \"dag_ns\": " << W.FastPhases.DagNs
           << ", \"weights_ns\": " << W.FastPhases.WeightsNs

@@ -7,6 +7,8 @@
 #include "trace/EstimateProfile.h"
 #include "lang/Parser.h"
 
+#include <optional>
+
 using namespace bsched;
 using namespace bsched::driver;
 
@@ -87,6 +89,13 @@ CompileResult driver::compileProgram(const lang::Program &Source,
   // Phase 3: scheduling. Trace scheduling needs the profile the paper also
   // gathers first ("we first profiled the programs to determine basic block
   // execution frequencies").
+  //
+  // Under SchedImpl::Exact, collect the optimality oracle's per-region
+  // outcomes for the whole phase (the fast trace core schedules traces
+  // directly and bypasses the oracle; only block scheduling engages it).
+  std::optional<sched::exact::ExactStatsScope> ExactScope;
+  if (Opts.Balance.Impl == sched::SchedImpl::Exact)
+    ExactScope.emplace();
   ir::Module PreSched;
   if (Opts.VerifyPasses)
     PreSched = R.M;
@@ -114,6 +123,10 @@ CompileResult driver::compileProgram(const lang::Program &Source,
     if (Opts.VerifyPasses &&
         Flag(verify::verifySchedule(PreSched, R.M), "schedule"))
       return R;
+  }
+  if (ExactScope) {
+    R.Exact = ExactScope->stats();
+    ExactScope.reset();
   }
   if (Opts.VerifyPasses && Flag(verify::verifyModule(R.M), "module"))
     return R;

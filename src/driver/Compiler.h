@@ -72,6 +72,10 @@ struct CompileResult {
   locality::LocalityStats Locality;
   trace::TraceStats Trace;
   regalloc::RegAllocStats RegAlloc;
+  /// Optimality-oracle outcomes (populated only when Balance.Impl ==
+  /// sched::SchedImpl::Exact): per-block closure counts and the summed
+  /// fast-vs-optimal cycles over closed blocks.
+  sched::exact::ExactStats Exact;
   /// Diagnostics from the static verifier (empty unless VerifyPasses found a
   /// miscompile; Error is set alongside).
   std::vector<verify::Diagnostic> VerifyDiags;

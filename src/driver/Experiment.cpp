@@ -86,6 +86,8 @@ const RunResult &driver::runCached(const Workload &W,
                     (Opts.VerifyPasses ? "" : "|nv") +
                     (Opts.Balance.Impl == sched::SchedImpl::Reference ? "|ref"
                                                                       : "") +
+                    (Opts.Balance.Impl == sched::SchedImpl::Exact ? "|exact"
+                                                                  : "") +
                     (Opts.TraceImpl == trace::TraceImpl::Reference ? "|trref"
                                                                    : "") +
                     (Machine.Impl == sim::SimImpl::Reference ? "|simref" : "");

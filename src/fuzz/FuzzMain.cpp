@@ -46,6 +46,12 @@ void printUsage(std::ostream &OS) {
         "  --corpus <dir>   write reduced repro files here\n"
         "  --no-reduce      report failures without reducing them\n"
         "  --no-sim         skip the simulator differential sweep\n"
+        "  --gap            also run the optimality-gap oracle leg: the\n"
+        "                   exact branch-and-bound scheduler judges every\n"
+        "                   solver-closed block (legality, solver sanity,\n"
+        "                   fast within --gap-pct of optimal)\n"
+        "  --gap-pct <f>    allowed fast-over-optimal excess in percent\n"
+        "                   (default 100)\n"
         "  --replay <file>  replay one repro file through the oracle and\n"
         "                   report whether it still fails\n"
         "  --quiet          suppress per-round progress lines\n"
@@ -149,6 +155,12 @@ int main(int argc, char **argv) {
       Opts.ReduceFailures = false;
     } else if (A == "--no-sim") {
       Opts.Oracle.RunSim = false;
+    } else if (A == "--gap") {
+      Opts.Oracle.CheckOptimalityGap = true;
+    } else if (A == "--gap-pct") {
+      const char *V = NextArg("--gap-pct");
+      if (!V || !parseF64(V, D) || D < 0) return 2;
+      Opts.Oracle.MaxGapPct = D;
     } else if (A == "--quiet") {
       Opts.Verbose = false;
     } else {

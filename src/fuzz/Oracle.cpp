@@ -23,6 +23,7 @@ const char *fuzz::failureKindName(FailureKind K) {
   case FailureKind::SimError: return "sim-error";
   case FailureKind::SimTwinDivergence: return "sim-twin-divergence";
   case FailureKind::SimDivergence: return "sim-divergence";
+  case FailureKind::OptimalityGap: return "optimality-gap";
   }
   return "?";
 }
@@ -97,11 +98,96 @@ Failure fail(FailureKind K, std::string ConfigTag, int ConfigIndex,
   return F;
 }
 
+/// Optimality-gap leg for one configuration: recompile stopping before
+/// register allocation (the scheduler's own output, before spills reshape
+/// it), then on every block within the solver's node budget ask the
+/// branch-and-bound oracle (sched/Exact.h) for the proven optimum. On
+/// closed blocks three things must hold: the solver's order is a legal
+/// topological order, the solver never lost to its own warm start
+/// (fast-beats-exact == solver bug), and the fast schedule is within
+/// MaxGapPct of optimal (exact-beats-fast beyond that == finding).
+Failure gapOracle(const lang::Program &P, const driver::CompileOptions &Config,
+                  const std::string &Tag, int Index,
+                  const OracleOptions &Opts) {
+  namespace exact = sched::exact;
+  driver::CompileOptions GapCfg = Config;
+  GapCfg.StopBeforeRegAlloc = true;
+  GapCfg.Balance.Impl = sched::SchedImpl::Fast;
+  // Trace compaction schedules whole traces — downward motion and
+  // compensation deliberately leave individual blocks locally suboptimal —
+  // so single-block optimality is the list scheduler's contract, not the
+  // trace scheduler's. Judge the same config with traces off.
+  GapCfg.TraceScheduling = false;
+  driver::CompileResult C = driver::compileProgram(P, GapCfg);
+  if (!C.ok())
+    return fail(FailureKind::CompileError, Tag, Index, "",
+                "gap-leg compile: " + C.Error);
+  for (const ir::BasicBlock &B : C.M.Fn.Blocks) {
+    if (B.Instrs.size() <= 2 || B.Instrs.size() > Opts.Exact.MaxNodes)
+      continue;
+    std::vector<const ir::Instr *> Ptrs;
+    Ptrs.reserve(B.Instrs.size());
+    for (const ir::Instr &I : B.Instrs)
+      Ptrs.push_back(&I);
+    sched::DepDAG G = sched::buildDepDAG(Ptrs);
+    sched::addBlockControlEdges(G, Ptrs);
+    // The block is already in its scheduled order, so the identity order IS
+    // the fast schedule (and, the DAG being built from that order, a legal
+    // topological order by construction).
+    std::vector<unsigned> Fast(Ptrs.size());
+    for (unsigned K = 0; K != Ptrs.size(); ++K)
+      Fast[K] = K;
+    unsigned FastCycles = exact::evaluateOrder(G, Ptrs, Fast, Opts.Exact);
+    exact::ExactResult R = exact::scheduleExact(G, Ptrs, Opts.Exact, &Fast);
+    if (!R.closed())
+      continue;
+    auto Where = [&](const std::string &What) {
+      return "block b" + std::to_string(B.Id) + " (" +
+             std::to_string(Ptrs.size()) + " instrs): " + What +
+             " fast=" + std::to_string(FastCycles) +
+             " exact=" + std::to_string(R.Cycles);
+    };
+    // Solver self-checks first: a broken solver must never masquerade as a
+    // scheduler finding.
+    std::vector<bool> Seen(Ptrs.size(), false);
+    std::vector<unsigned> Pos(Ptrs.size(), 0);
+    bool Legal = R.Order.size() == Ptrs.size();
+    for (unsigned K = 0; Legal && K != R.Order.size(); ++K) {
+      if (R.Order[K] >= Ptrs.size() || Seen[R.Order[K]])
+        Legal = false;
+      else {
+        Seen[R.Order[K]] = true;
+        Pos[R.Order[K]] = K;
+      }
+    }
+    for (unsigned I = 0; Legal && I != G.size(); ++I)
+      for (unsigned S : G.succs(I))
+        if (Pos[I] >= Pos[S])
+          Legal = false;
+    if (!Legal)
+      return fail(FailureKind::OptimalityGap, Tag, Index, "",
+                  Where("solver bug: exact order is not a legal "
+                        "topological order"));
+    if (R.Cycles > FastCycles ||
+        exact::evaluateOrder(G, Ptrs, R.Order, Opts.Exact) != R.Cycles)
+      return fail(FailureKind::OptimalityGap, Tag, Index, "",
+                  Where("solver bug: exact schedule worse than its warm "
+                        "start or inconsistent with its claimed cycles"));
+    // The scheduler finding: fast exceeds the allowed gap over the optimum.
+    if (static_cast<double>(FastCycles) * 100.0 >
+        static_cast<double>(R.Cycles) * (100.0 + Opts.MaxGapPct))
+      return fail(FailureKind::OptimalityGap, Tag, Index, "",
+                  Where("fast schedule exceeds the " +
+                        std::to_string(static_cast<int>(Opts.MaxGapPct)) +
+                        "% optimality-gap bound"));
+  }
+  return {};
+}
+
 /// Compile-side differential for one configuration; fills \p Cov when given.
 Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
                       const driver::CompileOptions &Config, int Index,
-                      bool CheckSchedTwin, bool CheckTraceTwin,
-                      CoverageMap *Cov) {
+                      const OracleOptions &Opts, CoverageMap *Cov) {
   const std::string Tag = Config.tag();
   driver::CompileResult C = driver::compileProgram(P, Config);
   if (Cov)
@@ -124,7 +210,7 @@ Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
                 "checksum interp=" + std::to_string(I.Checksum) +
                     " eval=" + std::to_string(RefChecksum));
 
-  if (CheckSchedTwin) {
+  if (Opts.CheckSchedTwin) {
     driver::CompileOptions RefOpts = Config;
     RefOpts.Balance.Impl = sched::SchedImpl::Reference;
     driver::CompileResult RC = driver::compileProgram(P, RefOpts);
@@ -139,7 +225,7 @@ Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
   // Trace twin: only the trace-scheduling core differs (the fast scheduler
   // core runs in both pipelines), isolating any divergence to trace
   // formation, compaction, or compensation bookkeeping.
-  if (CheckTraceTwin && Config.TraceScheduling) {
+  if (Opts.CheckTraceTwin && Config.TraceScheduling) {
     driver::CompileOptions RefOpts = Config;
     RefOpts.TraceImpl = trace::TraceImpl::Reference;
     driver::CompileResult RC = driver::compileProgram(P, RefOpts);
@@ -150,6 +236,9 @@ Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
       return fail(FailureKind::TraceTwinDivergence, Tag, Index, "",
                   "fast and reference trace-scheduled code differ");
   }
+
+  if (Opts.CheckOptimalityGap)
+    return gapOracle(P, Config, Tag, Index, Opts);
   return {};
 }
 
@@ -204,8 +293,7 @@ OracleRun fuzz::runOracle(const lang::Program &Input,
 
   for (size_t I = 0; I != Configs.size(); ++I) {
     Failure F = compileOracle(P, Ref.Checksum, Configs[I],
-                              static_cast<int>(I), Opts.CheckSchedTwin,
-                              Opts.CheckTraceTwin, &Run.Cov);
+                              static_cast<int>(I), Opts, &Run.Cov);
     if (F.Kind != FailureKind::None) {
       Run.Failures.push_back(std::move(F));
       if (Opts.StopOnFirstFailure)
@@ -246,8 +334,7 @@ Failure fuzz::runCompileOracle(const lang::Program &Input,
   lang::EvalResult Ref = lang::evalProgram(P, Opts.EvalBudget);
   if (!Ref.ok())
     return fail(FailureKind::EvalError, "", -1, "", Ref.Error);
-  return compileOracle(P, Ref.Checksum, Config, -1, Opts.CheckSchedTwin,
-                       Opts.CheckTraceTwin, nullptr);
+  return compileOracle(P, Ref.Checksum, Config, -1, Opts, nullptr);
 }
 
 Failure fuzz::runSimOracle(const lang::Program &Input,
@@ -283,5 +370,12 @@ Failure fuzz::replayRepro(const Repro &R, std::string &Err,
   if (!R.MachineTag.empty())
     return runSimOracle(P.Prog, machineByTag(R.MachineTag), R.MachineTag,
                         Opts);
+  // A gap repro re-arms the leg that found it; the caller's other settings
+  // (budgets, MaxGapPct) still apply.
+  if (R.Kind == failureKindName(FailureKind::OptimalityGap)) {
+    OracleOptions GapOpts = Opts;
+    GapOpts.CheckOptimalityGap = true;
+    return runCompileOracle(P.Prog, R.Options, GapOpts);
+  }
   return runCompileOracle(P.Prog, R.Options, Opts);
 }

@@ -28,6 +28,7 @@
 #include "fuzz/Coverage.h"
 #include "fuzz/Repro.h"
 #include "lang/AST.h"
+#include "sched/Exact.h"
 
 #include <cstdint>
 #include <string>
@@ -47,6 +48,9 @@ enum class FailureKind : uint8_t {
   SimError,           ///< a simulator run errored out.
   SimTwinDivergence,  ///< fast vs reference SimResult field mismatch.
   SimDivergence,      ///< finished sim checksum != AST eval checksum.
+  OptimalityGap,      ///< fast schedule illegal, beaten beyond MaxGapPct by
+                      ///< the exact solver on a closed block, or (solver
+                      ///< bug) worse-than-warm-start exact output.
 };
 
 const char *failureKindName(FailureKind K);
@@ -76,6 +80,22 @@ struct OracleOptions {
   bool CheckTraceTwin = true;
   /// Run the simulator differential sweep.
   bool RunSim = true;
+  /// Run the optimality-gap leg: recompile each config stopping before
+  /// register allocation, then on every block the branch-and-bound solver
+  /// closes (sched/Exact.h) require the fast schedule to be a legal
+  /// topological order no worse than (100 + MaxGapPct)% of the proven
+  /// optimum — and the solver's own order to be legal and no worse than its
+  /// warm start (fast-beats-exact is a solver bug, not a scheduler finding).
+  /// Off by default: it is a quality oracle, not a correctness oracle.
+  bool CheckOptimalityGap = false;
+  /// Allowed fast-over-optimal excess (percent) on solver-closed blocks.
+  /// The default leaves room for balanced scheduling's deliberate
+  /// hit-model pessimism (load weights up to 50 under a 2-cycle hit model).
+  double MaxGapPct = 100.0;
+  /// Solver budgets for the gap leg; modest, since fuzzing sweeps many
+  /// candidates times many configs.
+  sched::exact::ExactOptions Exact{/*MaxNodes=*/32,
+                                   /*MaxExpansions=*/50000};
   /// Cycle cap per simulator run; the twins must agree at the cut as well.
   uint64_t SimMaxCycles = 400000;
   /// AST-eval statement budget.

@@ -78,6 +78,11 @@ std::string fuzz::writeRepro(const Repro &R) {
   OptInt("hybridcost", O.Balance.HybridLoadCost, D.Balance.HybridLoadCost);
   if (O.Balance.WeightCap != D.Balance.WeightCap)
     S << "option weightcap " << O.Balance.WeightCap << "\n";
+  if (O.Balance.Impl != D.Balance.Impl)
+    S << "option impl "
+      << (O.Balance.Impl == sched::SchedImpl::Reference ? "reference"
+                                                        : "exact")
+      << "\n";
   S << "---\n";
   S << R.Source;
   if (!R.Source.empty() && R.Source.back() != '\n')
@@ -132,6 +137,20 @@ bool fuzz::parseRepro(const std::string &Text, Repro &Out, std::string &Err) {
       }
       if (Key == "weightcap") {
         O.Balance.WeightCap = std::strtod(Value.c_str(), nullptr);
+        continue;
+      }
+      if (Key == "impl") {
+        if (Value == "fast")
+          O.Balance.Impl = sched::SchedImpl::Fast;
+        else if (Value == "reference")
+          O.Balance.Impl = sched::SchedImpl::Reference;
+        else if (Value == "exact")
+          O.Balance.Impl = sched::SchedImpl::Exact;
+        else {
+          Err = "line " + std::to_string(LineNo) + ": unknown impl '" +
+                Value + "'";
+          return false;
+        }
         continue;
       }
       long long V = std::strtoll(Value.c_str(), nullptr, 10);

@@ -20,12 +20,16 @@
 namespace bsched {
 namespace sched {
 
-/// Selects between the optimized scheduler core (the default) and the
-/// original seed algorithms preserved in Reference.cpp. The two produce
+/// Selects between the optimized scheduler core (the default), the
+/// original seed algorithms preserved in Reference.cpp, and the exact
+/// branch-and-bound backend in Exact.cpp. Fast and Reference produce
 /// byte-identical schedules (asserted by the golden-schedule tests); the
 /// reference exists as a correctness oracle and as the baseline that
-/// bench_compile_throughput measures speedups against.
-enum class SchedImpl : uint8_t { Fast, Reference };
+/// bench_compile_throughput measures speedups against. Exact runs the fast
+/// pipeline, then replaces each region's schedule with a provably
+/// cycle-optimal one whenever the branch-and-bound solver closes the region
+/// within budget (sched/Exact.h) — the optimality oracle of ROADMAP item 4.
+enum class SchedImpl : uint8_t { Fast, Reference, Exact };
 
 class DepDAG {
 public:

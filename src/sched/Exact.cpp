@@ -1,0 +1,419 @@
+//===- sched/Exact.cpp - Optimal-scheduler oracle (branch & bound) ----------===//
+
+#include "sched/Exact.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::sched;
+using namespace bsched::sched::exact;
+
+const char *exact::statusName(ExactStatus S) {
+  switch (S) {
+  case ExactStatus::Closed: return "closed";
+  case ExactStatus::TimedOut: return "timed-out";
+  case ExactStatus::TooLarge: return "too-large";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Modelled issue-to-result latency of one instruction.
+int modelLatency(const Instr *I, const ExactOptions &Opts) {
+  return I->isLoad() ? Opts.LoadLatency : opInfo(I->Op).Latency;
+}
+
+/// The model's per-edge issue separation: result latency on true register
+/// dependences, one issue slot on everything else (anti, output, memory,
+/// locality, control). Reads-a's-def is decided from the instructions, not
+/// the (untyped) DAG edge, so merged edges get the strongest delay they
+/// carry.
+int edgeDelay(const Instr *From, const Instr *To, const ExactOptions &Opts) {
+  Reg D = From->def();
+  if (D.isValid()) {
+    // appendUses covers srcA/srcB/srcC, the conditional-move old
+    // destination, and the address base register.
+    static thread_local std::vector<Reg> Uses;
+    Uses.clear();
+    To->appendUses(Uses);
+    for (Reg R : Uses)
+      if (R == D)
+        return modelLatency(From, Opts);
+  }
+  return 1;
+}
+
+/// Precomputed per-region model: dense successor/predecessor edge lists with
+/// delays, and the critical-path tail of every node.
+struct RegionModel {
+  struct Edge {
+    unsigned Node;
+    int Delay;
+  };
+  unsigned N = 0;
+  std::vector<std::vector<Edge>> Succs, Preds;
+  /// tail[n] = longest delay path from issuing n to the end of the block,
+  /// counting n's own issue slot: max(1, max over succ edges of
+  /// delay + tail(succ)). The critical-path relaxation.
+  std::vector<unsigned> Tail;
+  /// Equivalence-class representative for interchangeable-instruction
+  /// pruning: EquivRep[n] == smallest m with identical latency and
+  /// identical pred/succ edge+delay sets. Only the smallest unissued member
+  /// of a class may issue first among its class.
+  std::vector<unsigned> EquivRep;
+
+  RegionModel(const DepDAG &G, const std::vector<const Instr *> &Instrs,
+              const ExactOptions &Opts)
+      : N(G.size()), Succs(N), Preds(N), Tail(N, 1), EquivRep(N) {
+    for (unsigned I = 0; I != N; ++I)
+      for (unsigned S : G.succs(I)) {
+        int D = edgeDelay(Instrs[I], Instrs[S], Opts);
+        Succs[I].push_back({S, D});
+        Preds[S].push_back({I, D});
+      }
+    // Node ids are topologically ordered, so a reverse sweep sees
+    // successors first.
+    for (unsigned I = N; I-- != 0;)
+      for (const Edge &E : Succs[I])
+        Tail[I] = std::max(Tail[I],
+                           static_cast<unsigned>(E.Delay) + Tail[E.Node]);
+    computeEquiv(Instrs, Opts);
+  }
+
+  void computeEquiv(const std::vector<const Instr *> &Instrs,
+                    const ExactOptions &Opts) {
+    // Quadratic over the region, but regions here are <= MaxNodes (<= 64)
+    // and the edge lists are tiny; sorting copies keeps the comparison
+    // order-insensitive.
+    auto SortedEdges = [](std::vector<Edge> Es) {
+      std::sort(Es.begin(), Es.end(), [](const Edge &A, const Edge &B) {
+        return A.Node != B.Node ? A.Node < B.Node : A.Delay < B.Delay;
+      });
+      return Es;
+    };
+    auto SameEdges = [](const std::vector<Edge> &A,
+                        const std::vector<Edge> &B) {
+      if (A.size() != B.size())
+        return false;
+      for (size_t K = 0; K != A.size(); ++K)
+        if (A[K].Node != B[K].Node || A[K].Delay != B[K].Delay)
+          return false;
+      return true;
+    };
+    std::vector<std::vector<Edge>> SP(N), SS(N);
+    for (unsigned I = 0; I != N; ++I) {
+      SP[I] = SortedEdges(Preds[I]);
+      SS[I] = SortedEdges(Succs[I]);
+      EquivRep[I] = I;
+    }
+    for (unsigned I = 0; I != N; ++I) {
+      if (EquivRep[I] != I)
+        continue;
+      for (unsigned J = I + 1; J != N; ++J) {
+        if (EquivRep[J] != J)
+          continue;
+        if (modelLatency(Instrs[I], Opts) != modelLatency(Instrs[J], Opts))
+          continue;
+        if (SameEdges(SP[I], SP[J]) && SameEdges(SS[I], SS[J]))
+          EquivRep[J] = I;
+      }
+    }
+  }
+};
+
+/// One remembered state for dominance pruning, keyed externally by the
+/// issued-set mask: the cycle after the last issue, and the release time of
+/// every node (meaningful only for unissued ones). A remembered state
+/// dominates a new one over the same mask when it finished no later and
+/// releases everything no later — any completion of the new state is then
+/// feasible, no later, from the remembered one.
+struct SeenState {
+  uint32_t NextFree;
+  std::vector<uint16_t> Release;
+};
+
+struct Search {
+  const RegionModel &M;
+  const ExactOptions &Opts;
+  unsigned N;
+  uint64_t Full;
+
+  // Incumbent.
+  unsigned Best;
+  std::vector<unsigned> BestOrder;
+  bool Improved = false;
+
+  // Current path.
+  std::vector<unsigned> Path;
+  std::vector<uint32_t> Release;     ///< earliest issue per node.
+  std::vector<unsigned> PredsLeft;   ///< unissued predecessor count.
+  std::vector<unsigned> ClassAhead;  ///< unissued smaller-id class members.
+
+  uint64_t Expanded = 0;
+  bool Budget = true; ///< false once MaxExpansions is exhausted.
+
+  // Dominance memo. Capped per mask so memory stays bounded; a full slot
+  // only costs pruning power, never soundness.
+  static constexpr size_t MaxSeenPerMask = 6;
+  std::unordered_map<uint64_t, std::vector<SeenState>> Seen;
+
+  Search(const RegionModel &M, const ExactOptions &Opts, unsigned Warm,
+         std::vector<unsigned> WarmOrder)
+      : M(M), Opts(Opts), N(M.N),
+        Full(N == 64 ? ~0ull : ((1ull << N) - 1)), Best(Warm),
+        BestOrder(std::move(WarmOrder)), Release(N, 0), PredsLeft(N, 0),
+        ClassAhead(N, 0) {
+    Path.reserve(N);
+    for (unsigned I = 0; I != N; ++I) {
+      PredsLeft[I] = static_cast<unsigned>(M.Preds[I].size());
+      for (unsigned J = 0; J != I; ++J)
+        if (M.EquivRep[J] == M.EquivRep[I])
+          ++ClassAhead[I];
+    }
+  }
+
+  /// Lower bound on the final makespan from a state where the machine is
+  /// next free at \p NextFree with \p Remaining instructions unissued:
+  /// critical-path relaxation over every unissued node's known release
+  /// (issued predecessors only — unissued ones can only push it later) and
+  /// the single-issue slot relaxation.
+  unsigned lowerBound(uint64_t Mask, uint32_t NextFree,
+                      unsigned Remaining) const {
+    unsigned LB = NextFree + Remaining; // one issue slot each, then +1.
+    for (unsigned I = 0; I != N; ++I) {
+      if (Mask & (1ull << I))
+        continue;
+      uint32_t At = std::max(Release[I], NextFree);
+      LB = std::max(LB, At + M.Tail[I]);
+    }
+    return LB;
+  }
+
+  /// Dominance check + memoization for the state (Mask, NextFree, Release).
+  /// Returns true when a remembered state dominates it (prune).
+  bool seenDominates(uint64_t Mask, uint32_t NextFree) {
+    std::vector<SeenState> &Slot = Seen[Mask];
+    for (const SeenState &S : Slot) {
+      if (S.NextFree > NextFree)
+        continue;
+      bool Dom = true;
+      for (unsigned I = 0; I != N && Dom; ++I)
+        if (!(Mask & (1ull << I)) && S.Release[I] > Release[I])
+          Dom = false;
+      if (Dom)
+        return true;
+    }
+    if (Slot.size() < MaxSeenPerMask) {
+      SeenState S;
+      S.NextFree = NextFree;
+      S.Release.resize(N);
+      for (unsigned I = 0; I != N; ++I)
+        S.Release[I] = static_cast<uint16_t>(
+            std::min<uint32_t>(Release[I], 0xffffu));
+      Slot.push_back(std::move(S));
+    }
+    return false;
+  }
+
+  /// Depth-first branch and bound. \p Mask = issued set, \p NextFree = first
+  /// cycle the issue slot is free (== issue time of the previous node + 1).
+  void dfs(uint64_t Mask, uint32_t NextFree) {
+    if (!Budget)
+      return;
+    if (Mask == Full) {
+      // NextFree is issue(last) + 1 — exactly the model's block cost.
+      if (NextFree < Best) {
+        Best = NextFree;
+        BestOrder = Path;
+        Improved = true;
+      }
+      return;
+    }
+    if (++Expanded > Opts.MaxExpansions) {
+      Budget = false;
+      return;
+    }
+
+    unsigned Remaining = N - static_cast<unsigned>(Path.size());
+    if (lowerBound(Mask, NextFree, Remaining) >= Best)
+      return;
+    if (seenDominates(Mask, NextFree))
+      return;
+
+    // Active schedules only: issue at the earliest cycle any ready node can
+    // go, and branch over exactly the ready nodes issuable then. (Exchange
+    // argument: idling while a node is ready never helps, and a candidate
+    // not ready at that cycle can always be swapped behind one that is.)
+    uint32_t T = ~0u;
+    for (unsigned I = 0; I != N; ++I) {
+      if ((Mask & (1ull << I)) || PredsLeft[I] != 0)
+        continue;
+      T = std::min(T, std::max(Release[I], NextFree));
+    }
+    assert(T != ~0u && "no ready node in an acyclic DAG");
+
+    for (unsigned I = 0; I != N && Budget; ++I) {
+      if ((Mask & (1ull << I)) || PredsLeft[I] != 0)
+        continue;
+      if (std::max(Release[I], NextFree) != T)
+        continue;
+      if (ClassAhead[I] != 0)
+        continue; // an interchangeable twin with a smaller id is unissued.
+
+      // Issue I at cycle T.
+      Path.push_back(I);
+      std::vector<std::pair<unsigned, uint32_t>> Undo;
+      for (const RegionModel::Edge &E : M.Succs[I]) {
+        --PredsLeft[E.Node];
+        uint32_t NewRel = T + static_cast<uint32_t>(E.Delay);
+        if (NewRel > Release[E.Node]) {
+          Undo.emplace_back(E.Node, Release[E.Node]);
+          Release[E.Node] = NewRel;
+        }
+      }
+      for (unsigned J = I + 1; J != N; ++J)
+        if (M.EquivRep[J] == M.EquivRep[I])
+          --ClassAhead[J];
+
+      dfs(Mask | (1ull << I), T + 1);
+
+      for (unsigned J = I + 1; J != N; ++J)
+        if (M.EquivRep[J] == M.EquivRep[I])
+          ++ClassAhead[J];
+      for (const RegionModel::Edge &E : M.Succs[I])
+        ++PredsLeft[E.Node];
+      for (auto It = Undo.rbegin(); It != Undo.rend(); ++It)
+        Release[It->first] = It->second;
+      Path.pop_back();
+    }
+  }
+};
+
+/// Critical-path greedy order for the self-seeded warm start (callers
+/// normally pass the list scheduler's order instead).
+std::vector<unsigned> greedyOrder(const RegionModel &M) {
+  unsigned N = M.N;
+  std::vector<unsigned> PredsLeft(N), Order;
+  Order.reserve(N);
+  std::vector<bool> Done(N, false);
+  for (unsigned I = 0; I != N; ++I)
+    PredsLeft[I] = static_cast<unsigned>(M.Preds[I].size());
+  for (unsigned K = 0; K != N; ++K) {
+    unsigned Pick = N;
+    for (unsigned I = 0; I != N; ++I) {
+      if (Done[I] || PredsLeft[I] != 0)
+        continue;
+      if (Pick == N || M.Tail[I] > M.Tail[Pick])
+        Pick = I;
+    }
+    assert(Pick != N && "cyclic DAG");
+    Done[Pick] = true;
+    Order.push_back(Pick);
+    for (const RegionModel::Edge &E : M.Succs[Pick])
+      --PredsLeft[E.Node];
+  }
+  return Order;
+}
+
+unsigned evaluate(const RegionModel &M, const std::vector<unsigned> &Order) {
+  uint32_t NextFree = 0;
+  std::vector<uint32_t> Release(M.N, 0);
+  for (unsigned I : Order) {
+    uint32_t T = std::max(Release[I], NextFree);
+    for (const RegionModel::Edge &E : M.Succs[I])
+      Release[E.Node] =
+          std::max(Release[E.Node], T + static_cast<uint32_t>(E.Delay));
+    NextFree = T + 1;
+  }
+  return NextFree;
+}
+
+} // namespace
+
+unsigned exact::evaluateOrder(const DepDAG &G,
+                              const std::vector<const Instr *> &Instrs,
+                              const std::vector<unsigned> &Order,
+                              const ExactOptions &Opts) {
+  assert(Order.size() == G.size() && "order/DAG size mismatch");
+  RegionModel M(G, Instrs, Opts);
+  return evaluate(M, Order);
+}
+
+ExactResult exact::scheduleExact(const DepDAG &G,
+                                 const std::vector<const Instr *> &Instrs,
+                                 const ExactOptions &Opts,
+                                 const std::vector<unsigned> *WarmStart) {
+  ExactResult R;
+  unsigned N = G.size();
+  if (N > std::min(Opts.MaxNodes, 64u)) {
+    R.Status = ExactStatus::TooLarge;
+    return R;
+  }
+  RegionModel M(G, Instrs, Opts);
+  std::vector<unsigned> Warm = WarmStart ? *WarmStart : greedyOrder(M);
+  unsigned WarmCycles = evaluate(M, Warm);
+
+  Search S(M, Opts, WarmCycles, std::move(Warm));
+  R.LowerBound = S.lowerBound(0, 0, N);
+  if (R.LowerBound >= WarmCycles || N == 0) {
+    // The warm start already meets the root relaxation: optimal, no search.
+    R.Status = ExactStatus::Closed;
+    R.Cycles = WarmCycles;
+    R.LowerBound = R.Cycles;
+    R.Order = std::move(S.BestOrder);
+    return R;
+  }
+  S.dfs(0, 0);
+  R.Cycles = S.Best;
+  R.Order = std::move(S.BestOrder);
+  R.Expanded = S.Expanded;
+  if (S.Budget) {
+    R.Status = ExactStatus::Closed;
+    R.LowerBound = R.Cycles; // exhaustion is the proof.
+  } else {
+    R.Status = ExactStatus::TimedOut;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline statistics
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local ExactStatsScope *CurrentScope = nullptr;
+} // namespace
+
+ExactStatsScope::ExactStatsScope() : Prev(CurrentScope) {
+  CurrentScope = this;
+}
+
+ExactStatsScope::~ExactStatsScope() { CurrentScope = Prev; }
+
+void exact::recordRegion(const ExactResult &R, unsigned FastCycles) {
+  if (!CurrentScope)
+    return;
+  ExactStats &S = CurrentScope->S;
+  switch (R.Status) {
+  case ExactStatus::TooLarge:
+    ++S.BlocksTooLarge;
+    return;
+  case ExactStatus::TimedOut:
+    ++S.BlocksAttempted;
+    ++S.BlocksTimedOut;
+    break;
+  case ExactStatus::Closed:
+    ++S.BlocksAttempted;
+    ++S.BlocksClosed;
+    S.FastCycles += FastCycles;
+    S.ExactCycles += R.Cycles;
+    break;
+  }
+  if (R.Cycles < FastCycles)
+    ++S.BlocksImproved;
+  S.Expanded += R.Expanded;
+}

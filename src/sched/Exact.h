@@ -1,0 +1,189 @@
+//===- sched/Exact.h - Optimal-scheduler oracle (branch & bound) -*- C++ -*-===//
+///
+/// \file
+/// An exact combinatorial scheduling backend: for small-to-medium dependence
+/// DAGs it computes a provably cycle-optimal issue order under a
+/// deterministic single-issue in-order machine model, by depth-first branch
+/// and bound over time-indexed issue decisions. It exists to answer the
+/// question the paper leaves open (and ROADMAP item 4 asks): how far from
+/// optimal are balanced and traditional list scheduling, per workload and
+/// per machine model?
+///
+/// The machine model (shared by evaluateOrder and the solver):
+///
+///   - one instruction issues per cycle, in schedule order (in-order,
+///     single-issue);
+///   - a true register dependence a -> b stalls b until a's result is ready:
+///     issue(b) >= issue(a) + latency(a), where loads cost
+///     ExactOptions::LoadLatency (the machine-model axis: 2 models every
+///     load an L1 hit, larger values model miss-dominated blocks) and other
+///     opcodes their fixed Table-3 latency;
+///   - every other dependence (anti, output, memory, locality, control) is
+///     ordering-only: issue(b) >= issue(a) + 1;
+///   - the block's cost is issue(last) + 1, the cycle after the final issue
+///     (with the terminator ordered after everything, this is the cycle the
+///     block's branch leaves the pipe).
+///
+/// This is exactly the interlock structure the 21164 simulator charges
+/// (stall-on-use, not stall-on-issue); it abstracts away fetch, cache and
+/// TLB behaviour, which is what makes the optimum computable.
+///
+/// Solver structure (the MRIS-ILP / beilpsched lineage, done as search):
+///
+///   - restriction to *active* schedules: an exchange argument shows some
+///     optimal schedule never idles while an instruction is ready, so each
+///     decision point branches only over the ready instructions issuable at
+///     the earliest next cycle;
+///   - ILP-style lower bounds at every node: the critical-path relaxation
+///     (longest remaining delay path, with all resource constraints
+///     dropped) and the issue-slot resource relaxation (remaining
+///     instruction count, with all dependences dropped). The register file
+///     is relaxed away entirely — the fast scheduler's pressure ceiling can
+///     only lengthen schedules, so the relaxed optimum remains a valid
+///     lower bound for it;
+///   - dominance pruning with memoized state hashing: states are keyed by
+///     the set of issued instructions; a state is pruned when a remembered
+///     state over the same set finished no later and releases every pending
+///     instruction no later;
+///   - interchangeable-instruction pruning: among ready instructions that
+///     are mutually substitutable (same latency, same predecessor and
+///     successor edge sets with the same delays), only the lowest-numbered
+///     one may issue first;
+///   - a warm start: the caller seeds the incumbent with the list
+///     scheduler's order, so the solver's result can never be worse than
+///     the schedule it is judging (the fuzz oracle's solver-bug invariant).
+///
+/// Budgets make it degrade gracefully: blocks beyond MaxNodes are refused
+/// (Status == TooLarge), and a search that exhausts MaxExpansions returns
+/// the incumbent with Status == TimedOut plus the root lower bound. Only
+/// Status == Closed certifies optimality. The search is deterministic — a
+/// pure function of (DAG, instructions, options) — so results are identical
+/// across thread counts and runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_SCHED_EXACT_H
+#define BALSCHED_SCHED_EXACT_H
+
+#include "ir/IR.h"
+#include "sched/DepDAG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bsched {
+namespace sched {
+namespace exact {
+
+struct ExactOptions {
+  /// Per-block node-count budget. Blocks with more instructions are not
+  /// attempted (TooLarge). Hard ceiling 64: the solver keys states on a
+  /// one-word issued-set mask.
+  unsigned MaxNodes = 40;
+  /// Search budget in branch-and-bound expansions; 0 means "evaluate the
+  /// warm start and the root bound only". Exhausting it yields TimedOut.
+  uint64_t MaxExpansions = 200000;
+  /// Modelled load-to-use latency. LoadHitLatency (2) is the optimistic
+  /// machine model; larger values (8 = L2, 50 = memory) model blocks whose
+  /// loads miss, the regime balanced scheduling targets.
+  int LoadLatency = ir::LoadHitLatency;
+};
+
+enum class ExactStatus : uint8_t {
+  Closed,   ///< search exhausted: Cycles is provably optimal.
+  TimedOut, ///< expansion budget hit: Cycles is the incumbent, a valid
+            ///< upper bound; LowerBound still holds.
+  TooLarge, ///< block exceeds MaxNodes; nothing was attempted.
+};
+
+const char *statusName(ExactStatus S);
+
+struct ExactResult {
+  ExactStatus Status = ExactStatus::TooLarge;
+  /// Makespan of Order under the model. Provably optimal iff Closed.
+  unsigned Cycles = 0;
+  /// Provable lower bound on any legal schedule (root relaxations; equals
+  /// Cycles when Closed). 0 when TooLarge.
+  unsigned LowerBound = 0;
+  /// The best issue order found (a valid topological order of the DAG).
+  /// Empty when TooLarge.
+  std::vector<unsigned> Order;
+  uint64_t Expanded = 0; ///< branch-and-bound nodes expanded.
+
+  bool closed() const { return Status == ExactStatus::Closed; }
+};
+
+/// Makespan of \p Order (a topological order of \p G) under the model above.
+unsigned evaluateOrder(const DepDAG &G,
+                       const std::vector<const ir::Instr *> &Instrs,
+                       const std::vector<unsigned> &Order,
+                       const ExactOptions &Opts = {});
+
+/// Runs the branch-and-bound solver on one region. \p WarmStart, when
+/// non-null, must be a valid topological order; it seeds the incumbent (the
+/// usual caller passes the list scheduler's output, making
+/// "exact never worse than fast" structural). Without a warm start the
+/// solver seeds itself with a critical-path greedy order.
+ExactResult scheduleExact(const DepDAG &G,
+                          const std::vector<const ir::Instr *> &Instrs,
+                          const ExactOptions &Opts = {},
+                          const std::vector<unsigned> *WarmStart = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Pipeline statistics
+//===----------------------------------------------------------------------===//
+
+/// Aggregate solver statistics for one compile under SchedImpl::Exact,
+/// collected across every region scheduleRegion attempted.
+struct ExactStats {
+  unsigned BlocksAttempted = 0; ///< regions within the node budget.
+  unsigned BlocksClosed = 0;    ///< proved optimal.
+  unsigned BlocksTimedOut = 0;  ///< budget hit; incumbent kept.
+  unsigned BlocksTooLarge = 0;  ///< refused (over MaxNodes).
+  unsigned BlocksImproved = 0;  ///< exact beat the list schedule.
+  /// Summed makespans over *closed* blocks only, so Fast/Exact compare a
+  /// like-for-like population.
+  uint64_t FastCycles = 0, ExactCycles = 0;
+  uint64_t Expanded = 0; ///< total branch-and-bound expansions.
+
+  void add(const ExactStats &O) {
+    BlocksAttempted += O.BlocksAttempted;
+    BlocksClosed += O.BlocksClosed;
+    BlocksTimedOut += O.BlocksTimedOut;
+    BlocksTooLarge += O.BlocksTooLarge;
+    BlocksImproved += O.BlocksImproved;
+    FastCycles += O.FastCycles;
+    ExactCycles += O.ExactCycles;
+    Expanded += O.Expanded;
+  }
+};
+
+/// RAII collector wiring scheduleRegion's per-region solver outcomes to the
+/// driver: while one is alive on this thread, every SchedImpl::Exact region
+/// scheduled on the thread accumulates into it (scopes nest; the innermost
+/// wins). The driver opens one around the scheduling phase and copies the
+/// result into CompileResult::Exact.
+class ExactStatsScope {
+public:
+  ExactStatsScope();
+  ~ExactStatsScope();
+  ExactStatsScope(const ExactStatsScope &) = delete;
+  ExactStatsScope &operator=(const ExactStatsScope &) = delete;
+
+  const ExactStats &stats() const { return S; }
+
+private:
+  ExactStats S;
+  ExactStatsScope *Prev;
+  friend void recordRegion(const ExactResult &R, unsigned FastCycles);
+};
+
+/// Adds one region outcome to the innermost live scope on this thread (no-op
+/// without one). scheduleRegion calls this for SchedImpl::Exact.
+void recordRegion(const ExactResult &R, unsigned FastCycles);
+
+} // namespace exact
+} // namespace sched
+} // namespace bsched
+
+#endif // BALSCHED_SCHED_EXACT_H

@@ -456,7 +456,20 @@ sched::scheduleRegion(const std::vector<const Instr *> &Instrs,
   std::vector<double> W = Kind == SchedulerKind::Balanced
                               ? balancedWeights(G, Instrs, Opts)
                               : traditionalWeights(Instrs);
-  return listSchedule(G, W, Instrs, Opts.PressureThreshold, Opts.Impl);
+  std::vector<unsigned> Order =
+      listSchedule(G, W, Instrs, Opts.PressureThreshold, Opts.Impl);
+  if (Opts.Impl == SchedImpl::Exact) {
+    // Optimality-oracle refinement: warm-start the branch-and-bound solver
+    // with the list schedule (so exact can never be worse) and adopt its
+    // order when the region closes within budget.
+    exact::ExactResult R =
+        exact::scheduleExact(G, Instrs, Opts.Exact, &Order);
+    unsigned FastCycles = exact::evaluateOrder(G, Instrs, Order, Opts.Exact);
+    exact::recordRegion(R, FastCycles);
+    if (R.closed())
+      Order = std::move(R.Order);
+  }
+  return Order;
 }
 
 void sched::scheduleFunction(Module &M, SchedulerKind Kind,

@@ -14,6 +14,7 @@
 
 #include "ir/IR.h"
 #include "sched/DepDAG.h"
+#include "sched/Exact.h"
 
 #include <vector>
 
@@ -56,9 +57,12 @@ struct BalanceOptions {
   int HybridLoadCost = 6;
   /// Scheduler-core implementation. Reference selects the original seed
   /// algorithms (sched::reference::*) end to end — DAG build, weights, and
-  /// list scheduling — for golden-schedule testing and speedup measurement.
-  /// Both implementations produce byte-identical schedules.
+  /// list scheduling — for golden-schedule testing and speedup measurement
+  /// (byte-identical schedules to Fast). Exact refines the fast schedule
+  /// with the branch-and-bound optimality oracle per region (sched/Exact.h).
   SchedImpl Impl = SchedImpl::Fast;
+  /// Budgets and machine model for SchedImpl::Exact; ignored otherwise.
+  exact::ExactOptions Exact;
 };
 
 /// Computes the Kerns-Eggers balanced weight for every node of \p G:

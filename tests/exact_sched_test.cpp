@@ -1,0 +1,369 @@
+//===- tests/exact_sched_test.cpp - Exact-scheduler oracle unit tests ------===//
+//
+// Hand-built regions with known optimal makespans (chains, diamonds,
+// anti-dependence knots, latency-uncertain loads), the budget/timeout
+// degradation paths, warm-start dominance, the pipeline hook, and
+// determinism across threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/DepDAG.h"
+#include "sched/Exact.h"
+#include "sched/Schedule.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace bsched;
+using namespace bsched::ir;
+using namespace bsched::sched;
+using namespace bsched::sched::exact;
+
+namespace {
+
+/// Instruction factory owning its storage (the sched_test.cpp idiom).
+struct RegionBuilder {
+  Function F;
+  std::vector<Instr> Storage;
+
+  Reg newInt() { return F.makeReg(RegClass::Int); }
+  Reg newFp() { return F.makeReg(RegClass::Fp); }
+
+  unsigned fload(Reg Dst, Reg Base, int64_t Off, int ArrayId = 0) {
+    Instr I;
+    I.Op = Opcode::FLoad;
+    I.Dst = Dst;
+    I.Base = Base;
+    I.Offset = Off;
+    I.Mem.ArrayId = ArrayId;
+    I.Mem.HasForm = true;
+    I.Mem.Const = Off;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  unsigned fadd(Reg Dst, Reg A, Reg B) {
+    Instr I;
+    I.Op = Opcode::FAdd;
+    I.Dst = Dst;
+    I.SrcA = A;
+    I.SrcB = B;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  unsigned iadd(Reg Dst, Reg A, int64_t Imm) {
+    Instr I;
+    I.Op = Opcode::IAdd;
+    I.Dst = Dst;
+    I.SrcA = A;
+    I.Imm = Imm;
+    I.HasImm = true;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  unsigned ret() {
+    Instr I;
+    I.Op = Opcode::Ret;
+    Storage.push_back(I);
+    return static_cast<unsigned>(Storage.size() - 1);
+  }
+
+  std::vector<const Instr *> ptrs() const {
+    std::vector<const Instr *> P;
+    for (const Instr &I : Storage)
+      P.push_back(&I);
+    return P;
+  }
+};
+
+DepDAG dagOf(const std::vector<const Instr *> &Ptrs) {
+  DepDAG G = buildDepDAG(Ptrs);
+  addBlockControlEdges(G, Ptrs);
+  return G;
+}
+
+void expectValidTopo(const DepDAG &G, const std::vector<unsigned> &Order) {
+  ASSERT_EQ(Order.size(), G.size());
+  std::vector<unsigned> Pos(G.size());
+  std::vector<bool> Seen(G.size(), false);
+  for (unsigned K = 0; K != Order.size(); ++K) {
+    ASSERT_LT(Order[K], G.size());
+    ASSERT_FALSE(Seen[Order[K]]) << "duplicate node in schedule";
+    Seen[Order[K]] = true;
+    Pos[Order[K]] = K;
+  }
+  for (unsigned I = 0; I != G.size(); ++I)
+    for (unsigned S : G.succs(I))
+      EXPECT_LT(Pos[I], Pos[S]) << "edge " << I << "->" << S << " violated";
+}
+
+/// Two miss-able load->use pairs plus three independent integer adds: the
+/// adds can hide the load latency, so issue order decides the makespan.
+/// With LoadLatency = 8: loads at 0/1, adds fill 2-4, uses stall to 8/9,
+/// ret at 10 -> 11 cycles optimal. A critical-path greedy order (both
+/// loads, then both uses) wastes the stall cycles and costs 14.
+RegionBuilder loadHidingRegion() {
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg A = B.newFp(), C = B.newFp(), D = B.newFp(), E = B.newFp();
+  Reg I1 = B.newInt(), I2 = B.newInt(), I3 = B.newInt();
+  B.fload(A, Base, 0);
+  B.fload(C, Base, 8);
+  B.fadd(D, A, A);
+  B.fadd(E, C, C);
+  B.iadd(I1, Base, 1);
+  B.iadd(I2, Base, 2);
+  B.iadd(I3, Base, 3);
+  B.ret();
+  return B;
+}
+
+} // namespace
+
+TEST(ExactSched, StatusNames) {
+  EXPECT_STREQ(statusName(ExactStatus::Closed), "closed");
+  EXPECT_STREQ(statusName(ExactStatus::TimedOut), "timed-out");
+  EXPECT_STREQ(statusName(ExactStatus::TooLarge), "too-large");
+}
+
+TEST(ExactSched, ChainMakespanIsForced) {
+  // load(2) -> fadd(4) -> fadd(4) -> fadd(4) -> ret: a pure chain, every
+  // order identical. Issues at 0, 2, 6, 10; ret (ordering-only, nothing
+  // reads the last result) at 11 -> 12 cycles.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp(), Y = B.newFp(), Z = B.newFp(), W = B.newFp();
+  B.fload(X, Base, 0);
+  B.fadd(Y, X, X);
+  B.fadd(Z, Y, Y);
+  B.fadd(W, Z, Z);
+  B.ret();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+
+  ExactResult R = scheduleExact(G, Ptrs);
+  EXPECT_EQ(R.Status, ExactStatus::Closed);
+  EXPECT_EQ(R.Cycles, 12u);
+  EXPECT_EQ(R.LowerBound, R.Cycles);
+  expectValidTopo(G, R.Order);
+  EXPECT_EQ(evaluateOrder(G, Ptrs, R.Order), R.Cycles);
+  // The chain's critical path meets the root relaxation: no search needed.
+  EXPECT_EQ(R.Expanded, 0u);
+}
+
+TEST(ExactSched, DiamondHidesSecondLoadLatency) {
+  // Two independent load->use pairs: interleaving the loads hides one hit
+  // latency. L1@0 L2@1 U1@2 U2@3 ret@4 -> 5 cycles.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg A = B.newFp(), C = B.newFp(), D = B.newFp(), E = B.newFp();
+  B.fload(A, Base, 0);
+  B.fload(C, Base, 8);
+  B.fadd(D, A, A);
+  B.fadd(E, C, C);
+  B.ret();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+
+  ExactResult R = scheduleExact(G, Ptrs);
+  EXPECT_EQ(R.Status, ExactStatus::Closed);
+  EXPECT_EQ(R.Cycles, 5u);
+  expectValidTopo(G, R.Order);
+
+  // The non-interleaved order pays the un-hidden stall.
+  unsigned Serial = evaluateOrder(G, Ptrs, {0, 2, 1, 3, 4});
+  EXPECT_EQ(Serial, 7u);
+  EXPECT_GT(Serial, R.Cycles);
+}
+
+TEST(ExactSched, AntiDependenceIsOrderingOnly) {
+  // fload X; fadd Y,X,X; fadd X,W,W: the second add anti-depends on the
+  // first (and output-depends on the load) but must NOT pay their result
+  // latencies — one issue slot each. L@0, A1@2, A2@3, ret@4 -> 5 cycles.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp(), Y = B.newFp(), W = B.newFp();
+  B.fload(X, Base, 0);
+  B.fadd(Y, X, X);
+  B.fadd(X, W, W);
+  B.ret();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+  ASSERT_TRUE(G.hasEdge(1, 2)) << "anti dependence missing from the DAG";
+
+  ExactResult R = scheduleExact(G, Ptrs);
+  EXPECT_EQ(R.Status, ExactStatus::Closed);
+  EXPECT_EQ(R.Cycles, 5u);
+}
+
+TEST(ExactSched, LoadLatencyAxisScalesTheOptimum) {
+  // load -> use -> ret: the use stalls to cycle L, ret (ordering-only) goes
+  // at L+1, so the optimum is L+2 — the machine-model axis in one block.
+  RegionBuilder B;
+  Reg Base = B.newInt();
+  Reg X = B.newFp(), Y = B.newFp();
+  B.fload(X, Base, 0);
+  B.fadd(Y, X, X);
+  B.ret();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+
+  for (int Lat : {2, 8, 50}) {
+    ExactOptions O;
+    O.LoadLatency = Lat;
+    ExactResult R = scheduleExact(G, Ptrs, O);
+    EXPECT_EQ(R.Status, ExactStatus::Closed);
+    EXPECT_EQ(R.Cycles, static_cast<unsigned>(Lat) + 2) << "lat " << Lat;
+  }
+}
+
+TEST(ExactSched, BeatsCriticalPathGreedyOnLoadHiding) {
+  RegionBuilder B = loadHidingRegion();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+  ExactOptions O;
+  O.LoadLatency = 8;
+
+  // Program order issues both load uses straight after the loads, leaving
+  // the adds stuck behind the stalls: issues 0,1,8,9,10,11,12, ret 13.
+  unsigned Program = evaluateOrder(G, Ptrs, {0, 1, 2, 3, 4, 5, 6, 7}, O);
+  EXPECT_EQ(Program, 14u);
+
+  // Filling the stalls with the independent adds reaches the optimum:
+  // loads at 0/1, adds at 2-4, uses at 8/9, ret at 10.
+  unsigned Interleaved = evaluateOrder(G, Ptrs, {0, 1, 4, 5, 6, 2, 3, 7}, O);
+  EXPECT_EQ(Interleaved, 11u);
+
+  ExactResult R = scheduleExact(G, Ptrs, O);
+  EXPECT_EQ(R.Status, ExactStatus::Closed);
+  EXPECT_EQ(R.Cycles, 11u);
+  expectValidTopo(G, R.Order);
+  EXPECT_EQ(evaluateOrder(G, Ptrs, R.Order, O), R.Cycles);
+}
+
+TEST(ExactSched, WarmStartIsNeverLost) {
+  RegionBuilder B = loadHidingRegion();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+  ExactOptions O;
+  O.LoadLatency = 8;
+
+  // Warm-start with a deliberately bad (but legal) order: the result must
+  // still be <= its makespan, whatever the status.
+  std::vector<unsigned> Bad{0, 2, 1, 3, 4, 5, 6, 7};
+  unsigned BadCycles = evaluateOrder(G, Ptrs, Bad, O);
+  for (uint64_t Budget : {uint64_t(0), uint64_t(10), uint64_t(200000)}) {
+    O.MaxExpansions = Budget;
+    ExactResult R = scheduleExact(G, Ptrs, O, &Bad);
+    EXPECT_LE(R.Cycles, BadCycles);
+    EXPECT_GE(R.Cycles, R.LowerBound);
+    expectValidTopo(G, R.Order);
+    EXPECT_EQ(evaluateOrder(G, Ptrs, R.Order, O), R.Cycles);
+  }
+}
+
+TEST(ExactSched, BudgetPaths) {
+  RegionBuilder B = loadHidingRegion();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+
+  // Node budget: refused outright.
+  ExactOptions Small;
+  Small.MaxNodes = 4;
+  ExactResult R = scheduleExact(G, Ptrs, Small);
+  EXPECT_EQ(R.Status, ExactStatus::TooLarge);
+  EXPECT_TRUE(R.Order.empty());
+  EXPECT_FALSE(R.closed());
+
+  // Expansion budget: a bad warm start plus zero expansions must time out
+  // (the root bound is below the incumbent, so search is required).
+  ExactOptions None;
+  None.LoadLatency = 8;
+  None.MaxExpansions = 0;
+  std::vector<unsigned> Bad{0, 2, 1, 3, 4, 5, 6, 7};
+  R = scheduleExact(G, Ptrs, None, &Bad);
+  EXPECT_EQ(R.Status, ExactStatus::TimedOut);
+  // The incumbent is exactly the warm start: no search was allowed.
+  EXPECT_EQ(R.Cycles, evaluateOrder(G, Ptrs, Bad, None));
+  EXPECT_LT(R.LowerBound, R.Cycles);
+}
+
+TEST(ExactSched, DeterministicAcrossThreads) {
+  RegionBuilder B = loadHidingRegion();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+  ExactOptions O;
+  O.LoadLatency = 8;
+
+  ExactResult Main = scheduleExact(G, Ptrs, O);
+  std::vector<ExactResult> FromThreads(4);
+  {
+    std::vector<std::thread> Ts;
+    for (ExactResult &Out : FromThreads)
+      Ts.emplace_back([&, Slot = &Out] {
+        *Slot = scheduleExact(G, Ptrs, O);
+      });
+    for (std::thread &T : Ts)
+      T.join();
+  }
+  for (const ExactResult &R : FromThreads) {
+    EXPECT_EQ(R.Status, Main.Status);
+    EXPECT_EQ(R.Cycles, Main.Cycles);
+    EXPECT_EQ(R.LowerBound, Main.LowerBound);
+    EXPECT_EQ(R.Order, Main.Order);
+    EXPECT_EQ(R.Expanded, Main.Expanded);
+  }
+}
+
+TEST(ExactSched, ScheduleRegionHookAdoptsClosedOptimum) {
+  RegionBuilder B = loadHidingRegion();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+
+  BalanceOptions Fast;
+  std::vector<unsigned> FastOrder =
+      scheduleRegion(Ptrs, SchedulerKind::Balanced, Fast);
+
+  BalanceOptions Exact = Fast;
+  Exact.Impl = SchedImpl::Exact;
+  ExactStatsScope Scope;
+  std::vector<unsigned> ExactOrder =
+      scheduleRegion(Ptrs, SchedulerKind::Balanced, Exact);
+  expectValidTopo(G, ExactOrder);
+
+  const ExactStats &S = Scope.stats();
+  EXPECT_EQ(S.BlocksAttempted, 1u);
+  EXPECT_EQ(S.BlocksClosed, 1u);
+  EXPECT_EQ(S.BlocksTooLarge, 0u);
+  // Like-for-like totals over closed blocks; exact never above fast.
+  EXPECT_LE(S.ExactCycles, S.FastCycles);
+  EXPECT_LE(evaluateOrder(G, Ptrs, ExactOrder),
+            evaluateOrder(G, Ptrs, FastOrder));
+}
+
+TEST(ExactSched, StatsScopesNest) {
+  RegionBuilder B = loadHidingRegion();
+  auto Ptrs = B.ptrs();
+  DepDAG G = dagOf(Ptrs);
+  ExactResult R = scheduleExact(G, Ptrs);
+  ASSERT_TRUE(R.closed());
+
+  ExactStatsScope Outer;
+  recordRegion(R, R.Cycles + 3);
+  {
+    ExactStatsScope Inner;
+    recordRegion(R, R.Cycles); // innermost wins
+    EXPECT_EQ(Inner.stats().BlocksClosed, 1u);
+    EXPECT_EQ(Inner.stats().BlocksImproved, 0u);
+  }
+  EXPECT_EQ(Outer.stats().BlocksClosed, 1u);
+  EXPECT_EQ(Outer.stats().BlocksImproved, 1u);
+  EXPECT_EQ(Outer.stats().FastCycles, Outer.stats().ExactCycles + 3);
+
+  ExactStats Sum;
+  Sum.add(Outer.stats());
+  Sum.add(Outer.stats());
+  EXPECT_EQ(Sum.BlocksClosed, 2u);
+}

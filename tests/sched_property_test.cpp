@@ -8,11 +8,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestConfigs.h"
+#include "driver/Compiler.h"
 #include "lang/Generate.h"
 #include "lang/Parser.h"
 #include "lower/Lower.h"
 #include "sched/DepDAG.h"
+#include "sched/Exact.h"
 #include "sched/Schedule.h"
+#include "verify/Verify.h"
 #include "xform/Unroll.h"
 
 #include <gtest/gtest.h>
@@ -178,3 +182,63 @@ TEST_P(SchedProperty, PressureCeilingReducesMaxLive) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SchedProperty,
                          ::testing::Values(1, 3, 7, 11, 19, 23, 42, 77, 101,
                                            311));
+
+// On every block the exact branch-and-bound oracle closes, across the
+// shared differential compile configs: the fast schedule is never better
+// than the proven optimum (the gap is never negative — fast-beats-exact
+// would be a solver bug), the solver's order is a legal topological order,
+// and the exact schedule passes the independent verify:: legality checker
+// exactly like the fast one (which the pipeline already verified under
+// VerifyPasses).
+TEST(ExactOptimalityGap, ClosedBlocksAreLegalAndNeverNegative) {
+  exact::ExactOptions EO;
+  EO.MaxNodes = 24;
+  EO.MaxExpansions = 20000;
+  unsigned Attempted = 0, Closed = 0;
+  for (uint64_t Seed : {uint64_t(3), uint64_t(42), uint64_t(101)}) {
+    lang::Program P = lang::generateProgram(Seed);
+    for (driver::CompileOptions Cfg : test::fuzzConfigs()) {
+      Cfg.StopBeforeRegAlloc = true; // judge the scheduler's own output
+      driver::CompileResult C = driver::compileProgram(P, Cfg);
+      ASSERT_TRUE(C.ok()) << Cfg.tag() << ": " << C.Error;
+      for (size_t BI = 0; BI != C.M.Fn.Blocks.size(); ++BI) {
+        const BasicBlock &B = C.M.Fn.Blocks[BI];
+        if (B.Instrs.size() <= 2 || B.Instrs.size() > EO.MaxNodes)
+          continue;
+        std::vector<const Instr *> Ptrs;
+        for (const Instr &I : B.Instrs)
+          Ptrs.push_back(&I);
+        DepDAG G = buildDepDAG(Ptrs);
+        addBlockControlEdges(G, Ptrs);
+        // The block is already scheduled, so identity IS the fast order.
+        std::vector<unsigned> Fast(Ptrs.size());
+        for (unsigned K = 0; K != Ptrs.size(); ++K)
+          Fast[K] = K;
+        unsigned FastCycles = exact::evaluateOrder(G, Ptrs, Fast, EO);
+        exact::ExactResult R = exact::scheduleExact(G, Ptrs, EO, &Fast);
+        ++Attempted;
+        EXPECT_LE(R.Cycles, FastCycles)
+            << Cfg.tag() << " b" << B.Id << ": solver lost to its warm start";
+        if (!R.closed())
+          continue;
+        ++Closed;
+        EXPECT_EQ(R.LowerBound, R.Cycles);
+        expectValidTopo(G, R.Order);
+        EXPECT_EQ(exact::evaluateOrder(G, Ptrs, R.Order, EO), R.Cycles);
+
+        ir::Module After = C.M;
+        std::vector<Instr> Permuted;
+        Permuted.reserve(B.Instrs.size());
+        for (unsigned N : R.Order)
+          Permuted.push_back(B.Instrs[N]);
+        After.Fn.Blocks[BI].Instrs = std::move(Permuted);
+        verify::VerifyResult V = verify::verifySchedule(C.M, After);
+        EXPECT_TRUE(V.ok())
+            << Cfg.tag() << " b" << B.Id << ":\n" << V.report();
+      }
+    }
+  }
+  // The sweep must actually exercise the solver, and mostly close.
+  EXPECT_GT(Attempted, 20u);
+  EXPECT_GE(Closed * 10, Attempted * 6) << Closed << "/" << Attempted;
+}
