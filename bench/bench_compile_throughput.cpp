@@ -7,24 +7,44 @@
 // so the compile-throughput trajectory is tracked across PRs, and optionally
 // gates against a checked-in baseline (exit 1 on a >25% regression).
 //
+// Also measures the batched compile service under sustained multi-tenant
+// load: a deterministic request mix of cache-hit traffic (served from the
+// sharded runCached result cache), cache-miss traffic (full cold compiles),
+// and profile-cold traffic (trace-scheduled compiles whose profiling run
+// misses the sharded profile cache), replayed at 1/2/4/8 pool workers with
+// guided chunk dispatch. Reports compiles/s, thread-scaling efficiency, and
+// the shard-cache hit/miss/in-flight-wait counters, and cross-checks that
+// every request's result is byte-identical across thread counts.
+//
 // Usage:
 //   bench_compile_throughput [--quick] [--json PATH] [--baseline PATH]
-//                            [--max-threads N]
+//                            [--max-threads N] [--min-scale F]
 //
-//   --quick       1 repetition per measurement and reference timings only
-//                 for the unroll-8 configurations (the CI mode).
+//   --quick       1 repetition per measurement, reference timings only
+//                 for the unroll-8 configurations, and a smaller sustained
+//                 request mix (the CI mode).
 //   --json PATH   where to write BENCH_compile.json (default: cwd).
 //   --baseline    baseline JSON with "min_instrs_per_sec" per config tag;
 //                 exit 1 if any measured throughput falls below 75% of it.
-//   --max-threads cap for the thread-scaling sweep (default 8).
+//   --max-threads cap for the thread-scaling sweeps (default 8).
+//   --min-scale F thread-scaling regression gate: exit 1 unless sustained
+//                 throughput at --max-threads workers is at least F x the
+//                 1-worker throughput. F is the committed floor for an
+//                 8-hardware-thread machine and is derated automatically
+//                 when fewer hardware threads are available (a 1-core
+//                 runner cannot scale, only avoid regressing).
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "driver/Compiler.h"
+#include "driver/Experiment.h"
+#include "driver/ProfileCache.h"
 #include "driver/Workloads.h"
 #include "lang/Parser.h"
 #include "lower/Lower.h"
 #include "opt/Cleanup.h"
+#include "support/RNG.h"
 #include "support/Str.h"
 #include "support/ThreadPool.h"
 #include "xform/Unroll.h"
@@ -37,6 +57,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace bsched;
@@ -83,6 +104,53 @@ unsigned countInstrs(const ir::Module &M) {
   for (const ir::BasicBlock &B : M.Fn.Blocks)
     N += static_cast<unsigned>(B.Instrs.size());
   return N;
+}
+
+/// FNV-1a accumulator for the determinism cross-checks.
+class Fnv {
+public:
+  void word(uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  }
+  uint64_t get() const { return H; }
+
+private:
+  uint64_t H = 1469598103934665603ull;
+};
+
+/// Digest of everything the compiled module's consumers can observe — the
+/// full instruction stream — so "byte-identical across thread counts" is
+/// checked on substance, not on a summary statistic.
+uint64_t moduleDigest(const ir::Module &M) {
+  Fnv H;
+  H.word(M.Fn.Blocks.size());
+  for (const ir::BasicBlock &B : M.Fn.Blocks) {
+    H.word(B.Instrs.size());
+    for (const ir::Instr &I : B.Instrs) {
+      H.word(static_cast<uint64_t>(I.Op));
+      H.word(I.Dst.Id);
+      H.word(I.SrcA.Id);
+      H.word(I.SrcB.Id);
+      H.word(static_cast<uint64_t>(I.Imm));
+      H.word(I.Base.Id);
+      H.word(static_cast<uint64_t>(I.Offset));
+      H.word(static_cast<uint64_t>(I.Target0));
+      H.word(static_cast<uint64_t>(I.Target1));
+    }
+  }
+  return H.get();
+}
+
+/// Combines per-request digests in request order: equal result vectors give
+/// equal combined digests regardless of which worker produced each entry.
+uint64_t combineDigests(const std::vector<uint64_t> &Ds) {
+  Fnv H;
+  for (uint64_t D : Ds)
+    H.word(D);
+  return H.get();
 }
 
 /// Per-phase timings over a workload's lowered (and unrolled) module:
@@ -270,6 +338,167 @@ struct ScalePoint {
   uint64_t WallNs;
 };
 
+//===----------------------------------------------------------------------===//
+// Sustained compile-service throughput
+//===----------------------------------------------------------------------===//
+
+/// One request of the synthetic multi-tenant mix.
+struct Request {
+  enum Class { Hit, Miss, ProfileCold } Kind;
+  size_t WIdx;                  ///< index into workloads().
+  driver::CompileOptions Opts;
+};
+
+struct SustainedPoint {
+  unsigned Threads = 0;
+  uint64_t WallNs = 0;
+  double CompilesPerSec = 0.0;
+  double ScaleVs1T = 0.0;
+};
+
+struct SustainedResult {
+  size_t Requests = 0, HitReqs = 0, MissReqs = 0, ColdReqs = 0;
+  std::vector<SustainedPoint> Points;
+  bool Deterministic = true;     ///< per-request digests equal at every T.
+  bool RunAllIdentical = true;   ///< runAll(1) and runAll(max) return the
+                                 ///< same (pointer-identical) results.
+  uint64_t Digest = 0;           ///< combined digest of the 1-thread replay.
+  driver::ResultCacheStats ResultCache;   ///< counters after the replays.
+  driver::ProfileCacheStats ProfileCache; ///< counters of the last replay.
+};
+
+/// Replays a deterministic request mix against the compile service at each
+/// thread count and cross-checks that every request's observable result is
+/// identical whatever the worker count. Traffic classes:
+///
+///  - Hit: repeated (workload, config) keys served from the sharded
+///    runCached result cache (pre-warmed through runAll before timing, so
+///    the timed path is pure lookup — the steady-state shape of repeat
+///    tenant traffic).
+///  - Miss: full cold compiles (per-request pressure-threshold tenants;
+///    nothing at the service layer can memoize them).
+///  - ProfileCold: trace-scheduled compiles whose profiling interpretation
+///    goes through the sharded, in-flight-deduplicated profile cache; the
+///    cache is cleared before every replay so each thread count sees the
+///    identical cold/warm pattern.
+SustainedResult runSustained(bool Quick, unsigned MaxThreads) {
+  const auto &Ws = driver::workloads();
+  std::vector<lang::Program> Programs;
+  Programs.reserve(Ws.size());
+  for (const Workload &W : Ws)
+    Programs.push_back(parseWorkload(W));
+
+  // The request mix: 60% hit / 25% miss / 15% profile-cold, drawn from a
+  // fixed-seed stream so every run (and every thread count) replays the
+  // same trace.
+  const size_t NumRequests = Quick ? 800 : 4000;
+  const int Unrolls[4] = {1, 2, 4, 8};
+  std::vector<Request> Reqs;
+  Reqs.reserve(NumRequests);
+  SustainedResult Out;
+  RNG Rng(0xc041711eull);
+  for (size_t I = 0; I != NumRequests; ++I) {
+    Request Q;
+    Q.WIdx = Rng.nextBelow(Ws.size());
+    double Roll = Rng.nextDouble();
+    if (Roll < 0.60) {
+      Q.Kind = Request::Hit;
+      Q.Opts = bench::balanced(Rng.nextBool(0.5) ? 4 : 1);
+      ++Out.HitReqs;
+    } else if (Roll < 0.85) {
+      Q.Kind = Request::Miss;
+      Q.Opts = bench::balanced(1);
+      // Distinct per-tenant scheduling parameter: every miss request is a
+      // genuinely different compile, so no layer can serve it from cache.
+      Q.Opts.Balance.PressureThreshold =
+          20 + static_cast<int>(Rng.nextBelow(29));
+      ++Out.MissReqs;
+    } else {
+      Q.Kind = Request::ProfileCold;
+      Q.Opts = bench::balanced(Unrolls[Rng.nextBelow(4)], /*TrS=*/true);
+      ++Out.ColdReqs;
+    }
+    Reqs.push_back(std::move(Q));
+  }
+  Out.Requests = NumRequests;
+
+  // Pre-warm the hit working set (and keep the job list: the same grid
+  // re-runs through runAll at MaxThreads for the pointer-identity check).
+  std::vector<driver::ExperimentJob> HitJobs;
+  for (const Workload &W : Ws)
+    for (int U : {1, 4})
+      HitJobs.push_back({&W, bench::balanced(U), {}});
+  std::vector<const driver::RunResult *> Warm = driver::runAll(HitJobs, 1);
+  for (const driver::RunResult *R : Warm)
+    if (!R->ok()) {
+      std::fprintf(stderr, "FATAL: sustained pre-warm: %s\n",
+                   R->Error.c_str());
+      std::exit(1);
+    }
+
+  auto Exec = [&](const Request &Q) -> uint64_t {
+    if (Q.Kind == Request::Hit) {
+      const driver::RunResult &R = driver::runCached(Ws[Q.WIdx], Q.Opts);
+      Fnv H;
+      H.word(R.Sim.Cycles);
+      H.word(R.Sim.Checksum);
+      return H.get();
+    }
+    driver::CompileResult CR = driver::compileProgram(Programs[Q.WIdx], Q.Opts);
+    if (!CR.ok()) {
+      std::fprintf(stderr, "FATAL: sustained %s: %s\n", Ws[Q.WIdx].Name,
+                   CR.Error.c_str());
+      std::exit(1);
+    }
+    return moduleDigest(CR.M);
+  };
+
+  std::vector<uint64_t> Digests(NumRequests);
+  uint64_t BaseDigest = 0;
+  for (unsigned T = 1; T <= MaxThreads; T *= 2) {
+    // Identical cold/warm profile pattern for every replay.
+    driver::clearProfileCache();
+    uint64_t T0 = nowNs();
+    ThreadPool::parallelForChunked(
+        T, NumRequests, [&](size_t I) { Digests[I] = Exec(Reqs[I]); },
+        ChunkPolicy::Guided);
+    uint64_t Wall = nowNs() - T0;
+    uint64_t D = combineDigests(Digests);
+    if (T == 1) {
+      BaseDigest = D;
+      Out.Digest = D;
+    } else if (D != BaseDigest) {
+      Out.Deterministic = false;
+    }
+    SustainedPoint P;
+    P.Threads = T;
+    P.WallNs = Wall;
+    P.CompilesPerSec = static_cast<double>(NumRequests) * 1e9 /
+                       static_cast<double>(Wall);
+    P.ScaleVs1T = Out.Points.empty()
+                      ? 1.0
+                      : static_cast<double>(Out.Points.front().WallNs) /
+                            static_cast<double>(Wall);
+    Out.Points.push_back(P);
+    std::printf("  sustained threads=%u  wall %7.1f ms  %8.0f compiles/s"
+                "  scale %.2fx\n",
+                T, static_cast<double>(Wall) / 1e6, P.CompilesPerSec,
+                P.ScaleVs1T);
+  }
+
+  // runAll determinism: the MaxThreads pass must hand back the very same
+  // memoized results (stable pointers) the 1-thread pre-warm produced.
+  std::vector<const driver::RunResult *> Again =
+      driver::runAll(HitJobs, MaxThreads);
+  for (size_t I = 0; I != Warm.size(); ++I)
+    if (Warm[I] != Again[I])
+      Out.RunAllIdentical = false;
+
+  Out.ResultCache = driver::resultCacheStats();
+  Out.ProfileCache = driver::profileCacheStats();
+  return Out;
+}
+
 std::string jsonEscape(const std::string &S) { return S; } // tags are plain
 
 /// Reads "min_instrs_per_sec" entries from the (intentionally simple)
@@ -309,6 +538,7 @@ int main(int argc, char **argv) {
   std::string JsonPath = "BENCH_compile.json";
   std::string BaselinePath;
   unsigned MaxThreads = 8;
+  double MinScale = 0.0; // 0 = gate off.
   for (int I = 1; I != argc; ++I) {
     if (!std::strcmp(argv[I], "--quick"))
       Quick = true;
@@ -318,6 +548,8 @@ int main(int argc, char **argv) {
       BaselinePath = argv[++I];
     else if (!std::strcmp(argv[I], "--max-threads") && I + 1 != argc)
       MaxThreads = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--min-scale") && I + 1 != argc)
+      MinScale = std::atof(argv[++I]);
     else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[I]);
       return 2;
@@ -371,9 +603,15 @@ int main(int argc, char **argv) {
           timePhases(W, P, C.Unroll, C.Traces, Reps, sched::SchedImpl::Fast);
       Row.Rows.push_back(std::move(R));
     }
-    std::printf("  %-12s  %8.0f kinstr/s  end-to-end speedup %.2fx\n",
-                C.Tag.c_str(), Row.instrsPerSec() / 1e3,
-                Row.speedup());
+    // A speedup of 0 means "reference not measured in this mode"; print and
+    // emit it as absent rather than as a fake 0.00x ratio.
+    if (Row.totalRefNs() != 0)
+      std::printf("  %-12s  %8.0f kinstr/s  end-to-end speedup %.2fx\n",
+                  C.Tag.c_str(), Row.instrsPerSec() / 1e3, Row.speedup());
+    else
+      std::printf("  %-12s  %8.0f kinstr/s  end-to-end speedup n/a "
+                  "(reference not timed)\n",
+                  C.Tag.c_str(), Row.instrsPerSec() / 1e3);
     if (C.Traces) {
       uint64_t Form = 0, Compact = 0, Comp = 0, FastTr = 0, RefTr = 0;
       for (const WorkloadRow &R : Row.Rows) {
@@ -401,9 +639,12 @@ int main(int argc, char **argv) {
 
   // --- Thread-scaling sweep -------------------------------------------------
   // Wall time to compile every (workload, config) job, fast implementation,
-  // on a pool of T workers. Results are per-compile deterministic, so only
-  // the wall time varies with T.
+  // on a pool of T workers draining guided chunks (one pool task per
+  // worker, not per compile). Each job's compiled module is digested by
+  // index, so "the results are identical for any thread count" is asserted
+  // on the full instruction streams, not assumed.
   std::vector<ScalePoint> Scaling;
+  bool ScalingDeterministic = true;
   {
     struct Job {
       lang::Program P;
@@ -413,18 +654,52 @@ int main(int argc, char **argv) {
     for (const BenchConfig &C : Configs)
       for (const Workload &W : workloads())
         Jobs.push_back({parseWorkload(W), optionsFor(C, sched::SchedImpl::Fast)});
+    // The profile cache stays warm from the per-config phase above (as it
+    // is for every point of this sweep, so thread counts see equal work);
+    // cold-profile traffic is measured separately by the sustained mode.
+    std::vector<uint64_t> Digests(Jobs.size());
+    uint64_t BaseDigest = 0;
     for (unsigned T = 1; T <= MaxThreads; T *= 2) {
       uint64_t T0 = nowNs();
-      ThreadPool::parallelFor(T, Jobs.size(), [&](size_t I) {
-        CompileResult CR = compileProgram(Jobs[I].P, Jobs[I].Opts);
-        (void)CR;
-      });
+      ThreadPool::parallelForChunked(
+          T, Jobs.size(),
+          [&](size_t I) {
+            CompileResult CR = compileProgram(Jobs[I].P, Jobs[I].Opts);
+            Digests[I] = moduleDigest(CR.M);
+          },
+          ChunkPolicy::Guided);
       Scaling.push_back({T, nowNs() - T0});
-      std::printf("  threads=%u  wall %.1f ms (%zu compiles)\n", T,
+      uint64_t D = combineDigests(Digests);
+      if (T == 1)
+        BaseDigest = D;
+      else if (D != BaseDigest)
+        ScalingDeterministic = false;
+      std::printf("  threads=%u  wall %.1f ms (%zu compiles)%s\n", T,
                   static_cast<double>(Scaling.back().WallNs) / 1e6,
-                  Jobs.size());
+                  Jobs.size(),
+                  T == 1 || D == BaseDigest ? "" : "  OUTPUT DIVERGED");
     }
   }
+
+  // --- Sustained compile-service throughput ---------------------------------
+  std::printf("sustained compile service (%s mix)\n",
+              Quick ? "quick" : "full");
+  SustainedResult Sustained = runSustained(Quick, MaxThreads);
+  std::printf("  requests %zu (hit %zu, miss %zu, profile-cold %zu)  "
+              "deterministic %s  runAll identical %s\n",
+              Sustained.Requests, Sustained.HitReqs, Sustained.MissReqs,
+              Sustained.ColdReqs, Sustained.Deterministic ? "yes" : "NO",
+              Sustained.RunAllIdentical ? "yes" : "NO");
+  std::printf("  result cache: %llu hits, %llu misses, %llu in-flight waits\n",
+              static_cast<unsigned long long>(Sustained.ResultCache.Hits),
+              static_cast<unsigned long long>(Sustained.ResultCache.Misses),
+              static_cast<unsigned long long>(
+                  Sustained.ResultCache.InFlightWaits));
+  std::printf("  profile cache: %llu hits, %llu misses, %llu in-flight waits\n",
+              static_cast<unsigned long long>(Sustained.ProfileCache.Hits),
+              static_cast<unsigned long long>(Sustained.ProfileCache.Misses),
+              static_cast<unsigned long long>(
+                  Sustained.ProfileCache.InFlightWaits));
 
   // --- Summary --------------------------------------------------------------
   const ConfigRow *Headline = nullptr;
@@ -452,18 +727,24 @@ int main(int argc, char **argv) {
   // --- JSON -----------------------------------------------------------------
   {
     std::ostringstream J;
-    J << "{\n  \"schema\": \"bsched-compile-throughput-v1\",\n";
+    J << "{\n  \"schema\": \"bsched-compile-throughput-v2\",\n";
     J << "  \"quick\": " << (Quick ? "true" : "false") << ",\n";
+    J << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
     J << "  \"configs\": [\n";
     for (size_t CI = 0; CI != Results.size(); ++CI) {
       const ConfigRow &R = Results[CI];
+      // end_to_end_speedup is null (not 0.000) when the reference twin was
+      // not timed in this mode: a fake ratio reads as a 1000x regression.
+      std::string Speedup =
+          R.totalRefNs() == 0 ? "null" : fmtDouble(R.speedup(), 3);
       J << "    {\"tag\": \"" << jsonEscape(R.Config.Tag) << "\", "
         << "\"unroll\": " << R.Config.Unroll << ", "
         << "\"traces\": " << (R.Config.Traces ? "true" : "false") << ",\n"
         << "     \"total_instrs\": " << R.totalInstrs() << ", "
         << "\"total_compile_ns\": " << R.totalFastNs() << ", "
         << "\"instrs_per_sec\": " << fmtDouble(R.instrsPerSec(), 1) << ", "
-        << "\"end_to_end_speedup\": " << fmtDouble(R.speedup(), 3) << ",\n"
+        << "\"end_to_end_speedup\": " << Speedup << ",\n"
         << "     \"workloads\": [\n";
       for (size_t WI = 0; WI != R.Rows.size(); ++WI) {
         const WorkloadRow &W = R.Rows[WI];
@@ -496,12 +777,44 @@ int main(int argc, char **argv) {
       J << (I ? ", " : "") << "{\"threads\": " << Scaling[I].Threads
         << ", \"wall_ns\": " << Scaling[I].WallNs << "}";
     J << "],\n";
+    J << "  \"thread_scaling_deterministic\": "
+      << (ScalingDeterministic ? "true" : "false") << ",\n";
+    J << "  \"sustained\": {\"requests\": " << Sustained.Requests
+      << ", \"mix\": {\"hit\": " << Sustained.HitReqs
+      << ", \"miss\": " << Sustained.MissReqs
+      << ", \"profile_cold\": " << Sustained.ColdReqs << "},\n"
+      << "    \"deterministic\": "
+      << (Sustained.Deterministic ? "true" : "false")
+      << ", \"runall_identical_1_vs_max\": "
+      << (Sustained.RunAllIdentical ? "true" : "false") << ",\n"
+      << "    \"points\": [";
+    for (size_t I = 0; I != Sustained.Points.size(); ++I) {
+      const SustainedPoint &P = Sustained.Points[I];
+      J << (I ? ", " : "") << "{\"threads\": " << P.Threads
+        << ", \"wall_ns\": " << P.WallNs << ", \"compiles_per_sec\": "
+        << fmtDouble(P.CompilesPerSec, 1) << ", \"scale_vs_1t\": "
+        << fmtDouble(P.ScaleVs1T, 3) << "}";
+    }
+    J << "]},\n";
+    J << "  \"result_cache\": {\"hits\": " << Sustained.ResultCache.Hits
+      << ", \"misses\": " << Sustained.ResultCache.Misses
+      << ", \"inflight_waits\": " << Sustained.ResultCache.InFlightWaits
+      << "},\n";
+    J << "  \"profile_cache\": {\"hits\": " << Sustained.ProfileCache.Hits
+      << ", \"misses\": " << Sustained.ProfileCache.Misses
+      << ", \"inflight_waits\": " << Sustained.ProfileCache.InFlightWaits
+      << "},\n";
     J << "  \"summary\": {\"headline\": \"BS+LU8+TrS\", "
       << "\"instrs_per_sec\": "
       << fmtDouble(Headline ? Headline->instrsPerSec() : 0.0, 1) << ", "
       << "\"end_to_end_speedup\": "
-      << fmtDouble(Headline ? Headline->speedup() : 0.0, 3) << ", "
-      << "\"scheduler_phase_speedup\": " << fmtDouble(SchedSpeedup, 3)
+      << (Headline && Headline->totalRefNs() != 0
+              ? fmtDouble(Headline->speedup(), 3)
+              : std::string("null"))
+      << ", "
+      << "\"scheduler_phase_speedup\": "
+      << (SchedSpeedup != 0.0 ? fmtDouble(SchedSpeedup, 3)
+                              : std::string("null"))
       << "}\n}\n";
     std::ofstream Out(JsonPath);
     if (!Out) {
@@ -536,6 +849,40 @@ int main(int argc, char **argv) {
     if (Failed) {
       std::fprintf(stderr,
                    "FAIL: compile throughput regressed >25%% vs baseline\n");
+      return 1;
+    }
+  }
+
+  // --- Determinism gate -----------------------------------------------------
+  // Divergent output across thread counts is a correctness bug, not a
+  // performance number; always fatal.
+  if (!ScalingDeterministic || !Sustained.Deterministic ||
+      !Sustained.RunAllIdentical) {
+    std::fprintf(stderr, "FAIL: results differ across thread counts "
+                         "(scaling %d, sustained %d, runAll %d)\n",
+                 ScalingDeterministic, Sustained.Deterministic,
+                 Sustained.RunAllIdentical);
+    return 1;
+  }
+
+  // --- Thread-scaling gate --------------------------------------------------
+  // The committed floor (--min-scale, set in CI) is calibrated for an
+  // 8-hardware-thread machine; with fewer cores perfect scaling is capped
+  // at the core count, so derate the floor to 0.6x the available cores —
+  // and on a single-core machine just require that extra workers do not
+  // regress the 1-worker wall time by more than ~30%.
+  if (MinScale > 0.0 && Sustained.Points.size() >= 2) {
+    unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+    double Floor = MinScale;
+    if (HW < 8)
+      Floor = std::min(MinScale, HW > 1 ? 0.6 * static_cast<double>(HW) : 0.7);
+    double Scale = Sustained.Points.back().ScaleVs1T;
+    std::printf("gate: sustained scale %ut/%ut = %.2fx (floor %.2fx, "
+                "%u hardware threads) %s\n",
+                Sustained.Points.back().Threads, 1u, Scale, Floor, HW,
+                Scale >= Floor ? "ok" : "REGRESSION");
+    if (Scale < Floor) {
+      std::fprintf(stderr, "FAIL: sustained thread scaling below floor\n");
       return 1;
     }
   }

@@ -6,6 +6,7 @@
 #include "support/Str.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,24 +57,52 @@ RunResult driver::runWorkload(const Workload &W, const CompileOptions &Opts,
 namespace {
 
 /// One memoized run. The once_flag serializes concurrent computations of
-/// the same key without holding the whole cache locked: the map mutex only
+/// the same key without holding its shard locked: the shard mutex only
 /// guards slot creation, and the first caller to reach call_once computes
-/// while later callers for that key block on the flag (not on the cache).
+/// while later callers for that key block on the flag (not on the shard).
 struct CacheEntry {
   std::once_flag Once;
+  std::atomic<bool> Done{false}; ///< stats-only: distinguishes hit from wait.
   RunResult R;
 };
 
+/// The result cache is sharded by key hash so workers running unrelated
+/// jobs never touch the same mutex: with one global lock, every compile of
+/// a batched sweep paid a serialized lookup, which dominated wall time once
+/// PRs 2/5 made the compiles themselves cheap. Entries live behind
+/// unique_ptr so the returned references stay valid however much a shard
+/// grows or rehashes: callers hold them across many later runCached calls.
+struct ResultShard {
+  std::mutex Mu;
+  std::unordered_map<std::string, std::unique_ptr<CacheEntry>> Map;
+  ResultCacheStats Stats;
+};
+
+/// Power of two comfortably above the worker counts this codebase runs.
+constexpr size_t NumResultShards = 16;
+
+ResultShard *resultShards() {
+  static ResultShard S[NumResultShards];
+  return S;
+}
+
 } // namespace
+
+ResultCacheStats driver::resultCacheStats() {
+  ResultCacheStats Total;
+  for (size_t I = 0; I != NumResultShards; ++I) {
+    ResultShard &S = resultShards()[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total.Hits += S.Stats.Hits;
+    Total.Misses += S.Stats.Misses;
+    Total.InFlightWaits += S.Stats.InFlightWaits;
+  }
+  return Total;
+}
 
 const RunResult &driver::runCached(const Workload &W,
                                    const CompileOptions &Opts,
                                    const sim::MachineConfig &Machine) {
-  // Entries live behind unique_ptr so the returned references stay valid
-  // however much the table grows or rehashes: callers hold them across many
-  // later runCached calls.
-  static std::mutex CacheMutex;
-  static std::unordered_map<std::string, std::unique_ptr<CacheEntry>> Cache;
   std::string Key = std::string(W.Name) + "|" + Opts.tag() + "|" +
                     (Machine.SimpleModel
                          ? "simple:" + fmtDouble(Machine.SimpleHitRate, 3)
@@ -91,26 +120,40 @@ const RunResult &driver::runCached(const Workload &W,
                     (Opts.TraceImpl == trace::TraceImpl::Reference ? "|trref"
                                                                    : "") +
                     (Machine.Impl == sim::SimImpl::Reference ? "|simref" : "");
+  size_t Hash = std::hash<std::string>{}(Key);
+  ResultShard &S = resultShards()[(Hash ^ (Hash >> 32)) & (NumResultShards - 1)];
   CacheEntry *Entry;
   {
-    std::lock_guard<std::mutex> Lock(CacheMutex);
-    std::unique_ptr<CacheEntry> &Slot = Cache[Key];
-    if (!Slot)
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    std::unique_ptr<CacheEntry> &Slot = S.Map[Key];
+    if (!Slot) {
       Slot = std::make_unique<CacheEntry>();
+      ++S.Stats.Misses;
+    } else if (Slot->Done.load(std::memory_order_acquire)) {
+      ++S.Stats.Hits;
+    } else {
+      ++S.Stats.InFlightWaits;
+    }
     Entry = Slot.get();
   }
-  std::call_once(Entry->Once,
-                 [&] { Entry->R = runWorkload(W, Opts, Machine); });
+  std::call_once(Entry->Once, [&] {
+    Entry->R = runWorkload(W, Opts, Machine);
+    Entry->Done.store(true, std::memory_order_release);
+  });
   return Entry->R;
 }
 
 std::vector<const RunResult *>
-driver::runAll(const std::vector<ExperimentJob> &Jobs, unsigned NumThreads) {
+driver::runAll(const std::vector<ExperimentJob> &Jobs, unsigned NumThreads,
+               ChunkPolicy Policy) {
   std::vector<const RunResult *> Results(Jobs.size(), nullptr);
-  ThreadPool::parallelFor(NumThreads, Jobs.size(), [&](size_t I) {
-    const ExperimentJob &J = Jobs[I];
-    Results[I] = &runCached(*J.W, J.Opts, J.Machine);
-  });
+  ThreadPool::parallelForChunked(
+      NumThreads, Jobs.size(),
+      [&](size_t I) {
+        const ExperimentJob &J = Jobs[I];
+        Results[I] = &runCached(*J.W, J.Opts, J.Machine);
+      },
+      Policy);
   return Results;
 }
 

@@ -14,7 +14,9 @@
 #include "driver/Compiler.h"
 #include "driver/Workloads.h"
 #include "sim/Machine.h"
+#include "support/ThreadPool.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,12 +45,24 @@ RunResult runWorkload(const Workload &W, const CompileOptions &Opts,
 /// Memoized variant keyed on workload name + options tag + machine model;
 /// the benchmark binaries use this so overlapping tables share runs.
 ///
-/// Thread-safe: concurrent callers with distinct keys compute in parallel;
-/// concurrent callers with the same key block until the first one finishes
-/// and then share its result. Returned references stay valid for the
-/// process lifetime.
+/// Thread-safe and sharded: the cache is split by key hash with one mutex
+/// per shard, so concurrent callers with distinct keys neither recompute
+/// nor contend on a shared lock; concurrent callers with the same key block
+/// until the first one finishes and then share its result (in-flight
+/// deduplication — a completed key is never recomputed). Returned
+/// references stay valid for the process lifetime.
 const RunResult &runCached(const Workload &W, const CompileOptions &Opts,
                            const sim::MachineConfig &Machine = {});
+
+/// runCached observability, aggregated over shards. Hits found a completed
+/// entry, Misses paid the compile+simulate, InFlightWaits arrived while
+/// another thread was computing the same key and blocked on it.
+struct ResultCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t InFlightWaits = 0;
+};
+ResultCacheStats resultCacheStats();
 
 /// One (workload, configuration, machine) cell of an experiment.
 struct ExperimentJob {
@@ -58,12 +72,17 @@ struct ExperimentJob {
 };
 
 /// Runs every job through runCached on \p NumThreads pool workers (0 = one
-/// per hardware thread) and returns the results in job order. Each compile
-/// is a pure function of its job — per-compile RNG streams, no shared
-/// mutable state — so the results are identical for any thread count; the
-/// golden-schedule tests assert this.
-std::vector<const RunResult *> runAll(const std::vector<ExperimentJob> &Jobs,
-                                      unsigned NumThreads = 0);
+/// per hardware thread) and returns the results in job order. Jobs are
+/// dispatched in *batches* — each worker drains chunks of the job list per
+/// \p Policy (guided by default, static selectable) — so the pool queue is
+/// touched once per worker rather than once per compile. Each compile is a
+/// pure function of its job — per-compile RNG streams, no shared mutable
+/// state — and results are written by job index, so the returned vector is
+/// byte-identical for any thread count and chunk policy; the
+/// golden-schedule and compile-service tests assert this.
+std::vector<const RunResult *>
+runAll(const std::vector<ExperimentJob> &Jobs, unsigned NumThreads = 0,
+       ChunkPolicy Policy = ChunkPolicy::Guided);
 
 /// Arithmetic mean (the paper reports arithmetic average speedups).
 double mean(const std::vector<double> &Xs);

@@ -2,6 +2,8 @@
 
 #include "driver/ProfileCache.h"
 
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -61,58 +63,87 @@ uint64_t hashModule(const Module &M, uint64_t MaxInstrs) {
   return H.hash();
 }
 
-struct Cache {
+/// One memoized profile. The once_flag serializes concurrent computations
+/// of the same key without holding the shard locked: the shard mutex only
+/// guards slot creation, the first arrival interprets under call_once, and
+/// later arrivals for that key block on the flag (not on the shard).
+/// Entries are handed out as shared_ptr so an eviction sweep can drop the
+/// map without invalidating a computation a waiter is still blocked on.
+struct Entry {
+  std::once_flag Once;
+  std::atomic<bool> Done{false}; ///< stats-only: distinguishes hit from wait.
+  InterpResult R;
+};
+
+struct Shard {
   std::mutex Mu;
-  std::unordered_map<uint64_t, InterpResult> Map;
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> Map;
   ProfileCacheStats Stats;
 };
 
-Cache &cache() {
-  static Cache C;
-  return C;
-}
+/// Shard count: a power of two well above the worker counts this codebase
+/// runs (<= 16), so two workers profiling different modules almost never
+/// share a shard mutex.
+constexpr size_t NumShards = 8;
 
-/// Growth bound: experiment sweeps see a few dozen distinct modules, fuzzing
-/// sees a stream of unique ones. Dropping everything on overflow keeps the
-/// worst case bounded without any bookkeeping on the hit path.
-constexpr size_t MaxEntries = 256;
+/// Growth bound per shard: experiment sweeps see a few dozen distinct
+/// modules, fuzzing sees a stream of unique ones. Dropping a full shard on
+/// overflow keeps the worst case bounded without any bookkeeping on the hit
+/// path.
+constexpr size_t MaxEntriesPerShard = 64;
+
+Shard *shards() {
+  static Shard S[NumShards];
+  return S;
+}
 
 } // namespace
 
 InterpResult driver::profileModule(const Module &M, uint64_t MaxInstrs) {
   uint64_t Key = hashModule(M, MaxInstrs);
-  Cache &C = cache();
+  // FNV-1a mixes well into the low bits; fold the high half anyway so shard
+  // choice never degenerates for structured keys.
+  Shard &S = shards()[(Key ^ (Key >> 32)) & (NumShards - 1)];
+  std::shared_ptr<Entry> E;
   {
-    std::lock_guard<std::mutex> Lock(C.Mu);
-    auto It = C.Map.find(Key);
-    if (It != C.Map.end()) {
-      ++C.Stats.Hits;
-      return It->second;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      if (S.Map.size() >= MaxEntriesPerShard)
+        S.Map.clear(); // waiters keep their entries alive via shared_ptr.
+      It = S.Map.emplace(Key, std::make_shared<Entry>()).first;
+      ++S.Stats.Misses;
+    } else if (It->second->Done.load(std::memory_order_acquire)) {
+      ++S.Stats.Hits;
+    } else {
+      ++S.Stats.InFlightWaits;
     }
-    ++C.Stats.Misses;
+    E = It->second;
   }
-  // Interpret outside the lock: concurrent misses on the same module do
-  // redundant work but never block one another, and both compute the same
-  // result.
-  InterpResult R = interpret(M, MaxInstrs);
-  {
-    std::lock_guard<std::mutex> Lock(C.Mu);
-    if (C.Map.size() >= MaxEntries)
-      C.Map.clear();
-    C.Map.emplace(Key, R);
-  }
-  return R;
+  std::call_once(E->Once, [&] {
+    E->R = interpret(M, MaxInstrs);
+    E->Done.store(true, std::memory_order_release);
+  });
+  return E->R;
 }
 
 ProfileCacheStats driver::profileCacheStats() {
-  Cache &C = cache();
-  std::lock_guard<std::mutex> Lock(C.Mu);
-  return C.Stats;
+  ProfileCacheStats Total;
+  for (size_t I = 0; I != NumShards; ++I) {
+    Shard &S = shards()[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Total.Hits += S.Stats.Hits;
+    Total.Misses += S.Stats.Misses;
+    Total.InFlightWaits += S.Stats.InFlightWaits;
+  }
+  return Total;
 }
 
 void driver::clearProfileCache() {
-  Cache &C = cache();
-  std::lock_guard<std::mutex> Lock(C.Mu);
-  C.Map.clear();
-  C.Stats = {};
+  for (size_t I = 0; I != NumShards; ++I) {
+    Shard &S = shards()[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+    S.Stats = {};
+  }
 }

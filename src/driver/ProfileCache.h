@@ -33,13 +33,22 @@ namespace driver {
 /// Returns ir::interpret(M, MaxInstrs), memoized on the module's
 /// execution-relevant content. Thread-safe; results are bit-identical to an
 /// uncached run.
+///
+/// The cache is sharded by key hash with a mutex per shard, so concurrent
+/// compiles of unrelated modules never serialize on one lock, and each
+/// shard deduplicates in-flight computations: the first miss on a key
+/// interprets while later arrivals for the same key block on that one
+/// computation instead of redundantly re-interpreting (profiling is the
+/// most expensive phase of a cold trace-scheduled compile, so a thundering
+/// herd on one hot module would otherwise multiply it by the worker count).
 ir::InterpResult profileModule(const ir::Module &M,
                                uint64_t MaxInstrs = 1000000000ull);
 
-/// Cache observability for benchmarks and tests.
+/// Cache observability for benchmarks and tests, aggregated over shards.
 struct ProfileCacheStats {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
+  uint64_t Hits = 0;          ///< key present and already computed.
+  uint64_t Misses = 0;        ///< first arrival; pays the interpretation.
+  uint64_t InFlightWaits = 0; ///< arrived while another thread computed it.
 };
 ProfileCacheStats profileCacheStats();
 

@@ -211,11 +211,32 @@ std::vector<Trace> trace::formTraces(const Function &F,
 
 namespace {
 
+/// Region scratch recycled across *compiles*, not just across the traces of
+/// one compile: the batched compile service (driver::runAll) has each pool
+/// worker drain a whole chunk of jobs, and routing every compile on a
+/// thread through one scratch instance means the arena chunks, DAG storage
+/// and staging vectors reach steady state once per worker instead of being
+/// reallocated per compile. Every member is (re)initialized at its use site
+/// — beginRegion, assign, clear, reset — so reuse never leaks state from a
+/// previous compile; the trace-twin equivalence tests and golden schedule
+/// hashes pin that.
+struct TraceScratch {
+  DepDAGBuilder Builder;
+  Arena A;
+  std::vector<const Instr *> Ptrs;
+  std::vector<std::vector<Instr>> Segs;
+  std::vector<unsigned> Crossed;
+  std::vector<int> OffPreds;
+  std::vector<std::vector<int>> PredList;
+};
+
 class TraceScheduler {
 public:
   TraceScheduler(Module &M, const InterpResult &Profile, SchedulerKind Kind,
-                 BalanceOptions Opts)
-      : M(M), Profile(Profile), Kind(Kind), Opts(Opts) {}
+                 BalanceOptions Opts, TraceScratch &S)
+      : M(M), Profile(Profile), Kind(Kind), Opts(Opts), Builder(S.Builder),
+        A(S.A), Ptrs(S.Ptrs), Segs(S.Segs), Crossed(S.Crossed),
+        OffPreds(S.OffPreds), PredList(S.PredList) {}
 
   TraceStats run() {
     Liveness L = computeLiveness(M.Fn);
@@ -245,19 +266,20 @@ private:
   BalanceOptions Opts;
   TraceStats Stats;
 
-  /// Region state recycled across traces and single blocks.
-  DepDAGBuilder Builder;
-  Arena A;
-  std::vector<const Instr *> Ptrs;
-  std::vector<std::vector<Instr>> Segs;
-  std::vector<unsigned> Crossed;
-  std::vector<int> OffPreds;
+  /// Region state recycled across traces, single blocks, and (via the
+  /// thread-local TraceScratch) whole batches of compiles.
+  DepDAGBuilder &Builder;
+  Arena &A;
+  std::vector<const Instr *> &Ptrs;
+  std::vector<std::vector<Instr>> &Segs;
+  std::vector<unsigned> &Crossed;
+  std::vector<int> &OffPreds;
 
   /// Per-block predecessor ids, one entry per in-edge, in (block id,
   /// successor slot) order — the exact contents Function::predecessors
   /// would return, maintained incrementally as compensation retargets
   /// edges (instead of an O(blocks) rescan per join).
-  std::vector<std::vector<int>> PredList;
+  std::vector<std::vector<int>> &PredList;
 
   void buildPredLists() {
     const Function &F = M.Fn;
@@ -546,5 +568,8 @@ TraceStats trace::traceScheduleFunction(Module &M, const InterpResult &Profile,
                                         BalanceOptions Opts, TraceImpl Impl) {
   if (Impl == TraceImpl::Reference)
     return reference::traceScheduleFunction(M, Profile, Kind, Opts);
-  return TraceScheduler(M, Profile, Kind, Opts).run();
+  // One scratch per thread: a pool worker compiling a batch of jobs reuses
+  // the same arena chunks and vector capacities for every compile it runs.
+  static thread_local TraceScratch Scratch;
+  return TraceScheduler(M, Profile, Kind, Opts, Scratch).run();
 }

@@ -1,0 +1,185 @@
+//===- tests/compile_service_test.cpp - Compile-service concurrency -------===//
+//
+// Stress tests for the batched, sharded compile service (driver/Experiment,
+// driver/ProfileCache, ThreadPool chunked dispatch): many threads hammering
+// overlapping keys must produce pointer-stable results, never recompute a
+// completed key, and return results byte-identical to a 1-thread run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Experiment.h"
+#include "driver/ProfileCache.h"
+#include "driver/Workloads.h"
+#include "lower/Lower.h"
+#include "opt/Cleanup.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+using namespace bsched;
+using namespace bsched::driver;
+
+namespace {
+
+/// Value equality of everything a table consumer reads out of a RunResult.
+void expectRunResultsEqual(const RunResult &A, const RunResult &B) {
+  ASSERT_TRUE(A.ok()) << A.Error;
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_EQ(A.Sim.Cycles, B.Sim.Cycles);
+  EXPECT_EQ(A.Sim.Checksum, B.Sim.Checksum);
+  EXPECT_EQ(A.Sim.Finished, B.Sim.Finished);
+  EXPECT_EQ(A.Sim.LoadInterlockCycles, B.Sim.LoadInterlockCycles);
+  EXPECT_EQ(A.Sim.FixedInterlockCycles, B.Sim.FixedInterlockCycles);
+  EXPECT_EQ(A.RegAlloc.SpilledVRegs, B.RegAlloc.SpilledVRegs);
+  EXPECT_EQ(A.Trace.Traces, B.Trace.Traces);
+}
+
+/// Distinct-but-overlapping key set: K pressure-threshold tenants over a few
+/// workloads. The thresholds are chosen away from every default used
+/// elsewhere so the cache-miss accounting below is exact within this binary.
+std::vector<ExperimentJob> tenantJobs() {
+  std::vector<ExperimentJob> Jobs;
+  const auto &Ws = workloads();
+  for (size_t W = 0; W != 3; ++W) {
+    for (int T = 61; T != 65; ++T) {
+      CompileOptions O;
+      O.Scheduler = sched::SchedulerKind::Balanced;
+      O.Balance.PressureThreshold = T;
+      Jobs.push_back({&Ws[W], O, {}});
+    }
+  }
+  return Jobs;
+}
+
+} // namespace
+
+// Hammer runCached from 8 workers with every key requested many times
+// concurrently: each completed key is computed exactly once (the miss
+// counter moves by exactly the number of distinct keys), every caller gets
+// the same stable pointer, and the values are byte-identical to an
+// uncached sequential recompute.
+TEST(CompileService, OverlappingKeysComputeOnce) {
+  std::vector<ExperimentJob> Jobs = tenantJobs();
+  const size_t Distinct = Jobs.size();
+  const size_t Repeat = 8;
+
+  ResultCacheStats Before = resultCacheStats();
+  std::vector<const RunResult *> Ptrs(Distinct * Repeat, nullptr);
+  ThreadPool::parallelForChunked(
+      8, Ptrs.size(),
+      [&](size_t I) {
+        const ExperimentJob &J = Jobs[I % Distinct];
+        Ptrs[I] = &runCached(*J.W, J.Opts, J.Machine);
+      },
+      ChunkPolicy::Guided);
+  ResultCacheStats After = resultCacheStats();
+
+  // One computation per distinct key; everything else was a hit or an
+  // in-flight wait on the first computation, never a recompute.
+  EXPECT_EQ(After.Misses - Before.Misses, Distinct);
+  EXPECT_EQ((After.Hits - Before.Hits) + (After.InFlightWaits -
+                                          Before.InFlightWaits),
+            Distinct * Repeat - Distinct);
+
+  // Pointer-stable: all requests for one key resolved to one entry.
+  for (size_t I = 0; I != Ptrs.size(); ++I) {
+    ASSERT_NE(Ptrs[I], nullptr);
+    EXPECT_EQ(Ptrs[I], Ptrs[I % Distinct]) << "request " << I;
+  }
+
+  // Byte-identical to an uncached 1-thread recompute.
+  for (size_t I = 0; I != Distinct; ++I) {
+    RunResult Fresh = runWorkload(*Jobs[I].W, Jobs[I].Opts, Jobs[I].Machine);
+    expectRunResultsEqual(*Ptrs[I], Fresh);
+  }
+}
+
+// runAll returns the same pointers in the same order for any thread count
+// and either chunk policy — the byte-identical determinism contract the
+// bench sweeps and table binaries rely on.
+TEST(CompileService, RunAllIdenticalAcrossThreadsAndPolicies) {
+  std::vector<ExperimentJob> Jobs = tenantJobs();
+
+  std::vector<const RunResult *> Seq = runAll(Jobs, 1);
+  std::vector<const RunResult *> ParGuided =
+      runAll(Jobs, 8, ChunkPolicy::Guided);
+  std::vector<const RunResult *> ParStatic =
+      runAll(Jobs, 8, ChunkPolicy::Static);
+  ASSERT_EQ(Seq.size(), Jobs.size());
+  for (size_t I = 0; I != Jobs.size(); ++I) {
+    EXPECT_TRUE(Seq[I]->ok()) << Seq[I]->Error;
+    EXPECT_EQ(Seq[I], ParGuided[I]) << "job " << I;
+    EXPECT_EQ(Seq[I], ParStatic[I]) << "job " << I;
+  }
+}
+
+// The sharded profile cache under a thundering herd: 8 workers repeatedly
+// profiling the same few modules. Each distinct module is interpreted
+// exactly once (in-flight dedup), and every returned profile is
+// bit-identical to a direct uncached interpretation.
+TEST(CompileService, ProfileCacheDedupesInFlight) {
+  // A few distinct laid-out modules (different workloads).
+  std::vector<ir::Module> Modules;
+  const auto &Ws = workloads();
+  for (size_t W = 0; W != 4; ++W) {
+    lang::Program P = parseWorkload(Ws[W]);
+    lower::LowerResult LR = lower::lowerProgram(P, {});
+    ASSERT_TRUE(LR.ok()) << LR.Error;
+    opt::cleanupModule(LR.M);
+    Modules.push_back(std::move(LR.M));
+  }
+
+  clearProfileCache();
+  const size_t Repeat = 16;
+  std::vector<ir::InterpResult> Out(Modules.size() * Repeat);
+  ThreadPool::parallelForChunked(
+      8, Out.size(),
+      [&](size_t I) { Out[I] = profileModule(Modules[I % Modules.size()]); },
+      ChunkPolicy::Guided);
+
+  ProfileCacheStats S = profileCacheStats();
+  EXPECT_EQ(S.Misses, Modules.size());
+  EXPECT_EQ(S.Hits + S.InFlightWaits, Out.size() - Modules.size());
+
+  for (size_t M = 0; M != Modules.size(); ++M) {
+    ir::InterpResult Direct = ir::interpret(Modules[M]);
+    for (size_t I = M; I < Out.size(); I += Modules.size()) {
+      EXPECT_EQ(Out[I].Finished, Direct.Finished);
+      EXPECT_EQ(Out[I].DynInstrs, Direct.DynInstrs);
+      EXPECT_EQ(Out[I].Checksum, Direct.Checksum);
+      EXPECT_EQ(Out[I].BlockCounts, Direct.BlockCounts);
+      EXPECT_EQ(Out[I].EdgeCounts, Direct.EdgeCounts);
+    }
+  }
+}
+
+// Eviction never hands out a wrong or dangling profile: push far more
+// distinct modules through one shard capacity's worth of traffic than the
+// per-shard bound, re-requesting earlier keys throughout, from many
+// threads. (Entries are shared_ptr-held, so a sweep during an in-flight
+// computation must not invalidate waiters.)
+TEST(CompileService, ProfileCacheSurvivesEviction) {
+  // Distinct modules via distinct instruction budgets on one module: the
+  // budget is part of the key, so each MaxInstrs value is its own entry.
+  lang::Program P = parseWorkload(workloads().front());
+  lower::LowerResult LR = lower::lowerProgram(P, {});
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  opt::cleanupModule(LR.M);
+  const ir::Module &M = LR.M;
+
+  clearProfileCache();
+  constexpr size_t Distinct = 600; // > total cache capacity (8 x 64).
+  constexpr uint64_t BaseBudget = 1000000000ull;
+  std::vector<uint64_t> Checksums(Distinct * 2);
+  ThreadPool::parallelForChunked(
+      8, Checksums.size(),
+      [&](size_t I) {
+        uint64_t Budget = BaseBudget + I % Distinct;
+        Checksums[I] = profileModule(M, Budget).Checksum;
+      },
+      ChunkPolicy::Guided);
+  uint64_t Expect = ir::interpret(M).Checksum;
+  for (uint64_t C : Checksums)
+    EXPECT_EQ(C, Expect);
+}

@@ -4,8 +4,12 @@
 #include "support/RNG.h"
 #include "support/Str.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
+#include <atomic>
 #include <gtest/gtest.h>
+#include <numeric>
+#include <vector>
 
 using namespace bsched;
 
@@ -187,4 +191,56 @@ TEST(BitVec, Equality) {
   EXPECT_FALSE(A == B);
   B.set(9);
   EXPECT_TRUE(A == B);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool chunked dispatch
+//===----------------------------------------------------------------------===//
+
+// Every index is executed exactly once, for both chunk policies, across
+// worker counts that undershoot, match, and oversubscribe the index range.
+TEST(ThreadPoolChunked, EveryIndexExactlyOnce) {
+  for (ChunkPolicy Policy : {ChunkPolicy::Static, ChunkPolicy::Guided}) {
+    for (unsigned Threads : {1u, 2u, 3u, 8u}) {
+      for (size_t Count : {size_t(0), size_t(1), size_t(5), size_t(257)}) {
+        std::vector<std::atomic<unsigned>> Seen(Count);
+        ThreadPool::parallelForChunked(
+            Threads, Count, [&](size_t I) { ++Seen[I]; }, Policy);
+        for (size_t I = 0; I != Count; ++I)
+          EXPECT_EQ(Seen[I].load(), 1u)
+              << "policy " << int(Policy) << " threads " << Threads
+              << " count " << Count << " index " << I;
+      }
+    }
+  }
+}
+
+// Static chunking hands each worker one contiguous slice: with results
+// written by index the output is identical to the sequential loop, and the
+// slice sizes differ by at most one.
+TEST(ThreadPoolChunked, StaticSlicesAreBalanced) {
+  constexpr size_t Count = 103;
+  constexpr unsigned Threads = 4;
+  std::vector<int> Out(Count, -1);
+  ThreadPool::parallelForChunked(
+      Threads, Count, [&](size_t I) { Out[I] = static_cast<int>(2 * I); },
+      ChunkPolicy::Static);
+  for (size_t I = 0; I != Count; ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(2 * I));
+}
+
+// Guided chunking: results written by index are independent of the worker
+// count (the determinism contract runAll builds on).
+TEST(ThreadPoolChunked, GuidedResultsIndependentOfThreadCount) {
+  constexpr size_t Count = 1000;
+  auto Run = [&](unsigned Threads) {
+    std::vector<uint64_t> Out(Count);
+    ThreadPool::parallelForChunked(
+        Threads, Count, [&](size_t I) { Out[I] = I * I + 7; },
+        ChunkPolicy::Guided);
+    return Out;
+  };
+  std::vector<uint64_t> One = Run(1);
+  std::vector<uint64_t> Eight = Run(8);
+  EXPECT_EQ(One, Eight);
 }
