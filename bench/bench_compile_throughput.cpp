@@ -168,8 +168,17 @@ struct PhaseTimes {
   uint64_t DagNs = 0, WeightsNs = 0, ListNs = 0;
   uint64_t TraceTotalNs = 0; ///< whole traceScheduleFunction call.
   /// TraceStats phase split (fast core only; zero for the reference twin,
-  /// which reports just the total).
+  /// which reports just the total). WeightsIncrementalNs is the incremental
+  /// balanced-weights builder's share of TraceCompactNs.
   uint64_t TraceFormNs = 0, TraceCompactNs = 0, TraceCompNs = 0;
+  uint64_t WeightsIncrementalNs = 0;
+  /// Cleanup fixpoint instrumentation (CleanupStats): rounds to fixpoint,
+  /// liveness solves split into full computes vs. incremental updates, and
+  /// per-block pass runs the dirty-block worklist skipped. The liveness and
+  /// skip counters stay zero for the reference twin.
+  int CleanupRounds = 0;
+  int CleanupLivenessFull = 0, CleanupLivenessIncremental = 0;
+  int CleanupBlocksSkipped = 0;
 };
 
 /// Mirrors the pipeline up to (but excluding) scheduling, then times each
@@ -218,10 +227,15 @@ PhaseTimes timePhases(const Workload &W, const lang::Program &Source,
 
   // Cleanup mutates the module, so each rep works on a fresh copy; the copy
   // cost is common to both implementations.
+  opt::CleanupStats CS;
   T.CleanupNs = bestOf(Reps, [&] {
     ir::Module Copy = LR.M;
-    opt::cleanupModule(Copy, Ref);
+    CS = opt::cleanupModule(Copy, Ref); // deterministic: same stats each rep
   });
+  T.CleanupRounds = CS.Iterations;
+  T.CleanupLivenessFull = CS.LivenessFullComputes;
+  T.CleanupLivenessIncremental = CS.LivenessIncrementalUpdates;
+  T.CleanupBlocksSkipped = CS.BlocksSkipped;
   opt::cleanupModule(LR.M);
   if (Traces) {
     T.ProfileNs = bestOf(Reps, [&] {
@@ -246,6 +260,7 @@ PhaseTimes timePhases(const Workload &W, const lang::Program &Source,
     T.TraceFormNs = Last.FormNs;
     T.TraceCompactNs = Last.CompactNs;
     T.TraceCompNs = Last.CompensationNs;
+    T.WeightsIncrementalNs = Last.WeightsNs;
   }
 
   std::vector<std::vector<const ir::Instr *>> Regions;
@@ -718,16 +733,25 @@ int main(int argc, char **argv) {
     if (FastSched != 0 && RefSched != 0)
       SchedSpeedup =
           static_cast<double>(RefSched) / static_cast<double>(FastSched);
-    std::printf("summary: BS+LU8+TrS %.0f kinstr/s, end-to-end %.2fx, "
-                "scheduler phases %.2fx\n",
-                Headline->instrsPerSec() / 1e3, Headline->speedup(),
-                SchedSpeedup);
+    // Like the per-config rows: a ratio of 0 means "reference not timed in
+    // this mode" — print n/a instead of a fake 0.00x (the JSON already
+    // emits null for it).
+    std::printf("summary: BS+LU8+TrS %.0f kinstr/s, end-to-end ",
+                Headline->instrsPerSec() / 1e3);
+    if (Headline->totalRefNs() != 0)
+      std::printf("%.2fx, ", Headline->speedup());
+    else
+      std::printf("n/a, ");
+    if (SchedSpeedup != 0.0)
+      std::printf("scheduler phases %.2fx\n", SchedSpeedup);
+    else
+      std::printf("scheduler phases n/a\n");
   }
 
   // --- JSON -----------------------------------------------------------------
   {
     std::ostringstream J;
-    J << "{\n  \"schema\": \"bsched-compile-throughput-v2\",\n";
+    J << "{\n  \"schema\": \"bsched-compile-throughput-v3\",\n";
     J << "  \"quick\": " << (Quick ? "true" : "false") << ",\n";
     J << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n";
@@ -762,6 +786,15 @@ int main(int argc, char **argv) {
           << ", \"trace_form_ns\": " << W.FastPhases.TraceFormNs
           << ", \"trace_compact_ns\": " << W.FastPhases.TraceCompactNs
           << ", \"trace_compensation_ns\": " << W.FastPhases.TraceCompNs
+          << ", \"weights_incremental_ns\": "
+          << W.FastPhases.WeightsIncrementalNs
+          << ", \"cleanup_rounds\": " << W.FastPhases.CleanupRounds
+          << ", \"cleanup_liveness_full_computes\": "
+          << W.FastPhases.CleanupLivenessFull
+          << ", \"cleanup_liveness_incremental_updates\": "
+          << W.FastPhases.CleanupLivenessIncremental
+          << ", \"cleanup_blocks_skipped\": "
+          << W.FastPhases.CleanupBlocksSkipped
           << ", \"ref_cleanup_ns\": " << W.RefPhases.CleanupNs
           << ", \"ref_profile_ns\": " << W.RefPhases.ProfileNs
           << ", \"ref_dag_ns\": " << W.RefPhases.DagNs

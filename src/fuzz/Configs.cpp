@@ -70,6 +70,21 @@ std::vector<CompileOptions> fuzz::differentialCompileConfigs() {
   TraceHostile.TraceScheduling = true;
   TraceHostile.Lower.IfConversion = false;
   Cs.push_back(TraceHostile);
+  // Compaction-hostile: the longest traces the pipeline can form (heavy
+  // unrolling, if-conversion explicitly on so diamonds collapse into long
+  // straight-line runs the trace grower can swallow), scheduled with the
+  // pressure heuristic disabled so the balanced weights alone pick the
+  // order. This drives the incremental balanced-weights builder through
+  // the most prefix-extension steps per trace, where a stale cached bitset
+  // row or memo entry would diverge from the reference twin.
+  CompileOptions CompactHostile;
+  CompactHostile.Scheduler = sched::SchedulerKind::Balanced;
+  CompactHostile.UnrollFactor = 8;
+  CompactHostile.TraceScheduling = true;
+  CompactHostile.Lower.IfConversion = true;
+  CompactHostile.Balance.BalanceFixedOps = true;
+  CompactHostile.Balance.PressureThreshold = 0;
+  Cs.push_back(CompactHostile);
   return Cs;
 }
 

@@ -35,6 +35,13 @@ struct CleanupStats {
   int Hoisted = 0;
   int DeadRemoved = 0;
   int Iterations = 0;
+  /// Instrumentation for the worklist-driven fast path (left zero by the
+  /// reference twin, and excluded from the twin-equality checks): liveness
+  /// solves split into full computes vs. incremental region updates, and how
+  /// many per-block pass runs the dirty-block worklist skipped outright.
+  int LivenessFullComputes = 0;
+  int LivenessIncrementalUpdates = 0;
+  int BlocksSkipped = 0;
 };
 
 /// Cleans every block of \p M in place. The module must verify before and

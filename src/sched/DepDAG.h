@@ -15,6 +15,8 @@
 #include "ir/IR.h"
 #include "support/BitVec.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 namespace bsched {
@@ -33,10 +35,31 @@ enum class SchedImpl : uint8_t { Fast, Reference, Exact };
 
 class DepDAG {
 public:
-  explicit DepDAG(unsigned NumNodes)
-      : Succs(NumNodes), Preds(NumNodes), Edge(NumNodes, BitVec(NumNodes)) {}
+  explicit DepDAG(unsigned NumNodes) { reset(NumNodes); }
 
-  unsigned size() const { return static_cast<unsigned>(Succs.size()); }
+  DepDAG(const DepDAG &) = default;
+  DepDAG &operator=(const DepDAG &) = default;
+  // Moves must reset the source's logical sizes: they describe the moved-
+  // away storage, and a stale nonzero size over empty vectors would break a
+  // later reset() of the source.
+  DepDAG(DepDAG &&O) noexcept
+      : Succs(std::move(O.Succs)), Preds(std::move(O.Preds)),
+        EdgeBits(std::move(O.EdgeBits)), N(O.N), Rows(O.Rows),
+        Stride(O.Stride) {
+    O.N = O.Rows = O.Stride = 0;
+  }
+  DepDAG &operator=(DepDAG &&O) noexcept {
+    Succs = std::move(O.Succs);
+    Preds = std::move(O.Preds);
+    EdgeBits = std::move(O.EdgeBits);
+    N = O.N;
+    Rows = O.Rows;
+    Stride = O.Stride;
+    O.N = O.Rows = O.Stride = 0;
+    return *this;
+  }
+
+  unsigned size() const { return N; }
 
   /// Adds From -> To (deduplicated). Self-edges are ignored.
   ///
@@ -47,35 +70,56 @@ public:
   void addEdge(unsigned From, unsigned To) {
     assert(From <= To && "dependence edges must point forward in program "
                          "order (node ids are topologically ordered)");
-    if (From == To || Edge[From].test(To))
+    if (From == To)
       return;
-    Edge[From].set(To);
+    uint64_t &Word = EdgeBits[size_t(From) * Stride + To / 64];
+    uint64_t Mask = 1ull << (To % 64);
+    if (Word & Mask)
+      return;
+    Word |= Mask;
     Succs[From].push_back(To);
     Preds[To].push_back(From);
   }
 
   bool hasEdge(unsigned From, unsigned To) const {
-    return Edge[From].test(To);
+    return (EdgeBits[size_t(From) * Stride + To / 64] >> (To % 64)) & 1;
   }
 
   const std::vector<unsigned> &succs(unsigned N) const { return Succs[N]; }
   const std::vector<unsigned> &preds(unsigned N) const { return Preds[N]; }
 
   /// Re-initializes to an empty graph over \p NumNodes nodes, retaining the
-  /// per-node adjacency and bitset storage already allocated. DepDAGBuilder
-  /// uses this to recycle one graph across the regions of a function instead
-  /// of paying NumNodes+1 allocations per region.
+  /// per-node adjacency and dedup-bitmap storage already allocated.
+  /// DepDAGBuilder uses this to recycle one graph across the regions of a
+  /// function instead of paying per-region allocations. The dedup bitmap is
+  /// high-water sized and un-set by replaying the previous region's
+  /// adjacency — O(edges) words instead of an O(nodes^2 / 8)-byte clear per
+  /// region, which dominated DAG construction for long traces.
   void reset(unsigned NumNodes) {
-    unsigned Keep = std::min(size(), NumNodes);
-    for (unsigned I = 0; I != Keep; ++I) {
+    // Invariant: every node >= the logical size has empty adjacency (each
+    // reset clears exactly [0, N)), so replaying [0, N) un-sets every bit
+    // in the dedup bitmap.
+    for (unsigned I = 0; I != N; ++I) {
+      for (unsigned S : Succs[I])
+        EdgeBits[size_t(I) * Stride + S / 64] = 0;
       Succs[I].clear();
       Preds[I].clear();
     }
-    Succs.resize(NumNodes);
-    Preds.resize(NumNodes);
-    Edge.resize(NumNodes);
-    for (BitVec &B : Edge)
-      B.resizeCleared(NumNodes);
+    unsigned NeedStride = (NumNodes + 63) / 64;
+    if (NumNodes > Rows || NeedStride > Stride) {
+      // Growing the row count or the row width invalidates the replay-
+      // cleared layout; restart from an all-zero bitmap at the new high
+      // water (amortized: a function's largest region grows it once).
+      Rows = std::max(Rows, NumNodes);
+      Stride = std::max(Stride, NeedStride);
+      EdgeBits.assign(size_t(Rows) * Stride, 0);
+    }
+    if (Succs.size() < NumNodes) {
+      // Never shrinks: spare nodes keep their vectors' capacity.
+      Succs.resize(NumNodes);
+      Preds.resize(NumNodes);
+    }
+    N = NumNodes;
   }
 
   /// Topological order (by Kahn's algorithm); asserts the graph is acyclic.
@@ -86,8 +130,13 @@ public:
   std::vector<BitVec> reachability() const;
 
 private:
-  std::vector<std::vector<unsigned>> Succs, Preds;
-  std::vector<BitVec> Edge;
+  std::vector<std::vector<unsigned>> Succs, Preds; ///< high-water sized.
+  /// Dedup bitmap, Rows x Stride words (high-water): bit To of row From is
+  /// set iff the edge exists. Cleared incrementally by reset().
+  std::vector<uint64_t> EdgeBits;
+  unsigned N = 0;      ///< logical node count of the current region.
+  unsigned Rows = 0;   ///< allocated bitmap rows.
+  unsigned Stride = 0; ///< allocated words per bitmap row.
 };
 
 /// Builds the dependence DAG for \p Instrs (a region in program order).

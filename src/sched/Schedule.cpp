@@ -1,12 +1,15 @@
 //===- sched/Schedule.cpp - Balanced & traditional list scheduling ---------===//
 //
-// The optimized scheduler core. balancedWeights replaces the per-node
-// union-find rebuild with bitset component search over a load-to-load
-// relation matrix (plus memoization of repeated availability sets), and
-// listSchedule precomputes the static tie-key parts, maintains the
-// exposed-successor counts incrementally, and removes ready entries in O(1)
-// amortized. Both are byte-identical to the originals kept in Reference.cpp;
-// the golden-schedule tests assert it.
+// The optimized scheduler core. The balanced-weight analysis lives in
+// BalancedWeightsBuilder: per-node load-reachability bitset rows, a
+// load-to-load relation matrix, and a memo of availability-set ->
+// component-credit lists, all extensible as a region grows (the trace
+// scheduler extends block by block; one-shot balancedWeights is a
+// begin/extend/weights cycle over a thread-local builder). listSchedule
+// precomputes the static tie-key parts, maintains the exposed-successor
+// counts incrementally, and removes ready entries in O(1) amortized. Both
+// are byte-identical to the originals kept in Reference.cpp; the
+// golden-schedule and weights_incremental tests assert it.
 //
 //===----------------------------------------------------------------------===//
 
@@ -15,7 +18,7 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_map>
+#include <cstring>
 
 using namespace bsched;
 using namespace bsched::sched;
@@ -33,39 +36,71 @@ sched::traditionalWeights(const std::vector<const Instr *> &Instrs) {
   return W;
 }
 
+//===----------------------------------------------------------------------===//
+// BalancedWeightsBuilder
+//===----------------------------------------------------------------------===//
+
 namespace {
 
-/// FNV-1a over a word vector; keys the availability-set memo below.
-struct WordsHash {
-  size_t operator()(const std::vector<uint64_t> &Ws) const {
-    uint64_t H = 0xcbf29ce484222325ull;
-    for (uint64_t W : Ws) {
-      H ^= W;
-      H *= 0x100000001b3ull;
-    }
-    return static_cast<size_t>(H);
-  }
-};
+inline void setWordBit(uint64_t *Row, unsigned I) {
+  Row[I / 64] |= 1ull << (I % 64);
+}
 
 } // namespace
 
-std::vector<double>
-sched::balancedWeights(const DepDAG &G,
-                       const std::vector<const Instr *> &Instrs,
-                       BalanceOptions Opts) {
-  if (Opts.Impl == SchedImpl::Reference)
-    return reference::balancedWeights(G, Instrs, Opts);
+void BalancedWeightsBuilder::begin(const BalanceOptions &O) {
+  Opts = O;
+  N = 0;
+  L = 0;
+  Loads.clear();
+  LoadOrd.clear();
+  Memo.clear();
+  // Row storage and stride persist across regions; rows are re-zeroed as
+  // they are claimed (WordsReady/RowsReady reset below via extend()).
+  RowsReady = 0;
+  RelRowsReady = 0;
+  WordsReady = 0;
+}
 
-  unsigned N = G.size();
-  std::vector<double> W = traditionalWeights(Instrs);
+/// Widens every row to \p NewStride words in place (back-to-front moves, so
+/// no temporary allocation). The memo's keys are active-word vectors, not
+/// strided rows, so they survive — but growing the stride means the load
+/// count crossed a word boundary, which invalidates nothing by itself;
+/// entries are only ever keyed on availability sets whose Rel sub-matrix is
+/// final, so the memo is kept.
+void BalancedWeightsBuilder::relayout(size_t NewStride) {
+  auto Widen = [&](std::vector<uint64_t> &V, size_t Rows) {
+    V.resize(std::max(V.size() / (Stride ? Stride : 1), Rows) * NewStride, 0);
+    for (size_t R = Rows; R-- > 0;) {
+      std::memmove(V.data() + R * NewStride, V.data() + R * Stride,
+                   Stride * sizeof(uint64_t));
+      std::memset(V.data() + R * NewStride + Stride, 0,
+                  (NewStride - Stride) * sizeof(uint64_t));
+    }
+  };
+  Widen(Fwd, RowsReady);
+  Widen(Bwd, RowsReady);
+  Widen(Rel, RelRowsReady);
+  Stride = NewStride;
+}
 
-  // Candidates for balancing: loads (hit-annotated loads keep the
-  // optimistic weight so their would-be padders serve other loads), plus —
-  // with BalanceFixedOps, the paper's future-work extension — multi-cycle
-  // fixed-latency instructions, which then compete for padders too.
-  std::vector<unsigned> Loads; // historical name: the balanced candidates
-  std::vector<bool> IsBalancedLoad(N, false);
-  for (unsigned I = 0; I != N; ++I) {
+void BalancedWeightsBuilder::extend(const DepDAG &G,
+                                    const std::vector<const Instr *> &Instrs,
+                                    unsigned UpTo) {
+  unsigned N1 = UpTo;
+  assert(N1 <= G.size() && N1 <= Instrs.size() && "prefix out of range");
+  assert(N1 >= N && "region shrank between extends");
+  if (N1 == N)
+    return;
+  unsigned N0 = N, L0 = L;
+
+  // Candidates for balancing among the new nodes: loads (hit-annotated
+  // loads keep the optimistic weight so their would-be padders serve other
+  // loads), plus — with BalanceFixedOps, the paper's future-work extension —
+  // multi-cycle fixed-latency instructions, which then compete for padders
+  // too. Node ids are topological, so new ordinals append at the end.
+  LoadOrd.resize(N1, -1);
+  for (unsigned I = N0; I != N1; ++I) {
     bool Candidate = false;
     if (Instrs[I]->isLoad())
       Candidate =
@@ -74,119 +109,191 @@ sched::balancedWeights(const DepDAG &G,
       Candidate = opInfo(Instrs[I]->Op).Latency > 1;
     if (!Candidate)
       continue;
+    LoadOrd[I] = static_cast<int>(L);
     Loads.push_back(I);
-    IsBalancedLoad[I] = true;
+    ++L;
   }
-  if (Loads.empty())
+  N = N1;
+  if (L == 0)
+    return; // nothing to analyse yet; rows materialize once a load appears
+
+  size_t NeedW = LW();
+  if (NeedW > Stride)
+    relayout(std::max(NeedW, Stride * 2));
+
+  // Claim storage: widen previously-claimed rows to the new active word
+  // count, then zero-claim the new rows. (Recycled memory: explicit zeroing,
+  // not vector value-init, is what makes the rows valid.)
+  if (Fwd.size() < size_t(N1) * Stride) {
+    Fwd.resize(size_t(N1) * Stride, 0);
+    Bwd.resize(size_t(N1) * Stride, 0);
+  }
+  if (Rel.size() < size_t(L) * Stride)
+    Rel.resize(size_t(L) * Stride, 0);
+  if (NeedW > WordsReady) {
+    for (size_t R = 0; R != RowsReady; ++R) {
+      std::memset(Fwd.data() + R * Stride + WordsReady, 0,
+                  (NeedW - WordsReady) * sizeof(uint64_t));
+      std::memset(Bwd.data() + R * Stride + WordsReady, 0,
+                  (NeedW - WordsReady) * sizeof(uint64_t));
+    }
+    for (size_t R = 0; R != RelRowsReady; ++R)
+      std::memset(Rel.data() + R * Stride + WordsReady, 0,
+                  (NeedW - WordsReady) * sizeof(uint64_t));
+  }
+  for (size_t R = RowsReady; R != N1; ++R) {
+    std::memset(Fwd.data() + R * Stride, 0, NeedW * sizeof(uint64_t));
+    std::memset(Bwd.data() + R * Stride, 0, NeedW * sizeof(uint64_t));
+  }
+  RowsReady = N1;
+  WordsReady = NeedW;
+
+  // Forward rows (loads reachable from each node): edges only point to
+  // higher ids, so (1) a new node can never reach an old load — old-ordinal
+  // bits of new rows stay zero; (2) old-ordinal bits of old rows are final.
+  // Only the new loads' bit range [L0, L) needs sweeping, over ALL nodes
+  // (old nodes do reach new loads through old->new edges), reverse-id so
+  // successors are finished first.
+  size_t WB0 = size_t(L0) / 64; // first word holding any new ordinal
+  if (L > L0) {
+    for (unsigned I = N1; I-- > 0;) {
+      uint64_t *Row = Fwd.data() + size_t(I) * Stride;
+      for (unsigned S : G.succs(I)) {
+        if (S >= N1)
+          continue; // deferred until an extension covers S
+        const uint64_t *SR = Fwd.data() + size_t(S) * Stride;
+        for (size_t Wd = WB0; Wd != NeedW; ++Wd)
+          Row[Wd] |= SR[Wd];
+        if (int Ord = LoadOrd[S]; Ord >= static_cast<int>(L0))
+          setWordBit(Row, static_cast<unsigned>(Ord));
+      }
+    }
+  }
+
+  // Backward rows (loads reaching each node): preds of an old node are old,
+  // so old rows are final in full; only the new nodes need rows, over the
+  // whole active span (old loads do reach new nodes).
+  for (unsigned I = N0; I != N1; ++I) {
+    uint64_t *Row = Bwd.data() + size_t(I) * Stride;
+    for (unsigned P : G.preds(I)) {
+      const uint64_t *PR = Bwd.data() + size_t(P) * Stride;
+      for (size_t Wd = 0; Wd != NeedW; ++Wd)
+        Row[Wd] |= PR[Wd];
+      if (int Ord = LoadOrd[P]; Ord >= 0)
+        setWordBit(Row, static_cast<unsigned>(Ord));
+    }
+  }
+
+  // Load-to-load relatedness, Rel[A] = loads reachable from A or reaching
+  // A. Old rows only gain bits for the new loads they reach (nothing new
+  // can reach an old load); new rows are Fwd | Bwd of the load's node.
+  if (L > L0) {
+    for (unsigned LI = 0; LI != L0; ++LI) {
+      uint64_t *Row = Rel.data() + size_t(LI) * Stride;
+      const uint64_t *F = Fwd.data() + size_t(Loads[LI]) * Stride;
+      for (size_t Wd = WB0; Wd != NeedW; ++Wd)
+        Row[Wd] |= F[Wd];
+    }
+    for (unsigned LI = L0; LI != L; ++LI) {
+      uint64_t *Row = Rel.data() + size_t(LI) * Stride;
+      const uint64_t *F = Fwd.data() + size_t(Loads[LI]) * Stride;
+      const uint64_t *B = Bwd.data() + size_t(Loads[LI]) * Stride;
+      for (size_t Wd = 0; Wd != NeedW; ++Wd)
+        Row[Wd] = F[Wd] | B[Wd];
+    }
+    RelRowsReady = L;
+  }
+}
+
+std::vector<double>
+BalancedWeightsBuilder::weights(const std::vector<const Instr *> &Instrs) {
+  assert(Instrs.size() == N && "weights() before matching extend()");
+  std::vector<double> W = traditionalWeights(Instrs);
+  if (L == 0)
     return W;
 
-  // Small regions: the reference's per-node union-find has less setup cost
-  // than the bitset sweeps below and produces identical weights; use it.
-  if (N < 96)
-    return reference::balancedWeights(G, Instrs, Opts);
-
-  unsigned L = static_cast<unsigned>(Loads.size());
-
-  // Node id -> load ordinal (or -1).
-  std::vector<int> LoadOrd(N, -1);
-  for (unsigned LI = 0; LI != L; ++LI)
-    LoadOrd[Loads[LI]] = static_cast<int>(LI);
-
-  // Per-node load-ordinal masks, computed by two linear sweeps instead of
-  // materializing the N x N reachability closure: node ids are topologically
-  // ordered (every edge points forward), so a reverse-id sweep accumulates
-  // the loads reachable FROM each node and a forward-id sweep the loads that
-  // REACH it. O((N + E) * L/64) words total.
-  std::vector<BitVec> FwdLoads(N, BitVec(L)); // loads reachable from node
-  std::vector<BitVec> BwdRel(N, BitVec(L));   // loads that reach node
-  for (unsigned I = N; I-- > 0;)
-    for (unsigned S : G.succs(I)) {
-      FwdLoads[I].orWith(FwdLoads[S]);
-      if (int Ord = LoadOrd[S]; Ord >= 0)
-        FwdLoads[I].set(static_cast<unsigned>(Ord));
-    }
-  for (unsigned I = 0; I != N; ++I)
-    for (unsigned P : G.preds(I)) {
-      BwdRel[I].orWith(BwdRel[P]);
-      if (int Ord = LoadOrd[P]; Ord >= 0)
-        BwdRel[I].set(static_cast<unsigned>(Ord));
-    }
-
-  // Load-to-load relatedness: for load A, FwdLoads[A] holds every load a
-  // path from A can hit (the reverse direction is statically impossible for
-  // A < B); symmetrize into Rel.
-  std::vector<BitVec> Rel(L, BitVec(L));
-  for (unsigned LI = 0; LI != L; ++LI) {
-    Rel[LI].orWith(FwdLoads[Loads[LI]]);
-    FwdLoads[Loads[LI]].forEach(
-        [&](unsigned Ord) { Rel[Ord].set(LI); });
-  }
-
-  std::vector<double> Extra(N, 0.0);
-
-  // Per-node contribution = 1/|component| for each available load, where
-  // components are taken over Rel restricted to the node's availability
-  // set. Nodes of a regular (unrolled) block repeat the same availability
-  // set many times, so the component analysis is memoized on it.
-  std::unordered_map<std::vector<uint64_t>, std::vector<std::pair<unsigned, double>>,
-                     WordsHash>
-      Memo;
-  BitVec AllLoads(L);
-  for (unsigned LI = 0; LI != L; ++LI)
-    AllLoads.set(LI);
-  BitVec Avail(L), Rem(L), Cur(L), Next(L);
-  std::vector<unsigned> Members;
+  size_t NeedW = LW();
+  Extra.assign(N, 0.0);
+  Avail.resize(NeedW);
+  Rem.resize(NeedW);
+  Cur.resize(NeedW);
+  Next.resize(NeedW);
+  uint64_t TopMask = (L % 64) ? ((1ull << (L % 64)) - 1) : ~0ull;
 
   for (unsigned Node = 0; Node != N; ++Node) {
     // Loads that could be serviced while Node initiates execution: no
     // dependence path between Node and the load, in either direction.
-    Avail = AllLoads;
-    Avail.subtract(FwdLoads[Node]); // loads Node reaches
-    Avail.subtract(BwdRel[Node]);   // loads that reach Node
+    const uint64_t *F = Fwd.data() + size_t(Node) * Stride;
+    const uint64_t *B = Bwd.data() + size_t(Node) * Stride;
+    for (size_t Wd = 0; Wd != NeedW; ++Wd)
+      Avail[Wd] = ~(F[Wd] | B[Wd]);
+    Avail[NeedW - 1] &= TopMask;
     if (int Ord = LoadOrd[Node]; Ord >= 0)
-      Avail.reset(static_cast<unsigned>(Ord));
-    if (!Avail.any())
+      Avail[Ord / 64] &= ~(1ull << (Ord % 64));
+    bool Any = false;
+    for (size_t Wd = 0; Wd != NeedW; ++Wd)
+      Any |= Avail[Wd] != 0;
+    if (!Any)
       continue;
 
-    auto [It, Inserted] = Memo.try_emplace(Avail.words());
+    auto [It, Inserted] = Memo.try_emplace(Avail);
     if (Inserted) {
       // Loads connected by a dependence path compete for Node's single
       // issue slot; loads in separate components each get full credit.
       // Component search: repeated bitset frontier expansion over Rel.
       std::vector<std::pair<unsigned, double>> &Contrib = It->second;
-      Rem = Avail;
-      int Seed;
-      while ((Seed = Rem.findFirst()) >= 0) {
+      std::copy(Avail.begin(), Avail.end(), Rem.begin());
+      for (;;) {
+        int Seed = -1;
+        for (size_t Wd = 0; Wd != NeedW && Seed < 0; ++Wd)
+          if (Rem[Wd])
+            Seed = static_cast<int>(Wd * 64 +
+                                    __builtin_ctzll(Rem[Wd]));
+        if (Seed < 0)
+          break;
         Members.clear();
-        Cur.clear();
-        Cur.set(static_cast<unsigned>(Seed));
-        Rem.reset(static_cast<unsigned>(Seed));
-        while (Cur.any()) {
-          Next.clear();
-          Cur.forEach([&](unsigned I) {
-            Members.push_back(I);
-            Next.orWith(Rel[I]);
-          });
-          Next.andWith(Rem);
-          Rem.subtract(Next);
+        std::fill(Cur.begin(), Cur.end(), 0);
+        setWordBit(Cur.data(), static_cast<unsigned>(Seed));
+        Rem[Seed / 64] &= ~(1ull << (Seed % 64));
+        for (;;) {
+          bool CurAny = false;
+          std::fill(Next.begin(), Next.end(), 0);
+          for (size_t Wd = 0; Wd != NeedW; ++Wd) {
+            uint64_t Bits = Cur[Wd];
+            while (Bits) {
+              unsigned I =
+                  static_cast<unsigned>(Wd * 64 + __builtin_ctzll(Bits));
+              Bits &= Bits - 1;
+              Members.push_back(I);
+              const uint64_t *RR = Rel.data() + size_t(I) * Stride;
+              for (size_t V = 0; V != NeedW; ++V)
+                Next[V] |= RR[V];
+            }
+          }
+          for (size_t Wd = 0; Wd != NeedW; ++Wd) {
+            Next[Wd] &= Rem[Wd];
+            Rem[Wd] &= ~Next[Wd];
+            CurAny |= Next[Wd] != 0;
+          }
           std::swap(Cur, Next);
+          if (!CurAny)
+            break;
         }
         double Credit = 1.0 / static_cast<double>(Members.size());
         for (unsigned I : Members)
           Contrib.emplace_back(I, Credit);
       }
-      Rem.clear();
     }
     // Each available load receives exactly one credit per node, so the
     // accumulation order (node-major, as in the reference) is preserved and
-    // the doubles come out bit-identical.
+    // the doubles come out bit-identical — Extra is re-accumulated from
+    // scratch on every weights() call, never delta-adjusted.
     for (const auto &[LI, Credit] : It->second)
       Extra[Loads[LI]] += Credit;
   }
 
-  for (unsigned I = 0; I != N; ++I) {
-    if (!IsBalancedLoad[I])
-      continue;
+  for (unsigned LI = 0; LI != L; ++LI) {
+    unsigned I = Loads[LI];
     double Balanced = 1.0 + Extra[I];
     if (Instrs[I]->isLoad()) {
       W[I] = std::min(std::max(Balanced,
@@ -201,6 +308,23 @@ sched::balancedWeights(const DepDAG &G,
     }
   }
   return W;
+}
+
+std::vector<double>
+sched::balancedWeights(const DepDAG &G,
+                       const std::vector<const Instr *> &Instrs,
+                       BalanceOptions Opts) {
+  if (Opts.Impl == SchedImpl::Reference)
+    return reference::balancedWeights(G, Instrs, Opts);
+
+  // One-shot = builder with a single extension. The builder's storage is
+  // recycled across regions (thread-local), which is most of the win for
+  // block-sized regions — the old per-call BitVec matrices dominated the
+  // runtime of small schedules.
+  static thread_local BalancedWeightsBuilder Builder;
+  Builder.begin(Opts);
+  Builder.extend(G, Instrs);
+  return Builder.weights(Instrs);
 }
 
 //===----------------------------------------------------------------------===//

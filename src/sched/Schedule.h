@@ -16,6 +16,9 @@
 #include "sched/DepDAG.h"
 #include "sched/Exact.h"
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace bsched {
@@ -82,6 +85,97 @@ balancedWeights(const DepDAG &G, const std::vector<const ir::Instr *> &Instrs,
 /// other instruction its Table-3 latency.
 std::vector<double>
 traditionalWeights(const std::vector<const ir::Instr *> &Instrs);
+
+/// Incremental Kerns-Eggers balanced weights over a growing region.
+///
+/// The balanced-weight analysis decomposes into per-node load-reachability
+/// rows (loads reachable from each node, loads reaching each node), the
+/// load-to-load relatedness matrix derived from them, and a memo of
+/// availability-set -> component-credit lists. All of it extends cheaply
+/// when nodes are appended to the region: node ids are a topological order
+/// (DepDAG edges only point forward), so once a prefix has been analysed its
+/// rows over the *old* load ordinals are final — an extension only sweeps
+/// the new loads' bit range through the old rows and builds full rows for
+/// the new nodes, O(new nodes + affected words) instead of a from-scratch
+/// O(region^2 / 64) pass per growth step.
+///
+/// Contract: between extend() calls the DAG may only grow — previously seen
+/// nodes keep their ids and previously seen edges persist, and new edges
+/// touch at least one new node (block-boundary prefixes of the trace
+/// scheduler's region growth satisfy this, including its control edges).
+/// weights() is bit-identical to the one-shot balancedWeights on the final
+/// region: the floating-point accumulation is re-run node-major over the
+/// cached credit lists every time, never delta-adjusted.
+///
+/// All storage is recycled across begin() cycles; the trace scheduler keeps
+/// one builder per thread in its scratch state.
+class BalancedWeightsBuilder {
+public:
+  /// Starts a new region with the given options; cached analysis state from
+  /// the previous region is discarded (storage is recycled).
+  void begin(const BalanceOptions &Opts);
+
+  /// Extends the cached analysis to cover \p G's first \p UpTo nodes.
+  /// \p Instrs must hold the region's instructions, one per node. Edges
+  /// leaving the covered prefix are deferred: they contribute when a later
+  /// extension covers their head node.
+  void extend(const DepDAG &G, const std::vector<const ir::Instr *> &Instrs,
+              unsigned UpTo);
+  void extend(const DepDAG &G, const std::vector<const ir::Instr *> &Instrs) {
+    extend(G, Instrs, G.size());
+  }
+
+  /// Balanced weights for every node covered so far; bit-identical to
+  /// one-shot balancedWeights over the same DAG.
+  std::vector<double> weights(const std::vector<const ir::Instr *> &Instrs);
+
+  /// Nodes covered by extend() so far.
+  unsigned size() const { return N; }
+
+private:
+  struct WordsHash {
+    size_t operator()(const std::vector<uint64_t> &Ws) const {
+      uint64_t H = 0xcbf29ce484222325ull;
+      for (uint64_t W : Ws) {
+        H ^= W;
+        H *= 0x100000001b3ull;
+      }
+      return static_cast<size_t>(H);
+    }
+  };
+
+  void relayout(size_t NewStride);
+
+  BalanceOptions Opts;
+  unsigned N = 0; ///< nodes covered so far.
+  unsigned L = 0; ///< balanced candidates ("loads") among them.
+  size_t Stride = 0;      ///< words per row (capacity for LW() active words).
+  size_t RowsReady = 0;   ///< Fwd/Bwd rows zero-claimed this region.
+  size_t RelRowsReady = 0; ///< Rel rows written this region.
+  size_t WordsReady = 0;  ///< active words valid in every ready row.
+
+  size_t LW() const { return (L + 63) / 64; } ///< active words per row.
+
+  std::vector<unsigned> Loads; ///< candidate node ids, ascending.
+  std::vector<int> LoadOrd;    ///< node id -> load ordinal, or -1.
+  /// Load-ordinal bitset rows, Stride words each: loads reachable from each
+  /// node (Fwd), loads reaching each node (Bwd), and the symmetric
+  /// load-to-load relation (Rel, L rows).
+  std::vector<uint64_t> Fwd, Bwd, Rel;
+
+  /// Availability-set memo: full active-word key -> (load ordinal, credit)
+  /// pairs. Entries stay valid across extends that do not change the active
+  /// word count (their keys only cover old ordinals, whose Rel sub-matrix is
+  /// final); a stride relayout clears the memo.
+  std::unordered_map<std::vector<uint64_t>,
+                     std::vector<std::pair<unsigned, double>>, WordsHash>
+      Memo;
+
+  // Scratch recycled across calls.
+  std::vector<uint64_t> Avail, Rem, Cur, Next;
+  std::vector<unsigned> Members;
+  std::vector<double> Extra;
+};
 
 /// Register-pressure ceiling for the list scheduler: once the number of
 /// simultaneously live values of a class in the partial schedule reaches

@@ -222,6 +222,7 @@ namespace {
 /// hashes pin that.
 struct TraceScratch {
   DepDAGBuilder Builder;
+  BalancedWeightsBuilder WB;
   Arena A;
   std::vector<const Instr *> Ptrs;
   std::vector<std::vector<Instr>> Segs;
@@ -235,7 +236,7 @@ public:
   TraceScheduler(Module &M, const InterpResult &Profile, SchedulerKind Kind,
                  BalanceOptions Opts, TraceScratch &S)
       : M(M), Profile(Profile), Kind(Kind), Opts(Opts), Builder(S.Builder),
-        A(S.A), Ptrs(S.Ptrs), Segs(S.Segs), Crossed(S.Crossed),
+        WB(S.WB), A(S.A), Ptrs(S.Ptrs), Segs(S.Segs), Crossed(S.Crossed),
         OffPreds(S.OffPreds), PredList(S.PredList) {}
 
   TraceStats run() {
@@ -269,6 +270,7 @@ private:
   /// Region state recycled across traces, single blocks, and (via the
   /// thread-local TraceScratch) whole batches of compiles.
   DepDAGBuilder &Builder;
+  BalancedWeightsBuilder &WB;
   Arena &A;
   std::vector<const Instr *> &Ptrs;
   std::vector<std::vector<Instr>> &Segs;
@@ -280,6 +282,30 @@ private:
   /// would return, maintained incrementally as compensation retargets
   /// edges (instead of an O(blocks) rescan per join).
   std::vector<std::vector<int>> &PredList;
+
+  /// Balanced weights for the current region in Ptrs via the recycled
+  /// incremental builder (one extension step per entry of \p Boundaries, or
+  /// a single whole-region step when none are given). Routes to the
+  /// reference algorithm when the scheduler twin is selected, and charges
+  /// the time to the WeightsNs phase timer either way.
+  std::vector<double>
+  builderBalancedWeights(const DepDAG &G,
+                         const unsigned *Boundaries = nullptr, // terminator ids
+                         size_t NumBoundaries = 0) {
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<double> W;
+    if (Opts.Impl == SchedImpl::Reference) {
+      W = balancedWeights(G, Ptrs, Opts);
+    } else {
+      WB.begin(Opts);
+      for (size_t I = 0; I != NumBoundaries; ++I)
+        WB.extend(G, Ptrs, Boundaries[I] + 1); // cover through this term
+      WB.extend(G, Ptrs);
+      W = WB.weights(Ptrs);
+    }
+    Stats.WeightsNs += nsSince(T0);
+    return W;
+  }
 
   void buildPredLists() {
     const Function &F = M.Fn;
@@ -308,7 +334,7 @@ private:
     addBlockControlEdges(G, Ptrs);
     SchedulerKind RegionKind = effectiveKind(Kind, Ptrs, Opts);
     std::vector<double> W = RegionKind == SchedulerKind::Balanced
-                                ? balancedWeights(G, Ptrs, Opts)
+                                ? builderBalancedWeights(G)
                                 : traditionalWeights(Ptrs);
     std::vector<unsigned> Order = listSchedule(G, W, Ptrs,
                                                Opts.PressureThreshold,
@@ -402,10 +428,13 @@ private:
     }
 
     // Weights + list scheduling over the whole trace ("as though the trace
-    // were a single basic block").
+    // were a single basic block"). Balanced weights extend block by block:
+    // each constituent block is one incremental step of the builder, so the
+    // reachability rows of an already-covered prefix are reused rather than
+    // reswept (the weights come out bit-identical to a one-shot pass).
     SchedulerKind RegionKind = effectiveKind(Kind, Ptrs, Opts);
     std::vector<double> W = RegionKind == SchedulerKind::Balanced
-                                ? balancedWeights(G, Ptrs, Opts)
+                                ? builderBalancedWeights(G, TermNode, K - 1)
                                 : traditionalWeights(Ptrs);
     std::vector<unsigned> Order = listSchedule(G, W, Ptrs,
                                                Opts.PressureThreshold,

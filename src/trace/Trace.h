@@ -60,9 +60,12 @@ struct TraceStats {
   /// Phase timers, nanoseconds (fast core only; the reference twin leaves
   /// them zero): trace formation, trace compaction (DAG build + weights +
   /// list scheduling + install, including the leftover single blocks), and
-  /// compensation bookkeeping.
+  /// compensation bookkeeping. WeightsNs is the balanced-weight share of
+  /// CompactNs — the incremental builder's cost, reported separately so the
+  /// bench can track it.
   uint64_t FormNs = 0;
   uint64_t CompactNs = 0;
+  uint64_t WeightsNs = 0;
   uint64_t CompensationNs = 0;
   /// The traces actually formed, in scheduling order: the certificate the
   /// static verifier audits compensation code against.
