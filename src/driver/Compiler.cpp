@@ -22,6 +22,8 @@ std::string CompileOptions::tag() const {
     S += "+LU" + std::to_string(UnrollFactor);
   if (TraceScheduling)
     S += "+TrS";
+  if (UseEstimatedProfile)
+    S += "+Est";
   return S;
 }
 
@@ -103,12 +105,19 @@ CompileResult driver::compileProgram(const lang::Program &Source,
     // The fast pipeline memoizes the profiling run on the module's content
     // (driver/ProfileCache.h): sweeps recompile the same module under many
     // scheduler configurations, and the profile depends on none of them.
-    ir::InterpResult Profile = Opts.UseEstimatedProfile
-                                   ? trace::estimateProfile(R.M.Fn)
-                                   : (Ref ? ir::interpretByInstr(R.M)
-                                          : profileModule(R.M));
+    // Estimated and interpreted profiles share the cache but are keyed under
+    // distinct kinds (an estimate must never be served where an interpreted
+    // profile was expected); the Reference pipeline bypasses the cache for
+    // both and recomputes from scratch.
+    ir::InterpResult Profile =
+        Opts.UseEstimatedProfile
+            ? (Ref ? trace::estimateProfile(R.M.Fn)
+                   : estimatedProfileModule(R.M))
+            : (Ref ? ir::interpretByInstr(R.M) : profileModule(R.M));
     if (!Profile.Finished) {
-      R.Error = "profiling run exceeded the instruction budget";
+      R.Error = Opts.UseEstimatedProfile
+                    ? "profile estimate: some path never returns"
+                    : "profiling run exceeded the instruction budget";
       return R;
     }
     R.Trace = trace::traceScheduleFunction(

@@ -111,6 +111,9 @@ const RunResult &driver::runCached(const Workload &W,
                     std::to_string(Opts.Balance.PressureThreshold) +
                     (Opts.Balance.BalanceFixedOps ? "|bf" : "") + "|a" +
                     std::to_string(Opts.RegAlloc.AllocatablePerClass) +
+                    // tag() already carries "+Est"; keep the explicit suffix
+                    // as belt-and-braces (the ProfileCache layer separates
+                    // the two profile kinds with its own key salt).
                     (Opts.UseEstimatedProfile ? "|est" : "") +
                     (Opts.VerifyPasses ? "" : "|nv") +
                     (Opts.Balance.Impl == sched::SchedImpl::Reference ? "|ref"

@@ -2,6 +2,8 @@
 
 #include "driver/ProfileCache.h"
 
+#include "trace/EstimateProfile.h"
+
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -34,8 +36,14 @@ private:
   uint64_t H = 1469598103934665603ull;
 };
 
-uint64_t hashModule(const Module &M, uint64_t MaxInstrs) {
+/// Profile kinds share the cache but never a slot: the salt is the first
+/// word of every key, so an estimated profile cannot be served where an
+/// interpreted one was expected (they disagree on counts by design).
+enum class ProfileKind : uint64_t { Interpreted = 0, Estimated = 1 };
+
+uint64_t hashModule(const Module &M, uint64_t MaxInstrs, ProfileKind Kind) {
   Hasher H;
+  H.word(static_cast<uint64_t>(Kind));
   H.word(MaxInstrs);
   H.word(M.MemorySize);
   H.word(M.Fn.numRegs());
@@ -47,6 +55,9 @@ uint64_t hashModule(const Module &M, uint64_t MaxInstrs) {
   }
   H.word(M.Fn.Blocks.size());
   for (const BasicBlock &B : M.Fn.Blocks) {
+    // The estimator (not the interpreter) reads the trip-count annotation;
+    // hashing it for both kinds costs nothing beyond a rare extra miss.
+    H.word(static_cast<uint64_t>(B.ExactTripCount));
     H.word(B.Instrs.size());
     for (const Instr &I : B.Instrs) {
       H.word(static_cast<uint64_t>(I.Op));
@@ -97,10 +108,10 @@ Shard *shards() {
   return S;
 }
 
-} // namespace
-
-InterpResult driver::profileModule(const Module &M, uint64_t MaxInstrs) {
-  uint64_t Key = hashModule(M, MaxInstrs);
+/// Shared lookup-or-compute: finds/creates the slot for \p Key and runs
+/// \p Compute exactly once per key across all threads.
+template <typename ComputeFn>
+InterpResult cachedProfile(uint64_t Key, ComputeFn Compute) {
   // FNV-1a mixes well into the low bits; fold the high half anyway so shard
   // choice never degenerates for structured keys.
   Shard &S = shards()[(Key ^ (Key >> 32)) & (NumShards - 1)];
@@ -121,10 +132,22 @@ InterpResult driver::profileModule(const Module &M, uint64_t MaxInstrs) {
     E = It->second;
   }
   std::call_once(E->Once, [&] {
-    E->R = interpret(M, MaxInstrs);
+    E->R = Compute();
     E->Done.store(true, std::memory_order_release);
   });
   return E->R;
+}
+
+} // namespace
+
+InterpResult driver::profileModule(const Module &M, uint64_t MaxInstrs) {
+  return cachedProfile(hashModule(M, MaxInstrs, ProfileKind::Interpreted),
+                       [&] { return interpret(M, MaxInstrs); });
+}
+
+InterpResult driver::estimatedProfileModule(const Module &M) {
+  return cachedProfile(hashModule(M, 0, ProfileKind::Estimated),
+                       [&] { return trace::estimateProfile(M.Fn); });
 }
 
 ProfileCacheStats driver::profileCacheStats() {

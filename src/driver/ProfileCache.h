@@ -44,6 +44,13 @@ namespace driver {
 ir::InterpResult profileModule(const ir::Module &M,
                                uint64_t MaxInstrs = 1000000000ull);
 
+/// Returns trace::estimateProfile(M.Fn), memoized alongside the interpreted
+/// profiles but under a kind-salted key: an estimated profile must never be
+/// served from (or stored into) a slot an interpreted profile of the same
+/// module could hit, since the two disagree on counts by design. The key also
+/// covers the per-block ExactTripCount annotations the estimator consumes.
+ir::InterpResult estimatedProfileModule(const ir::Module &M);
+
 /// Cache observability for benchmarks and tests, aggregated over shards.
 struct ProfileCacheStats {
   uint64_t Hits = 0;          ///< key present and already computed.

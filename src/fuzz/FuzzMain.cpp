@@ -52,6 +52,10 @@ void printUsage(std::ostream &OS) {
         "                   fast within --gap-pct of optimal)\n"
         "  --gap-pct <f>    allowed fast-over-optimal excess in percent\n"
         "                   (default 100)\n"
+        "  --est            also run the estimated-profile oracle leg: the\n"
+        "                   static profile estimate of every config's module\n"
+        "                   must be flow-conserving, deterministic, and\n"
+        "                   safely drive trace formation\n"
         "  --replay <file>  replay one repro file through the oracle and\n"
         "                   report whether it still fails\n"
         "  --quiet          suppress per-round progress lines\n"
@@ -157,6 +161,8 @@ int main(int argc, char **argv) {
       Opts.Oracle.RunSim = false;
     } else if (A == "--gap") {
       Opts.Oracle.CheckOptimalityGap = true;
+    } else if (A == "--est") {
+      Opts.Oracle.CheckEstimatedProfile = true;
     } else if (A == "--gap-pct") {
       const char *V = NextArg("--gap-pct");
       if (!V || !parseF64(V, D) || D < 0) return 2;

@@ -5,6 +5,7 @@
 #include "ir/Interp.h"
 #include "lang/Eval.h"
 #include "lang/Parser.h"
+#include "trace/EstimateProfile.h"
 
 #include <utility>
 
@@ -24,6 +25,7 @@ const char *fuzz::failureKindName(FailureKind K) {
   case FailureKind::SimTwinDivergence: return "sim-twin-divergence";
   case FailureKind::SimDivergence: return "sim-divergence";
   case FailureKind::OptimalityGap: return "optimality-gap";
+  case FailureKind::EstProfileInvalid: return "est-profile-invalid";
   }
   return "?";
 }
@@ -184,6 +186,67 @@ Failure gapOracle(const lang::Program &P, const driver::CompileOptions &Config,
   return {};
 }
 
+/// Estimated-profile leg for one configuration: rebuild the module exactly
+/// as compileProgram would hand it to the profiler (front-end transforms,
+/// lowering, cleanup), then hold the static estimate to its contract —
+/// flow-conserving in exact integer arithmetic, deterministic across runs,
+/// Finished (the fuzzer only generates terminating programs), and digestible
+/// by trace formation with every block covered exactly once.
+Failure estProfileOracle(const lang::Program &P,
+                         const driver::CompileOptions &Config,
+                         const std::string &Tag, int Index) {
+  lang::Program Copy = P;
+  if (Config.LocalityAnalysis) {
+    locality::LocalityOptions LOpts;
+    LOpts.UnrollFactor = Config.UnrollFactor > 1 ? Config.UnrollFactor : 0;
+    locality::applyLocality(Copy, LOpts);
+  }
+  if (Config.UnrollFactor > 1)
+    xform::unrollLoops(Copy, Config.UnrollFactor);
+  if (Config.LocalityAnalysis || Config.UnrollFactor > 1)
+    if (std::string E = lang::checkProgram(Copy); !E.empty())
+      return fail(FailureKind::CompileError, Tag, Index, "",
+                  "est-leg recheck: " + E);
+  lower::LowerResult LR = lower::lowerProgram(Copy, Config.Lower);
+  if (!LR.ok())
+    return fail(FailureKind::CompileError, Tag, Index, "",
+                "est-leg lower: " + LR.Error);
+  if (Config.CleanupIR)
+    opt::cleanupModule(LR.M, false);
+
+  ir::InterpResult Est = trace::estimateProfile(LR.M.Fn);
+  if (!Est.Finished)
+    return fail(FailureKind::EstProfileInvalid, Tag, Index, "",
+                "a terminating program was judged to never return");
+  if (std::string E = ir::checkProfileConservation(
+          LR.M.Fn, Est, trace::EstimateEntryCount);
+      !E.empty())
+    return fail(FailureKind::EstProfileInvalid, Tag, Index, "",
+                "not flow-conserving: " + E);
+  ir::InterpResult Est2 = trace::estimateProfile(LR.M.Fn);
+  if (Est2.Finished != Est.Finished ||
+      Est2.BlockCounts != Est.BlockCounts ||
+      Est2.EdgeCounts != Est.EdgeCounts)
+    return fail(FailureKind::EstProfileInvalid, Tag, Index, "",
+                "estimate differs across two runs on the same module");
+  std::vector<trace::Trace> Traces = trace::formTraces(LR.M.Fn, Est);
+  std::vector<int> Covered(LR.M.Fn.Blocks.size(), 0);
+  for (const trace::Trace &T : Traces)
+    for (int B : T) {
+      if (B < 0 || static_cast<size_t>(B) >= Covered.size() ||
+          ++Covered[static_cast<size_t>(B)] > 1)
+        return fail(FailureKind::EstProfileInvalid, Tag, Index, "",
+                    "trace formation covered block b" + std::to_string(B) +
+                        " twice (or out of range) under the estimate");
+    }
+  for (size_t B = 0; B != Covered.size(); ++B)
+    if (!Covered[B])
+      return fail(FailureKind::EstProfileInvalid, Tag, Index, "",
+                  "trace formation left block b" + std::to_string(B) +
+                      " uncovered under the estimate");
+  return {};
+}
+
 /// Compile-side differential for one configuration; fills \p Cov when given.
 Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
                       const driver::CompileOptions &Config, int Index,
@@ -236,6 +299,11 @@ Failure compileOracle(const lang::Program &P, uint64_t RefChecksum,
       return fail(FailureKind::TraceTwinDivergence, Tag, Index, "",
                   "fast and reference trace-scheduled code differ");
   }
+
+  if (Opts.CheckEstimatedProfile)
+    if (Failure EF = estProfileOracle(P, Config, Tag, Index);
+        EF.Kind != FailureKind::None)
+      return EF;
 
   if (Opts.CheckOptimalityGap)
     return gapOracle(P, Config, Tag, Index, Opts);
@@ -376,6 +444,12 @@ Failure fuzz::replayRepro(const Repro &R, std::string &Err,
     OracleOptions GapOpts = Opts;
     GapOpts.CheckOptimalityGap = true;
     return runCompileOracle(P.Prog, R.Options, GapOpts);
+  }
+  // Likewise an estimated-profile repro re-arms the estimator leg.
+  if (R.Kind == failureKindName(FailureKind::EstProfileInvalid)) {
+    OracleOptions EstOpts = Opts;
+    EstOpts.CheckEstimatedProfile = true;
+    return runCompileOracle(P.Prog, R.Options, EstOpts);
   }
   return runCompileOracle(P.Prog, R.Options, Opts);
 }

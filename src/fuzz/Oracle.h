@@ -51,6 +51,10 @@ enum class FailureKind : uint8_t {
   OptimalityGap,      ///< fast schedule illegal, beaten beyond MaxGapPct by
                       ///< the exact solver on a closed block, or (solver
                       ///< bug) worse-than-warm-start exact output.
+  EstProfileInvalid,  ///< the static profile estimate was not
+                      ///< flow-conserving, not deterministic, judged a
+                      ///< terminating program unfinished, or broke trace
+                      ///< formation.
 };
 
 const char *failureKindName(FailureKind K);
@@ -88,6 +92,15 @@ struct OracleOptions {
   /// warm start (fast-beats-exact is a solver bug, not a scheduler finding).
   /// Off by default: it is a quality oracle, not a correctness oracle.
   bool CheckOptimalityGap = false;
+  /// Run the estimated-profile leg: rebuild the module the estimator sees
+  /// (same transforms + lowering + cleanup as the compile pipeline) and
+  /// require trace::estimateProfile to be flow-conserving (entry = one
+  /// normalized unit of EstimateEntryCount flow; per block, in-edge sum ==
+  /// count == out-edge sum), deterministic across runs, Finished for these
+  /// always-terminating programs, and digestible by formTraces (every block
+  /// covered exactly once). Off by default for the same reason as the gap
+  /// leg: it judges the estimator, not program semantics.
+  bool CheckEstimatedProfile = false;
   /// Allowed fast-over-optimal excess (percent) on solver-closed blocks.
   /// The default leaves room for balanced scheduling's deliberate
   /// hit-model pessimism (load weights up to 50 under a 2-cycle hit model).

@@ -44,6 +44,14 @@ std::vector<NaturalLoop> ir::findNaturalLoops(const Function &F) {
   std::vector<std::vector<bool>> Back = findBackEdges(F);
   std::vector<NaturalLoop> Loops;
 
+  // One predecessor map up front: Function::predecessors() rescans every
+  // block per call, which made each latch's pred-walk quadratic on unrolled
+  // CFGs (and this function dominates estimateProfile's runtime).
+  std::vector<std::vector<int>> Pred(N);
+  for (size_t B = 0; B != N; ++B)
+    for (int S : F.Blocks[B].successors())
+      Pred[static_cast<size_t>(S)].push_back(static_cast<int>(B));
+
   for (size_t B = 0; B != N; ++B) {
     std::vector<int> Succs = F.Blocks[B].successors();
     for (size_t K = 0; K != Succs.size(); ++K) {
@@ -62,7 +70,7 @@ std::vector<NaturalLoop> ir::findNaturalLoops(const Function &F) {
       while (!Work.empty()) {
         int Cur = Work.back();
         Work.pop_back();
-        for (int P : F.predecessors(Cur))
+        for (int P : Pred[static_cast<size_t>(Cur)])
           if (!L.Contains[P]) {
             L.Contains[P] = true;
             Work.push_back(P);
@@ -71,7 +79,7 @@ std::vector<NaturalLoop> ir::findNaturalLoops(const Function &F) {
       // Preheader: the single outside predecessor of the header.
       int Outside = -1;
       bool Unique = true;
-      for (int P : F.predecessors(L.Header)) {
+      for (int P : Pred[static_cast<size_t>(L.Header)]) {
         if (L.Contains[P])
           continue;
         if (Outside >= 0)

@@ -237,6 +237,15 @@ struct BasicBlock {
   int Id = -1;
   std::vector<Instr> Instrs;
 
+  /// Exact trip count of the `for` loop whose control branch terminates this
+  /// block, when the front end could fold the bounds to constants at lowering
+  /// time (`for (i = 0; i < 16; i += 1)` -> 16). Set on both the guard block
+  /// (the preheader's entry test) and the latch block of a rotated loop;
+  /// -1 = unknown (0 is a real value: a statically empty loop). Consumed only
+  /// by the static profile estimator (trace/EstimateProfile) — execution
+  /// semantics never read it.
+  int64_t ExactTripCount = -1;
+
   const Instr &terminator() const {
     assert(!Instrs.empty() && Instrs.back().isTerminator() &&
            "block lacks a terminator");

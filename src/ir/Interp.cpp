@@ -687,3 +687,45 @@ Enter:
 #undef BS_DISPATCH_BEGIN
 #undef BS_DISPATCH_END
 }
+
+std::string ir::checkProfileConservation(const Function &F,
+                                         const InterpResult &R,
+                                         uint64_t EntryUnits) {
+  size_t N = F.Blocks.size();
+  if (R.BlockCounts.size() != N)
+    return "BlockCounts has " + std::to_string(R.BlockCounts.size()) +
+           " entries for " + std::to_string(N) + " blocks";
+  if (R.EdgeCounts.size() != N)
+    return "EdgeCounts has " + std::to_string(R.EdgeCounts.size()) +
+           " entries for " + std::to_string(N) + " blocks";
+
+  std::vector<uint64_t> InSum(N, 0);
+  for (size_t B = 0; B != N; ++B) {
+    std::vector<int> Succs = F.Blocks[B].successors();
+    uint64_t OutSum = 0;
+    for (size_t K = 0; K != Succs.size(); ++K) {
+      if (Succs[K] < 0 || static_cast<size_t>(Succs[K]) >= N)
+        return "block b" + std::to_string(B) + " has an out-of-range successor";
+      InSum[static_cast<size_t>(Succs[K])] += R.EdgeCounts[B][K];
+      OutSum += R.EdgeCounts[B][K];
+    }
+    // Unused edge slots must stay zero (a Jmp's slot 1, a Ret's both).
+    for (size_t K = Succs.size(); K != 2; ++K)
+      if (R.EdgeCounts[B][K] != 0)
+        return "block b" + std::to_string(B) + " has flow " +
+               std::to_string(R.EdgeCounts[B][K]) + " on unused edge slot " +
+               std::to_string(K);
+    if (!Succs.empty() && OutSum != R.BlockCounts[B])
+      return "block b" + std::to_string(B) + ": out-edge sum " +
+             std::to_string(OutSum) + " != count " +
+             std::to_string(R.BlockCounts[B]);
+  }
+  for (size_t B = 0; B != N; ++B) {
+    uint64_t In = InSum[B] + (B == 0 ? EntryUnits : 0);
+    if (In != R.BlockCounts[B])
+      return "block b" + std::to_string(B) + ": in-edge sum " +
+             std::to_string(In) + " != count " +
+             std::to_string(R.BlockCounts[B]);
+  }
+  return "";
+}

@@ -51,6 +51,17 @@ InterpResult interpret(const Module &M, uint64_t MaxInstrs = 1000000000ull);
 InterpResult interpretByInstr(const Module &M,
                               uint64_t MaxInstrs = 1000000000ull);
 
+/// Checks that \p R is a flow-conserving profile of \p F: every block's
+/// incoming edge flow (plus \p EntryUnits injected at the entry block) equals
+/// its BlockCounts entry, and every block with successors pushes exactly its
+/// count back out over its edges (Ret blocks absorb their flow). Finished
+/// interpreter profiles conserve with EntryUnits == 1; the static estimator
+/// (trace/EstimateProfile) conserves with EntryUnits ==
+/// trace::EstimateEntryCount. Returns "" when conserving, otherwise a
+/// description of the first violation.
+std::string checkProfileConservation(const Function &F, const InterpResult &R,
+                                     uint64_t EntryUnits);
+
 /// Architectural state (register file + memory image) shared by the
 /// functional interpreter and the timing simulator.
 class ExecState {

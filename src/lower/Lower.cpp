@@ -20,6 +20,57 @@ using lang::UnOp;
 
 namespace {
 
+/// Folds \p E to a compile-time integer when it is a constant int expression
+/// (integer literals combined by negation and +,-,*,/), so loop bounds
+/// written as `16 - 1` still yield exact trip counts. Returns false when any
+/// leaf is a variable, array element, or floating-point value.
+bool foldConstInt(const Expr &E, int64_t &Out) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    Out = E.IntVal;
+    return true;
+  case ExprKind::Unary: {
+    int64_t A;
+    if (E.UOp != UnOp::Neg || E.Ty != lang::Type::Int ||
+        !foldConstInt(*E.Args[0], A))
+      return false;
+    Out = -A;
+    return true;
+  }
+  case ExprKind::Binary: {
+    int64_t A, B;
+    if (E.Ty != lang::Type::Int || !foldConstInt(*E.Args[0], A) ||
+        !foldConstInt(*E.Args[1], B))
+      return false;
+    switch (E.BOp) {
+    case BinOp::Add: Out = A + B; return true;
+    case BinOp::Sub: Out = A - B; return true;
+    case BinOp::Mul: Out = A * B; return true;
+    case BinOp::Div:
+      if (B == 0)
+        return false;
+      Out = A / B;
+      return true;
+    default:
+      return false;
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+/// Exact iteration count of `for (v = Lo; v < Hi; v += Step)` when both
+/// bounds fold to constants; -1 when they do not.
+int64_t staticTripCount(const Expr &Lo, const Expr &Hi, int64_t Step) {
+  int64_t L, H;
+  if (Step <= 0 || !foldConstInt(Lo, L) || !foldConstInt(Hi, H))
+    return -1;
+  if (L >= H)
+    return 0;
+  return (H - L + Step - 1) / Step;
+}
+
 //===----------------------------------------------------------------------===//
 // Affine forms
 //===----------------------------------------------------------------------===//
@@ -866,8 +917,15 @@ private:
     int BodyB = M.Fn.makeBlock();
     int ExitB = M.Fn.makeBlock();
 
+    // Statically-bounded loops carry their exact trip count on the blocks
+    // whose branches control them (the guard here, the latch below); the
+    // static profile estimator reads the annotation instead of guessing.
+    int64_t Trip = staticTripCount(*S.Lo, *S.Hi, S.Step);
+
     Reg Guard = emitOp(Opcode::CmpLt, IVar, Hi);
     emitBr(Guard, BodyB, ExitB);
+    if (Trip >= 0)
+      M.Fn.Blocks[static_cast<size_t>(Cur)].ExactTripCount = Trip;
 
     switchTo(BodyB);
     for (const lang::StmtPtr &C : S.Body)
@@ -884,6 +942,8 @@ private:
     emitOpImm(Opcode::IAdd, IVar, S.Step, IVar);
     Reg Again = emitOp(Opcode::CmpLt, IVar, Hi);
     emitBr(Again, BodyB, ExitB);
+    if (Trip >= 0)
+      M.Fn.Blocks[static_cast<size_t>(Cur)].ExactTripCount = Trip;
 
     Loops.pop_back();
     switchTo(ExitB);

@@ -1,56 +1,624 @@
-//===- trace/EstimateProfile.cpp - Static frequency estimation -------------===//
+//===- trace/EstimateProfile.cpp - Static frequency estimation ------------===//
+///
+/// \file
+/// The estimator runs in four stages:
+///
+///  1. Branch probabilities: Ball/Larus-style heuristics (loop-back,
+///     loop-stay, loop-enter, opcode, store, return) combined with the
+///     Wu-Larus rule, then overridden with certainty where lowering
+///     annotated an exact trip count (BasicBlock::ExactTripCount).
+///  2. Loop analysis: natural loops merged by header; each loop gets a trip
+///     factor from its latch annotation, or else 1/(1 - cyclic probability)
+///     where the cyclic probability comes from a local relative propagation
+///     that treats inner loops as run-then-exit.
+///  3. Reducible propagation: a single reverse-post-order pass injects
+///     EstimateEntryCount units at the entry. Each loop header plans an
+///     integer "deficit" of (trip - 1) * inflow extra units, which its
+///     latches must deliver back over the back edges; conditional blocks
+///     split their flow by the stage-1 probabilities with the remainder kept
+///     on the sibling edge, so integer conservation is exact. For the
+///     single-latch rotated loops the front end lowers, the plan is
+///     delivered exactly on the first pass; otherwise the plan is rescaled
+///     by the delivered fraction and re-run (bounded rounds).
+///  4. Irreducible/unconverged fallback: bounded weighted sweeps where flow
+///     crossing a retreating edge is carried into the next sweep, then a
+///     drain pass that walks blocks by decreasing distance-to-return and
+///     pushes residual flow toward the nearest Ret. Conservation again holds
+///     by construction; only the loop weighting is approximate.
+///
+/// Functions with an entry-reachable block that cannot reach any Ret (the
+/// static picture of an infinite loop) return Finished = false, mirroring
+/// the interpreter exhausting its budget.
+///
+//===----------------------------------------------------------------------===//
 
 #include "trace/EstimateProfile.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
 
 using namespace bsched;
 using namespace bsched::trace;
 using namespace bsched::ir;
 
+namespace {
+
+/// Heuristic branch probabilities, in the spirit of Ball and Larus's static
+/// predictors with hit rates rounded to this IR's reality. Each value is the
+/// probability of the slot the heuristic points at.
+constexpr double ProbLoopBack = 0.88;  ///< back edges are followed
+constexpr double ProbLoopStay = 0.80;  ///< edges staying inside the loop
+constexpr double ProbLoopEnter = 0.78; ///< edges entering a loop (guards)
+constexpr double ProbEqTaken = 0.16;   ///< equality / x<0 compares rarely hold
+constexpr double ProbStoreSucc = 0.45; ///< store-containing side slightly cold
+constexpr double ProbRetSucc = 0.28;   ///< early-returning side is cold
+constexpr double ProbClampLo = 0.02;
+constexpr double ProbClampHi = 0.98;
+
+/// Hard cap on a single loop's planned flow; keeps nested products far from
+/// uint64 overflow even after many levels of splitting and accumulation.
+constexpr double FlowCap = 1e14;
+
+/// Rounds of plan rescaling (reducible path) and of weighted sweeps
+/// (irreducible fallback) before giving up / draining.
+constexpr int MaxRounds = 8;
+
+/// Wu-Larus combination of two independent predictions for the same branch:
+/// p = p1*p2 / (p1*p2 + (1-p1)(1-p2)).
+double combineProb(double P, double Q) {
+  double Num = P * Q;
+  double Den = Num + (1.0 - P) * (1.0 - Q);
+  return Den > 0.0 ? Num / Den : 0.5;
+}
+
+/// Natural loops that share a header, merged into one region with (possibly)
+/// several latches.
+struct MergedLoop {
+  int Header = -1;
+  std::vector<int> Latches;
+  std::vector<bool> Contains;
+  size_t Size = 0;
+};
+
+} // namespace
+
 InterpResult trace::estimateProfile(const Function &F) {
   size_t N = F.Blocks.size();
-  std::vector<int> Depth = loopDepths(F);
-  std::vector<std::vector<bool>> Back = findBackEdges(F);
-
   InterpResult R;
   R.Finished = true;
   R.BlockCounts.assign(N, 0);
   R.EdgeCounts.assign(N, {0, 0});
+  if (N == 0)
+    return R;
 
+  std::vector<std::vector<int>> Succ(N), Pred(N);
+  for (size_t B = 0; B != N; ++B)
+    Succ[B] = F.Blocks[B].successors();
+  for (size_t B = 0; B != N; ++B)
+    for (int S : Succ[B])
+      Pred[static_cast<size_t>(S)].push_back(static_cast<int>(B));
+
+  // Entry-reachability and shortest distance-to-Ret (over reversed edges).
+  std::vector<bool> FromEntry(N, false);
+  {
+    std::vector<int> Work{0};
+    FromEntry[0] = true;
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      for (int S : Succ[B])
+        if (!FromEntry[S]) {
+          FromEntry[S] = true;
+          Work.push_back(S);
+        }
+    }
+  }
+  std::vector<int> DistToRet(N, std::numeric_limits<int>::max());
+  {
+    std::vector<int> Frontier;
+    for (size_t B = 0; B != N; ++B)
+      if (Succ[B].empty() && !F.Blocks[B].Instrs.empty()) {
+        DistToRet[B] = 0;
+        Frontier.push_back(static_cast<int>(B));
+      }
+    while (!Frontier.empty()) {
+      std::vector<int> Next;
+      for (int B : Frontier)
+        for (int P : Pred[B])
+          if (DistToRet[P] == std::numeric_limits<int>::max()) {
+            DistToRet[P] = DistToRet[B] + 1;
+            Next.push_back(P);
+          }
+      Frontier = std::move(Next);
+    }
+  }
+  // A reachable block that cannot reach a Ret means the program loops
+  // forever; no finite flow-conserving profile exists. Mirror the
+  // interpreter's budget exhaustion so callers reject it the same way.
+  for (size_t B = 0; B != N; ++B)
+    if (FromEntry[B] && DistToRet[B] == std::numeric_limits<int>::max()) {
+      R.Finished = false;
+      return R;
+    }
+
+  std::vector<std::vector<bool>> Back = findBackEdges(F);
+
+  // One loop discovery for everything below: depths (same per-NaturalLoop
+  // counting as ir::loopDepths), then the loops merged by header.
+  std::vector<NaturalLoop> Natural = findNaturalLoops(F);
+  std::vector<int> Depth(N, 0);
+  for (const NaturalLoop &L : Natural)
+    for (size_t B = 0; B != N; ++B)
+      if (L.Contains[B])
+        ++Depth[B];
+
+  std::vector<MergedLoop> Loops;
+  std::vector<int> LoopAtHeader(N, -1);
+  for (const NaturalLoop &L : Natural) {
+    int &Slot = LoopAtHeader[static_cast<size_t>(L.Header)];
+    if (Slot < 0) {
+      Slot = static_cast<int>(Loops.size());
+      Loops.push_back({L.Header, {}, std::vector<bool>(N, false), 0});
+    }
+    MergedLoop &M = Loops[static_cast<size_t>(Slot)];
+    M.Latches.push_back(L.Latch);
+    for (size_t B = 0; B != N; ++B)
+      if (L.Contains[B])
+        M.Contains[B] = true;
+  }
+  for (MergedLoop &M : Loops)
+    M.Size = static_cast<size_t>(
+        std::count(M.Contains.begin(), M.Contains.end(), true));
+
+  // Innermost containing merged loop per block (fewest blocks wins).
+  std::vector<int> Inner(N, -1);
+  for (size_t LI = 0; LI != Loops.size(); ++LI)
+    for (size_t B = 0; B != N; ++B)
+      if (Loops[LI].Contains[B] &&
+          (Inner[B] < 0 ||
+           Loops[LI].Size < Loops[static_cast<size_t>(Inner[B])].Size))
+        Inner[B] = static_cast<int>(LI);
+
+  auto BlockHasStore = [&](int B) {
+    for (const Instr &I : F.Blocks[static_cast<size_t>(B)].Instrs)
+      if (I.isStore())
+        return true;
+    return false;
+  };
+  auto BlockReturns = [&](int B) {
+    const auto &Is = F.Blocks[static_cast<size_t>(B)].Instrs;
+    return !Is.empty() && Is.back().Op == Opcode::Ret;
+  };
+
+  // Stage 1: per-branch probability of slot 0 (the taken side of a Br).
+  std::vector<double> EffP0(N, 0.5);
   for (size_t B = 0; B != N; ++B) {
-    uint64_t Count = 1;
-    for (int D = 0; D != std::min(Depth[B], 6); ++D)
-      Count *= EstimatedTripCount;
-    R.BlockCounts[B] = Count;
+    if (Succ[B].size() != 2)
+      continue;
+    int S0 = Succ[B][0], S1 = Succ[B][1];
+    bool Bk0 = Back[B][0], Bk1 = Back[B][1];
+    double P = 0.5;
+    auto Predict = [&](int Slot, double Prob) {
+      P = combineProb(P, Slot == 0 ? Prob : 1.0 - Prob);
+    };
+    // Loop-back: the edge that re-enters the loop wins.
+    if (Bk0 != Bk1)
+      Predict(Bk0 ? 0 : 1, ProbLoopBack);
+    // Loop-stay: prefer the successor that stays in the innermost loop.
+    if (!Bk0 && !Bk1 && Inner[B] >= 0) {
+      const MergedLoop &L = Loops[static_cast<size_t>(Inner[B])];
+      if (L.Contains[static_cast<size_t>(S0)] !=
+          L.Contains[static_cast<size_t>(S1)])
+        Predict(L.Contains[static_cast<size_t>(S0)] ? 0 : 1, ProbLoopStay);
+    }
+    // Loop-enter: a guard usually admits its loop.
+    auto Enters = [&](int Slot, int T) {
+      int LI = LoopAtHeader[static_cast<size_t>(T)];
+      return !Back[B][static_cast<size_t>(Slot)] && LI >= 0 &&
+             !Loops[static_cast<size_t>(LI)].Contains[B];
+    };
+    bool En0 = Enters(0, S0), En1 = Enters(1, S1);
+    if (En0 != En1)
+      Predict(En0 ? 0 : 1, ProbLoopEnter);
+    // Opcode: equality compares and x < 0 / x <= 0 tests rarely hold.
+    {
+      const auto &Is = F.Blocks[B].Instrs;
+      const Instr &T = Is.back();
+      for (size_t I = Is.size() - 1; I-- > 0;) {
+        const Instr &D = Is[I];
+        if (!D.def().isValid() || D.def() != T.SrcA)
+          continue;
+        if (D.Op == Opcode::CmpEq || D.Op == Opcode::FCmpEq)
+          Predict(0, ProbEqTaken);
+        else if ((D.Op == Opcode::CmpLt || D.Op == Opcode::CmpLe) &&
+                 D.HasImm && D.Imm <= 0)
+          Predict(0, ProbEqTaken);
+        break;
+      }
+    }
+    // Store: the side that stores is slightly colder (Ball/Larus SH).
+    bool St0 = BlockHasStore(S0), St1 = BlockHasStore(S1);
+    if (St0 != St1)
+      Predict(St0 ? 0 : 1, ProbStoreSucc);
+    // Return: the side that immediately returns is cold.
+    bool Rt0 = BlockReturns(S0), Rt1 = BlockReturns(S1);
+    if (Rt0 != Rt1)
+      Predict(Rt0 ? 0 : 1, ProbRetSucc);
+    P = std::clamp(P, ProbClampLo, ProbClampHi);
+
+    // Exact trip counts beat every heuristic. A branch-annotated block with
+    // no back edge is the loop's guard: trip >= 1 admits everything into the
+    // (deeper) body, trip == 0 admits nothing. An annotated latch re-enters
+    // with probability (T-1)/T so the loop body runs exactly T times.
+    int64_t Annot = F.Blocks[B].ExactTripCount;
+    if (Annot >= 0 && !Bk0 && !Bk1) {
+      int BodySlot = Depth[static_cast<size_t>(S1)] >
+                             Depth[static_cast<size_t>(S0)]
+                         ? 1
+                         : 0;
+      P = ((BodySlot == 0) == (Annot >= 1)) ? 1.0 : 0.0;
+    } else if (Annot >= 0 && Bk0 != Bk1) {
+      double T = static_cast<double>(std::max<int64_t>(Annot, 1));
+      double PBack = (T - 1.0) / T;
+      P = Bk0 ? PBack : 1.0 - PBack;
+    }
+    EffP0[B] = P;
   }
 
-  // Edge weights: a back edge keeps (trip-1)/trip of the flow; an edge that
-  // stays at the block's depth beats one that leaves the loop; other
-  // conditional edges split evenly.
-  for (size_t B = 0; B != N; ++B) {
-    std::vector<int> Succs = F.Blocks[B].successors();
-    uint64_t Total = R.BlockCounts[B];
-    if (Succs.size() == 1) {
-      R.EdgeCounts[B][0] = Total;
+  // Reverse post-order (same DFS discipline as findBackEdges, so an edge is
+  // RPO-retreating exactly when findBackEdges classified it as a back edge
+  // in reducible graphs).
+  std::vector<int> RPO;
+  RPO.reserve(N);
+  std::vector<int> RPOIndex(N, -1);
+  {
+    std::vector<bool> Visited(N, false);
+    std::vector<std::pair<int, size_t>> Stack;
+    std::vector<int> Post;
+    Post.reserve(N);
+    Stack.push_back({0, 0});
+    Visited[0] = true;
+    while (!Stack.empty()) {
+      auto &[B, K] = Stack.back();
+      if (K == Succ[static_cast<size_t>(B)].size()) {
+        Post.push_back(B);
+        Stack.pop_back();
+        continue;
+      }
+      int S = Succ[static_cast<size_t>(B)][K++];
+      if (!Visited[static_cast<size_t>(S)]) {
+        Visited[static_cast<size_t>(S)] = true;
+        Stack.push_back({S, 0});
+      }
+    }
+    RPO.assign(Post.rbegin(), Post.rend());
+    for (size_t I = 0; I != RPO.size(); ++I)
+      RPOIndex[static_cast<size_t>(RPO[I])] = static_cast<int>(I);
+  }
+
+  // Immediate dominators (Cooper-Harvey-Kennedy) for the reducibility test:
+  // every back edge's header must dominate its latch, and every non-back
+  // edge must advance in RPO.
+  std::vector<int> Idom(N, -1);
+  Idom[0] = 0;
+  {
+    auto Intersect = [&](int A, int B) {
+      while (A != B) {
+        while (RPOIndex[static_cast<size_t>(A)] >
+               RPOIndex[static_cast<size_t>(B)])
+          A = Idom[static_cast<size_t>(A)];
+        while (RPOIndex[static_cast<size_t>(B)] >
+               RPOIndex[static_cast<size_t>(A)])
+          B = Idom[static_cast<size_t>(B)];
+      }
+      return A;
+    };
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (int B : RPO) {
+        if (B == 0)
+          continue;
+        int New = -1;
+        for (int P : Pred[static_cast<size_t>(B)]) {
+          if (RPOIndex[static_cast<size_t>(P)] < 0 ||
+              Idom[static_cast<size_t>(P)] < 0)
+            continue;
+          New = New < 0 ? P : Intersect(P, New);
+        }
+        if (New >= 0 && Idom[static_cast<size_t>(B)] != New) {
+          Idom[static_cast<size_t>(B)] = New;
+          Changed = true;
+        }
+      }
+    }
+  }
+  auto Dominates = [&](int A, int B) {
+    while (true) {
+      if (B == A)
+        return true;
+      if (B == 0 || Idom[static_cast<size_t>(B)] < 0)
+        return false;
+      B = Idom[static_cast<size_t>(B)];
+    }
+  };
+  bool Reducible = true;
+  for (size_t B = 0; B != N && Reducible; ++B) {
+    if (RPOIndex[B] < 0)
       continue;
+    for (size_t K = 0; K != Succ[B].size(); ++K) {
+      int T = Succ[B][K];
+      if (Back[B][K]) {
+        if (!Dominates(T, static_cast<int>(B)))
+          Reducible = false;
+      } else if (RPOIndex[static_cast<size_t>(T)] <=
+                 RPOIndex[B]) {
+        Reducible = false;
+      }
     }
-    if (Succs.size() != 2)
-      continue; // Ret
-    uint64_t W0;
-    bool Back0 = Back[B][0], Back1 = Back[B][1];
-    if (Back0 != Back1) {
-      W0 = Back0 ? Total * (EstimatedTripCount - 1) / EstimatedTripCount
-                 : Total / EstimatedTripCount;
-    } else if (Depth[Succs[0]] != Depth[Succs[1]]) {
-      bool DeeperFirst = Depth[Succs[0]] > Depth[Succs[1]];
-      W0 = DeeperFirst ? Total * (EstimatedTripCount - 1) / EstimatedTripCount
-                       : Total / EstimatedTripCount;
-    } else {
-      W0 = Total / 2;
+  }
+
+  // Stage 2: per-loop trip factor.
+  std::vector<double> Trip(Loops.size(),
+                           static_cast<double>(EstimatedTripCount));
+  {
+    std::vector<double> Rel(N, 0.0);
+    for (size_t LI = 0; LI != Loops.size(); ++LI) {
+      const MergedLoop &L = Loops[LI];
+      int64_t Annot = -1;
+      for (int Latch : L.Latches)
+        Annot = std::max(Annot,
+                         F.Blocks[static_cast<size_t>(Latch)].ExactTripCount);
+      if (Annot >= 0) {
+        Trip[LI] = static_cast<double>(std::max<int64_t>(Annot, 1));
+        continue;
+      }
+      if (RPOIndex[static_cast<size_t>(L.Header)] < 0)
+        continue;
+      // Cyclic probability: propagate one relative unit from the header
+      // through the loop; inner-loop back edges are redirected to their
+      // sibling edge (the inner loop runs, then exits).
+      std::fill(Rel.begin(), Rel.end(), 0.0);
+      Rel[static_cast<size_t>(L.Header)] = 1.0;
+      double Cyc = 0.0;
+      for (int B : RPO) {
+        if (!L.Contains[static_cast<size_t>(B)] ||
+            Rel[static_cast<size_t>(B)] <= 0.0)
+          continue;
+        double C = Rel[static_cast<size_t>(B)];
+        const std::vector<int> &Ss = Succ[static_cast<size_t>(B)];
+        if (Ss.empty())
+          continue;
+        if (Ss.size() == 1) {
+          int T = Ss[0];
+          if (Back[static_cast<size_t>(B)][0]) {
+            if (T == L.Header)
+              Cyc += C;
+          } else if (L.Contains[static_cast<size_t>(T)]) {
+            Rel[static_cast<size_t>(T)] += C;
+          }
+          continue;
+        }
+        double Sh0 = EffP0[static_cast<size_t>(B)] * C, Sh1 = C - Sh0;
+        if (Back[static_cast<size_t>(B)][0] && Ss[0] != L.Header) {
+          Sh1 += Sh0;
+          Sh0 = 0.0;
+        }
+        if (Back[static_cast<size_t>(B)][1] && Ss[1] != L.Header) {
+          Sh0 += Sh1;
+          Sh1 = 0.0;
+        }
+        const double Sh[2] = {Sh0, Sh1};
+        for (int K = 0; K != 2; ++K) {
+          if (Sh[K] <= 0.0)
+            continue;
+          int T = Ss[static_cast<size_t>(K)];
+          if (Back[static_cast<size_t>(B)][static_cast<size_t>(K)]) {
+            if (T == L.Header)
+              Cyc += Sh[K];
+          } else if (L.Contains[static_cast<size_t>(T)]) {
+            Rel[static_cast<size_t>(T)] += Sh[K];
+          }
+        }
+      }
+      Cyc = std::min(Cyc, ProbClampHi);
+      if (Cyc > 0.0)
+        Trip[LI] = std::min(1.0 / (1.0 - Cyc), 1e6);
     }
-    R.EdgeCounts[B][0] = W0;
-    R.EdgeCounts[B][1] = Total - W0;
+  }
+
+  // Stage 3: exact integer propagation over the reducible loop forest.
+  bool Done = false;
+  if (Reducible) {
+    std::vector<double> Scale(Loops.size(), 1.0);
+    std::vector<uint64_t> FwdIn(N), Counts(N);
+    std::vector<uint64_t> Remaining(Loops.size()), Planned(Loops.size());
+    std::vector<std::array<uint64_t, 2>> Edges(N);
+    for (int Round = 0; Round != MaxRounds && !Done; ++Round) {
+      std::fill(FwdIn.begin(), FwdIn.end(), 0);
+      std::fill(Counts.begin(), Counts.end(), 0);
+      std::fill(Remaining.begin(), Remaining.end(), 0);
+      std::fill(Planned.begin(), Planned.end(), 0);
+      std::fill(Edges.begin(), Edges.end(), std::array<uint64_t, 2>{0, 0});
+      FwdIn[0] = EstimateEntryCount;
+      bool Over = false;
+      for (int B : RPO) {
+        uint64_t C = FwdIn[static_cast<size_t>(B)];
+        int LI = LoopAtHeader[static_cast<size_t>(B)];
+        if (LI >= 0) {
+          // Plan the loop's deficit: the latches owe the header
+          // (trip - 1) * inflow extra units over the back edges.
+          double Want = (Trip[static_cast<size_t>(LI)] - 1.0) *
+                        Scale[static_cast<size_t>(LI)] *
+                        static_cast<double>(C);
+          uint64_t D =
+              Want <= 0.0
+                  ? 0
+                  : static_cast<uint64_t>(std::llround(std::min(Want, FlowCap)));
+          Planned[static_cast<size_t>(LI)] = D;
+          Remaining[static_cast<size_t>(LI)] = D;
+          C += D;
+        }
+        Counts[static_cast<size_t>(B)] = C;
+        const std::vector<int> &Ss = Succ[static_cast<size_t>(B)];
+        if (Ss.empty() || C == 0)
+          continue;
+        if (Ss.size() == 1) {
+          Edges[static_cast<size_t>(B)][0] = C;
+          int T = Ss[0];
+          if (Back[static_cast<size_t>(B)][0]) {
+            int HL = LoopAtHeader[static_cast<size_t>(T)];
+            if (HL >= 0 && C <= Remaining[static_cast<size_t>(HL)])
+              Remaining[static_cast<size_t>(HL)] -= C;
+            else
+              Over = true;
+          } else {
+            FwdIn[static_cast<size_t>(T)] += C;
+          }
+          continue;
+        }
+        bool Bk0 = Back[static_cast<size_t>(B)][0];
+        bool Bk1 = Back[static_cast<size_t>(B)][1];
+        if (Bk0 || Bk1) {
+          // Latch: deliver the header's outstanding plan, keep the rest on
+          // the exit edge.
+          int K = Bk0 ? 0 : 1;
+          int HL = LoopAtHeader[static_cast<size_t>(Ss[static_cast<size_t>(K)])];
+          uint64_t Deliver =
+              HL >= 0 ? std::min(C, Remaining[static_cast<size_t>(HL)]) : 0;
+          if (HL >= 0)
+            Remaining[static_cast<size_t>(HL)] -= Deliver;
+          uint64_t Rest = C - Deliver;
+          Edges[static_cast<size_t>(B)][static_cast<size_t>(K)] = Deliver;
+          Edges[static_cast<size_t>(B)][static_cast<size_t>(1 - K)] = Rest;
+          int T = Ss[static_cast<size_t>(1 - K)];
+          if (Bk0 && Bk1) {
+            int HL2 = LoopAtHeader[static_cast<size_t>(T)];
+            if (HL2 >= 0 && Rest <= Remaining[static_cast<size_t>(HL2)])
+              Remaining[static_cast<size_t>(HL2)] -= Rest;
+            else if (Rest > 0)
+              Over = true;
+          } else if (Rest > 0) {
+            FwdIn[static_cast<size_t>(T)] += Rest;
+          }
+          continue;
+        }
+        uint64_t W0 = static_cast<uint64_t>(
+            std::llround(EffP0[static_cast<size_t>(B)] * static_cast<double>(C)));
+        if (W0 > C)
+          W0 = C;
+        Edges[static_cast<size_t>(B)][0] = W0;
+        Edges[static_cast<size_t>(B)][1] = C - W0;
+        if (W0)
+          FwdIn[static_cast<size_t>(Ss[0])] += W0;
+        if (C - W0)
+          FwdIn[static_cast<size_t>(Ss[1])] += C - W0;
+      }
+      bool Under = false;
+      for (uint64_t Rem : Remaining)
+        if (Rem != 0)
+          Under = true;
+      if (!Over && !Under) {
+        R.BlockCounts = Counts;
+        R.EdgeCounts = Edges;
+        Done = true;
+      } else if (Over) {
+        // A forced edge (e.g. an unconditional latch) pushed more flow than
+        // planned; the plan cannot absorb it, so use the exact fallback.
+        break;
+      } else {
+        // Under-delivery: some loop flow escaped before reaching a latch.
+        // Shrink the plan by the delivered fraction and retry.
+        for (size_t LI = 0; LI != Loops.size(); ++LI)
+          if (Remaining[LI] != 0)
+            Scale[LI] *= Planned[LI]
+                             ? static_cast<double>(Planned[LI] - Remaining[LI]) /
+                                   static_cast<double>(Planned[LI])
+                             : 0.0;
+      }
+    }
+  }
+
+  // Stage 4: capped iterative fallback. Weighted sweeps carry flow crossing
+  // retreating edges into the next round; the final drain walks blocks by
+  // decreasing distance-to-Ret so every remaining unit strictly approaches,
+  // and is absorbed by, a return block.
+  if (!Done) {
+    std::vector<uint64_t> InFlow(N, 0), Carry(N, 0);
+    Carry[0] = EstimateEntryCount;
+    for (int Round = 0; Round != MaxRounds; ++Round) {
+      std::swap(InFlow, Carry);
+      std::fill(Carry.begin(), Carry.end(), 0);
+      bool Any = false;
+      for (int B : RPO) {
+        uint64_t C = InFlow[static_cast<size_t>(B)];
+        if (C == 0)
+          continue;
+        InFlow[static_cast<size_t>(B)] = 0;
+        Any = true;
+        R.BlockCounts[static_cast<size_t>(B)] += C;
+        const std::vector<int> &Ss = Succ[static_cast<size_t>(B)];
+        if (Ss.empty())
+          continue;
+        uint64_t W[2] = {C, 0};
+        if (Ss.size() == 2) {
+          W[0] = static_cast<uint64_t>(std::llround(
+              EffP0[static_cast<size_t>(B)] * static_cast<double>(C)));
+          if (W[0] > C)
+            W[0] = C;
+          W[1] = C - W[0];
+        }
+        for (size_t K = 0; K != Ss.size(); ++K) {
+          if (!W[K])
+            continue;
+          int T = Ss[K];
+          R.EdgeCounts[static_cast<size_t>(B)][K] += W[K];
+          if (RPOIndex[static_cast<size_t>(T)] >
+              RPOIndex[static_cast<size_t>(B)])
+            InFlow[static_cast<size_t>(T)] += W[K];
+          else
+            Carry[static_cast<size_t>(T)] += W[K];
+        }
+      }
+      bool Pending = false;
+      for (uint64_t C : Carry)
+        if (C) {
+          Pending = true;
+          break;
+        }
+      if (!Any || !Pending)
+        break;
+    }
+    std::vector<int> Order;
+    for (int B : RPO)
+      Order.push_back(B);
+    std::sort(Order.begin(), Order.end(), [&](int A, int B) {
+      if (DistToRet[static_cast<size_t>(A)] != DistToRet[static_cast<size_t>(B)])
+        return DistToRet[static_cast<size_t>(A)] >
+               DistToRet[static_cast<size_t>(B)];
+      return A < B;
+    });
+    for (int B : Order) {
+      uint64_t C = Carry[static_cast<size_t>(B)];
+      if (C == 0)
+        continue;
+      Carry[static_cast<size_t>(B)] = 0;
+      R.BlockCounts[static_cast<size_t>(B)] += C;
+      const std::vector<int> &Ss = Succ[static_cast<size_t>(B)];
+      if (Ss.empty())
+        continue;
+      size_t BestK = 0;
+      if (Ss.size() == 2 && DistToRet[static_cast<size_t>(Ss[1])] <
+                                DistToRet[static_cast<size_t>(Ss[0])])
+        BestK = 1;
+      R.EdgeCounts[static_cast<size_t>(B)][BestK] += C;
+      Carry[static_cast<size_t>(Ss[BestK])] += C;
+    }
   }
   return R;
 }

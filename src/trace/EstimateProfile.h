@@ -4,10 +4,21 @@
 /// Static basic-block and edge frequency estimation for trace selection.
 /// Section 3.2 allows traces to be "guided by estimated or profiled
 /// execution frequencies"; the paper's experiments profile (as does this
-/// reproduction by default), and this estimator provides the other option:
-/// classic structural heuristics — each level of loop nesting multiplies a
-/// block's expected count by a constant, loop-back and loop-staying edges
-/// are strongly favored, other conditional edges split evenly.
+/// reproduction by default), and this estimator provides the other option.
+///
+/// The estimator combines Ball/Larus-style branch heuristics (loop-back,
+/// loop-exit, loop-enter/guard, opcode, store, and return predictors merged
+/// with the Wu-Larus probability-combination rule), exact trip counts the
+/// front end annotated onto statically-bounded `for` loops at lowering time
+/// (BasicBlock::ExactTripCount), and frequency propagation over the natural
+/// loop forest. The result is an InterpResult whose BlockCounts/EdgeCounts
+/// are exactly flow-conserving in integer arithmetic: the entry block is
+/// injected with EstimateEntryCount units, and for every block the incoming
+/// edge flow (plus the entry injection) equals its count, which equals its
+/// outgoing edge flow unless the block returns. Irreducible control flow
+/// falls back to a capped iterative propagation that preserves the same
+/// invariant. ir::checkProfileConservation verifies it; the fuzz oracle's
+/// --est leg enforces it on every mutant.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,12 +34,24 @@
 namespace bsched {
 namespace trace {
 
-/// Expected iterations per loop level used by the estimator.
+/// Expected iterations of a loop whose trip count is not statically known and
+/// whose cyclic probability solve degenerates (the classic libfirm/Ball-Larus
+/// default of 10).
 constexpr uint64_t EstimatedTripCount = 10;
+
+/// Flow units injected into the entry block. One "execution" of the function
+/// is EstimateEntryCount units, so branch probabilities down to about 1/4096
+/// survive integer rounding on cold paths.
+constexpr uint64_t EstimateEntryCount = 1ull << 12;
 
 /// Produces an InterpResult-shaped profile (BlockCounts/EdgeCounts filled,
 /// no checksum) from static heuristics; a drop-in replacement for the
 /// interpreter profile consumed by formTraces/traceScheduleFunction.
+///
+/// Finished is true except when some entry-reachable block cannot reach a
+/// Ret (the static analogue of the interpreter running out of budget in an
+/// infinite loop); callers that reject unfinished interpreter profiles get
+/// the same signal here.
 ir::InterpResult estimateProfile(const ir::Function &F);
 
 } // namespace trace

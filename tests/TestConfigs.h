@@ -23,6 +23,24 @@ inline std::vector<driver::CompileOptions> fuzzConfigs() {
   return fuzz::differentialCompileConfigs();
 }
 
+/// UseEstimatedProfile twins of the trace-scheduling entries in \p Cs: the
+/// same configuration matrix with the interpreter-derived profile swapped
+/// for the static estimate (trace::estimateProfile). Non-trace entries are
+/// skipped — without trace formation the profile is never consulted, so an
+/// estimated variant would compile byte-identically to its base config.
+inline std::vector<driver::CompileOptions>
+estimatedProfileVariants(const std::vector<driver::CompileOptions> &Cs) {
+  std::vector<driver::CompileOptions> Out;
+  for (const driver::CompileOptions &C : Cs) {
+    if (!C.TraceScheduling)
+      continue;
+    driver::CompileOptions E = C;
+    E.UseEstimatedProfile = true;
+    Out.push_back(E);
+  }
+  return Out;
+}
+
 using fuzz::MachinePoint;
 
 /// Machine models the FuzzSim-style twin-equivalence sweeps run under.

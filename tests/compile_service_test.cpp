@@ -13,6 +13,7 @@
 #include "lower/Lower.h"
 #include "opt/Cleanup.h"
 #include "support/ThreadPool.h"
+#include "trace/EstimateProfile.h"
 
 #include <gtest/gtest.h>
 #include <vector>
@@ -152,6 +153,43 @@ TEST(CompileService, ProfileCacheDedupesInFlight) {
       EXPECT_EQ(Out[I].EdgeCounts, Direct.EdgeCounts);
     }
   }
+}
+
+// The estimated and interpreted profiles of the *same* module live in
+// distinct cache slots: the kind salt in the key keeps profileModule and
+// estimatedProfileModule from ever serving each other's results, in either
+// insertion order.
+TEST(CompileService, ProfileKindsNeverShareASlot) {
+  lang::Program P = parseWorkload(*findWorkload("hydro2d"));
+  lower::LowerResult LR = lower::lowerProgram(P, {});
+  ASSERT_TRUE(LR.ok()) << LR.Error;
+  opt::cleanupModule(LR.M);
+  const ir::Module &M = LR.M;
+
+  clearProfileCache();
+  ir::InterpResult Interp = profileModule(M);
+  ir::InterpResult Est = estimatedProfileModule(M);
+  ProfileCacheStats S = profileCacheStats();
+  EXPECT_EQ(S.Misses, 2u) << "kinds collided on one cache slot";
+  EXPECT_EQ(S.Hits, 0u);
+
+  // Re-request both: now both hit, and each kind gets its own bits back.
+  ir::InterpResult Interp2 = profileModule(M);
+  ir::InterpResult Est2 = estimatedProfileModule(M);
+  S = profileCacheStats();
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_EQ(Interp2.BlockCounts, Interp.BlockCounts);
+  EXPECT_EQ(Est2.BlockCounts, Est.BlockCounts);
+
+  // The two kinds really are different data (an interpreted run enters the
+  // function once; the estimate injects EstimateEntryCount units), and the
+  // cached estimate is bit-identical to an uncached estimateProfile call.
+  EXPECT_NE(Est.BlockCounts, Interp.BlockCounts);
+  ir::InterpResult Direct = trace::estimateProfile(M.Fn);
+  EXPECT_EQ(Est.Finished, Direct.Finished);
+  EXPECT_EQ(Est.BlockCounts, Direct.BlockCounts);
+  EXPECT_EQ(Est.EdgeCounts, Direct.EdgeCounts);
 }
 
 // Eviction never hands out a wrong or dangling profile: push far more

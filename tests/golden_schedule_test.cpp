@@ -51,7 +51,9 @@ uint64_t fnv1a(const std::string &S) {
 
 /// The configurations pinned by the golden table: each scheduler kind on
 /// straight-line blocks, plus the big-block (unroll 8) and trace paths for
-/// the two kinds the paper compares throughout.
+/// the two kinds the paper compares throughout — each trace path twice,
+/// once with the interpreted profile and once with the static estimate
+/// (trace::estimateProfile), so estimator changes show up as golden diffs.
 std::vector<CompileOptions> goldenConfigs() {
   std::vector<CompileOptions> Cs;
   auto Base = [] {
@@ -69,11 +71,14 @@ std::vector<CompileOptions> goldenConfigs() {
   }
   for (sched::SchedulerKind K :
        {sched::SchedulerKind::Balanced, sched::SchedulerKind::Traditional}) {
-    CompileOptions O = Base();
-    O.Scheduler = K;
-    O.UnrollFactor = 8;
-    O.TraceScheduling = true;
-    Cs.push_back(O);
+    for (bool Est : {false, true}) {
+      CompileOptions O = Base();
+      O.Scheduler = K;
+      O.UnrollFactor = 8;
+      O.TraceScheduling = true;
+      O.UseEstimatedProfile = Est;
+      Cs.push_back(O);
+    }
   }
   return Cs;
 }
