@@ -56,6 +56,21 @@ mustRun(const driver::Workload &W, const driver::CompileOptions &Opts,
   return R;
 }
 
+/// The full (workload x options x machine) grid as an ExperimentJob list —
+/// the shape every table's jobs() registration is built from.
+inline std::vector<driver::ExperimentJob>
+gridJobs(const std::vector<driver::CompileOptions> &Configs,
+         const std::vector<sim::MachineConfig> &Machines = {
+             sim::MachineConfig{}}) {
+  std::vector<driver::ExperimentJob> Jobs;
+  Jobs.reserve(driver::workloads().size() * Configs.size() * Machines.size());
+  for (const driver::Workload &W : driver::workloads())
+    for (const driver::CompileOptions &O : Configs)
+      for (const sim::MachineConfig &M : Machines)
+        Jobs.push_back({&W, O, M});
+  return Jobs;
+}
+
 /// Pre-computes every (workload, options, machine) combination on the shared
 /// thread pool so the serial table-assembly loops below hit the runCached
 /// memo instead of compiling and simulating one cell at a time. Results are
@@ -64,13 +79,7 @@ mustRun(const driver::Workload &W, const driver::CompileOptions &Opts,
 inline void warm(const std::vector<driver::CompileOptions> &Configs,
                  const std::vector<sim::MachineConfig> &Machines = {
                      sim::MachineConfig{}}) {
-  std::vector<driver::ExperimentJob> Jobs;
-  Jobs.reserve(driver::workloads().size() * Configs.size() * Machines.size());
-  for (const driver::Workload &W : driver::workloads())
-    for (const driver::CompileOptions &O : Configs)
-      for (const sim::MachineConfig &M : Machines)
-        Jobs.push_back({&W, O, M});
-  driver::runAll(Jobs);
+  driver::runAll(gridJobs(Configs, Machines));
 }
 
 inline void emit(const Table &T) {

@@ -1,0 +1,103 @@
+//===- bench/Suite.h - Unified suite-runner table registry ------*- C++ -*-===//
+///
+/// \file
+/// The contract between the table benches and the bsched-suite orchestrator.
+/// Each table bench is a pair of functions instead of a main():
+///
+///   - jobs(): the (workload, options, machine) grid of every runCached cell
+///     the table reads — the part worth deduplicating and parallelizing;
+///   - run():  emits the table to stdout, assuming nothing (every cell it
+///     touches still goes through runCached, so it is correct — just slower
+///     — without a warm cache).
+///
+/// BSCHED_SUITE_TABLE(name, title) glues them in: it exports the table
+/// descriptor under a well-known symbol for the suite binary and, unless the
+/// translation unit is being compiled into the suite (BSCHED_SUITE_BUILD),
+/// defines the standalone main() — pre-run the grid on the pool, then emit.
+/// One source file therefore builds both the historical per-table binary and
+/// the suite member, and the two produce byte-identical output: run() is the
+/// single emitter, and runCached results are deterministic for any thread
+/// count and either cache tier (the suite_test and the suite's
+/// --verify-standalone mode both assert the bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BALSCHED_BENCH_SUITE_H
+#define BALSCHED_BENCH_SUITE_H
+
+#include "driver/Experiment.h"
+
+#include <string>
+#include <vector>
+
+namespace bsched {
+namespace bench {
+
+/// One registered table bench.
+struct SuiteTable {
+  std::string Name;  ///< matches the standalone binary: bench_<Name>.
+  std::string Title; ///< one-line description for --list and the JSON.
+  std::vector<driver::ExperimentJob> (*Jobs)();
+  int (*Run)();
+};
+
+/// Standalone-binary behaviour: pre-run the grid on the shared pool (the old
+/// inline bench::warm call), then emit. Exposed so the per-table main()s
+/// stay one line.
+int runTableStandalone(const SuiteTable &T);
+
+/// Runs \p Fn with stdout redirected into \p Captured (fd-level, so C stdio
+/// from the table code is included). Returns Fn's return value; on capture
+/// plumbing failure returns nonzero with \p Captured empty. stdout is
+/// restored before returning.
+int captureStdout(int (*Fn)(), std::string &Captured);
+
+/// Every suite table, in canonical (paper) order. Each X(name) names a
+/// translation unit that invokes BSCHED_SUITE_TABLE(name, ...); the suite
+/// binary expands this list to declare and collect the descriptors, so a
+/// new table registers by adding one line here and one macro call there.
+#define BSCHED_SUITE_ALL_TABLES(X)                                            \
+  X(table1_workload)                                                          \
+  X(table2_memory)                                                            \
+  X(table3_latency)                                                           \
+  X(table4_unroll_bs)                                                         \
+  X(table5_bs_vs_ts)                                                          \
+  X(table6_combos)                                                            \
+  X(table7_trace_bs_vs_ts)                                                    \
+  X(table8_summary)                                                           \
+  X(table9_locality)                                                          \
+  X(sec55_model_compare)                                                      \
+  X(ablation_weight_cap)                                                      \
+  X(ablation_trace_profile)                                                   \
+  X(extra_hitrate_sweep)                                                      \
+  X(extra_breakdown)                                                          \
+  X(ext_future_work)
+
+} // namespace bench
+} // namespace bsched
+
+/// Defined by each table translation unit (via BSCHED_SUITE_TABLE); the
+/// suite binary declares them through BSCHED_SUITE_ALL_TABLES.
+#define BSCHED_SUITE_DECLARE(NAME)                                            \
+  ::bsched::bench::SuiteTable bsched_suite_table_##NAME();
+
+#ifdef BSCHED_SUITE_BUILD
+#define BSCHED_SUITE_MAIN_IMPL(NAME)
+#else
+#define BSCHED_SUITE_MAIN_IMPL(NAME)                                          \
+  int main() {                                                                \
+    return ::bsched::bench::runTableStandalone(                               \
+        bsched_suite_table_##NAME());                                         \
+  }
+#endif
+
+/// Registers the enclosing file's jobs()/run() pair (any file-scope callables
+/// with those signatures) as suite table \p NAME, and emits the standalone
+/// main() when not building the suite.
+#define BSCHED_SUITE_TABLE(NAME, TITLE)                                       \
+  ::bsched::bench::SuiteTable bsched_suite_table_##NAME() {                   \
+    return {#NAME, TITLE, &jobs, &run};                                       \
+  }                                                                           \
+  BSCHED_SUITE_MAIN_IMPL(NAME)
+
+#endif // BALSCHED_BENCH_SUITE_H

@@ -10,19 +10,31 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+CompileOptions profCfg() { return balanced(4, /*TrS=*/true); }
+CompileOptions estCfg() {
+  CompileOptions O = profCfg();
+  O.UseEstimatedProfile = true;
+  return O;
+}
+
+std::vector<ExperimentJob> jobs() {
+  return gridJobs({balanced(4), profCfg(), estCfg()});
+}
+
+int run() {
   heading("Ablation: trace selection guided by profiles vs static "
           "estimation (balanced scheduling, trace scheduling + LU4)");
 
-  CompileOptions ProfCfg = balanced(4, /*TrS=*/true);
-  CompileOptions EstCfg = ProfCfg;
-  EstCfg.UseEstimatedProfile = true;
-  warm({balanced(4), ProfCfg, EstCfg});
+  CompileOptions ProfCfg = profCfg();
+  CompileOptions EstCfg = estCfg();
 
   Table T({"Benchmark", "No TrS (cycles M)", "TrS, profiled", "TrS, estimated",
            "Est/Prof cycle ratio", "Comp instrs prof/est"});
@@ -55,3 +67,9 @@ int main() {
       "DYFESM footnote describes exactly that failure mode).\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(ablation_trace_profile,
+                   "Ablation: trace selection guided by profiles vs static "
+                   "estimation")

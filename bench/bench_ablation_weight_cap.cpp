@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
@@ -35,9 +36,12 @@ CompileOptions optionsFor(const Variant &V, int Unroll) {
   return O;
 }
 
-} // namespace
+// Only the TS baseline is cacheable: the variant knobs (WeightCap,
+// RespectHitAnnotations) are not part of the runCached key, so those runs
+// stay on runWorkload inside run().
+std::vector<ExperimentJob> jobs() { return gridJobs({traditional(8)}); }
 
-int main() {
+int run() {
   heading("Ablation: balanced-scheduler design choices (unrolling by 8, "
           "where register pressure is the binding constraint)");
 
@@ -49,11 +53,6 @@ int main() {
       {"LA, hits exempt from balancing (paper)", 50, true, 24, true},
       {"LA, hits balanced like misses", 50, false, 24, true},
   };
-
-  // Only the TS baseline is cacheable: the variant knobs (WeightCap,
-  // RespectHitAnnotations) are not part of the runCached key, so those runs
-  // stay on runWorkload below.
-  warm({traditional(8)});
 
   Table T({"Variant", "Mean speedup vs TS+LU8", "Mean li% of cycles",
            "Total spill+restore instrs"});
@@ -84,3 +83,9 @@ int main() {
       "paper reserves for misses.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(ablation_weight_cap,
+                   "Ablation: balanced-scheduler design choices (weight cap, "
+                   "hit exemption, pressure ceiling)")

@@ -581,6 +581,21 @@ int main(int argc, char **argv) {
   std::printf("compile-throughput benchmark (%s mode, best of %d)\n",
               Quick ? "quick" : "full", Reps);
 
+  // Untimed warmup sweep over every (config, workload, impl) cell that the
+  // loop below measures. One-time lazy costs — allocator arena growth, page
+  // faults on first touch of the big scheduler tables — otherwise land in
+  // whichever cell happens to run first; quick mode is best-of-1, so a
+  // single cold compile there skews its row by an order of magnitude.
+  for (const BenchConfig &C : Configs) {
+    bool TimeRef = !Quick || C.Unroll == 8;
+    for (const Workload &W : workloads()) {
+      lang::Program P = parseWorkload(W);
+      (void)compileProgram(P, optionsFor(C, sched::SchedImpl::Fast));
+      if (TimeRef)
+        (void)compileProgram(P, optionsFor(C, sched::SchedImpl::Reference));
+    }
+  }
+
   std::vector<ConfigRow> Results;
   for (const BenchConfig &C : Configs) {
     ConfigRow Row;

@@ -13,23 +13,29 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
-  {
-    std::vector<sim::MachineConfig> Widths(3);
-    Widths[0].IssueWidth = 1;
-    Widths[1].IssueWidth = 2;
-    Widths[2].IssueWidth = 4;
-    warm({balanced(), traditional()}, Widths);
-    CompileOptions BF = balanced();
-    BF.Balance.BalanceFixedOps = true;
-    warm({BF, makeOptions(sched::SchedulerKind::Hybrid)});
-  }
+namespace {
 
+std::vector<ExperimentJob> jobs() {
+  std::vector<sim::MachineConfig> Widths(3);
+  Widths[0].IssueWidth = 1;
+  Widths[1].IssueWidth = 2;
+  Widths[2].IssueWidth = 4;
+  std::vector<ExperimentJob> Jobs = gridJobs({balanced(), traditional()}, Widths);
+  CompileOptions BF = balanced();
+  BF.Balance.BalanceFixedOps = true;
+  for (ExperimentJob &J :
+       gridJobs({BF, makeOptions(sched::SchedulerKind::Hybrid)}))
+    Jobs.push_back(std::move(J));
+  return Jobs;
+}
+
+int run() {
   // --- 1. Superscalar ------------------------------------------------------
   heading("Extension 1: balanced vs traditional scheduling on wider-issue "
           "in-order machines (per-cycle limits: 2 int, 2 fp, 1 memory)");
@@ -130,3 +136,9 @@ int main() {
   }
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(ext_future_work,
+                   "Section-6 extensions: issue width, fixed-op balancing, "
+                   "hybrid scheduler")

@@ -10,29 +10,35 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+struct Level {
+  const char *Name;
+  int LU;
+  bool TrS, LA;
+};
+constexpr Level Levels[] = {
+    {"BS", 1, false, false},          {"BS+LU4", 4, false, false},
+    {"BS+LU8", 8, false, false},      {"BS+TrS+LU4", 4, true, false},
+    {"BS+LA", 1, false, true},        {"BS+LA+TrS+LU8", 8, true, true},
+};
+
+std::vector<ExperimentJob> jobs() {
+  std::vector<driver::CompileOptions> Configs;
+  for (const Level &L : Levels)
+    Configs.push_back(balanced(L.LU, L.TrS, L.LA));
+  return gridJobs(Configs);
+}
+
+int run() {
   heading("Cycle breakdown per optimization level (balanced scheduling, "
           "average share of total cycles across the 17 kernels)");
-
-  struct Level {
-    const char *Name;
-    int LU;
-    bool TrS, LA;
-  } Levels[] = {
-      {"BS", 1, false, false},          {"BS+LU4", 4, false, false},
-      {"BS+LU8", 8, false, false},      {"BS+TrS+LU4", 4, true, false},
-      {"BS+LA", 1, false, true},        {"BS+LA+TrS+LU8", 8, true, true},
-  };
-
-  std::vector<driver::CompileOptions> Warm;
-  for (const Level &L : Levels)
-    Warm.push_back(balanced(L.LU, L.TrS, L.LA));
-  warm(Warm);
 
   Table T({"Config", "Issue slots", "Load interlock", "Fixed interlock",
            "I-cache", "TLB", "Branch", "MSHR/WB", "Spill+restore instrs"});
@@ -73,3 +79,8 @@ int main() {
       "load-interlock column directly.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(extra_breakdown,
+                   "Cycle-accounting breakdown per optimization level")

@@ -11,16 +11,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
-  heading("Balanced vs traditional scheduling on the 1993 stochastic model "
-          "across cache hit rates (miss = 24 cycles, hit = 2, single-cycle "
-          "fixed-latency instructions, perfect front end)");
+namespace {
 
+std::vector<ExperimentJob> jobs() {
   std::vector<sim::MachineConfig> Machines;
   for (double HitRate : {0.50, 0.80, 0.90, 0.95, 0.99}) {
     sim::MachineConfig C;
@@ -28,7 +27,13 @@ int main() {
     C.SimpleHitRate = HitRate;
     Machines.push_back(C);
   }
-  warm({balanced(), traditional()}, Machines);
+  return gridJobs({balanced(), traditional()}, Machines);
+}
+
+int run() {
+  heading("Balanced vs traditional scheduling on the 1993 stochastic model "
+          "across cache hit rates (miss = 24 cycles, hit = 2, single-cycle "
+          "fixed-latency instructions, perfect front end)");
 
   Table T({"Hit rate", "Mean BS vs TS", "Mean li% BS", "Mean li% TS",
            "BS wins / ties / losses"});
@@ -65,3 +70,8 @@ int main() {
       "check is monotone decay toward parity as hits become certain.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(extra_hitrate_sweep,
+                   "1993 stochastic model: BS vs TS across cache hit rates")

@@ -11,34 +11,37 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+// Four Perfect Club programs stand in for the four the studies share.
+constexpr const char *Shared[] = {"ARC2D", "BDNA", "DYFESM", "TRFD"};
+
+// Only the shared programs run here, so the grid lists those cells directly
+// instead of the whole workload (gridJobs would sweep all 17).
+std::vector<ExperimentJob> jobs() {
+  std::vector<ExperimentJob> Jobs;
+  for (const char *Name : Shared)
+    for (double HitRate : {0.0, 0.80, 0.95})
+      for (const CompileOptions &O : {balanced(), traditional()}) {
+        sim::MachineConfig M;
+        if (HitRate != 0.0) {
+          M.SimpleModel = true;
+          M.SimpleHitRate = HitRate;
+        }
+        Jobs.push_back({findWorkload(Name), O, M});
+      }
+  return Jobs;
+}
+
+int run() {
   heading("Section 5.5: Simple stochastic model (1993 study) vs the 21164 "
           "model — BS-over-TS speedup under each");
-
-  // Four Perfect Club programs stand in for the four the studies share.
-  const char *Shared[] = {"ARC2D", "BDNA", "DYFESM", "TRFD"};
-
-  // Only the shared programs run here, so pre-warm those cells directly
-  // instead of the whole workload (bench::warm would sweep all 17).
-  {
-    std::vector<ExperimentJob> Jobs;
-    for (const char *Name : Shared)
-      for (double HitRate : {0.0, 0.80, 0.95})
-        for (const CompileOptions &O : {balanced(), traditional()}) {
-          sim::MachineConfig M;
-          if (HitRate != 0.0) {
-            M.SimpleModel = true;
-            M.SimpleHitRate = HitRate;
-          }
-          Jobs.push_back({findWorkload(Name), O, M});
-        }
-    runAll(Jobs);
-  }
 
   for (double HitRate : {0.80, 0.95}) {
     sim::MachineConfig Simple;
@@ -77,3 +80,8 @@ int main() {
       "system, which the simple model omits.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(sec55_model_compare,
+                   "Section 5.5: simple stochastic model vs the 21164 model")

@@ -1,0 +1,472 @@
+//===- bench/bench_suite.cpp - Unified experiment suite runner -------------===//
+//
+// bsched-suite: runs any subset of the paper's table/ablation benches in one
+// process over one shared result cache. The cross-table (workload, options,
+// machine) overlap is deduplicated by runCached key before dispatch, the
+// unique jobs fan out over ThreadPool::parallelForChunked (guided — the mix
+// of microsecond compiles and multi-second simulations is exactly the
+// non-uniform-duration case guided self-scheduling serves), and each table's
+// emitter then assembles its output from the warm cache. With a persistent
+// artifact store configured (--store or BSCHED_ARTIFACT_DIR), results
+// outlive the process: a warm re-run deserializes instead of recomputing.
+//
+// Output contract: every table's bytes are identical to its standalone
+// bench_<table> binary, for any thread count, cold or warm store
+// (--verify-standalone re-runs the standalone binaries and compares).
+//
+// Usage:
+//   --list                   list registered tables and exit
+//   --tables a,b,c           run this subset (default: every table)
+//   --quick                  cheap CI subset (table1, table4, table5)
+//   --threads N              warmup fan-out threads (0 = one per hw thread)
+//   --store DIR              artifact store directory (also exported to
+//                            standalone children via BSCHED_ARTIFACT_DIR)
+//   --measure                forced-cold pass (disk reads off) then warm
+//                            pass (memory cleared, disk reads on); records
+//                            both and checks the outputs byte-identical
+//   --json PATH              suite JSON (default: BENCH_suite.json)
+//   --out-dir DIR            also write per-table <name>.txt / <name>.json
+//   --verify-standalone DIR  run DIR/bench_<name> per table, compare bytes
+//   --min-disk-hit-rate X    gate: warm-pass disk hit rate floor (measure)
+//   --min-warm-speedup X     gate: cold/warm wall-time floor (measure)
+//
+//===----------------------------------------------------------------------===//
+
+#include "Suite.h"
+
+#include "driver/ArtifactStore.h"
+#include "driver/ProfileCache.h"
+#include "support/Serialize.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <stdlib.h>
+
+using namespace bsched;
+using namespace bsched::bench;
+
+BSCHED_SUITE_ALL_TABLES(BSCHED_SUITE_DECLARE)
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<SuiteTable> allTables() {
+  std::vector<SuiteTable> Tables;
+#define BSCHED_SUITE_COLLECT(NAME) Tables.push_back(bsched_suite_table_##NAME());
+  BSCHED_SUITE_ALL_TABLES(BSCHED_SUITE_COLLECT)
+#undef BSCHED_SUITE_COLLECT
+  return Tables;
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma != Pos)
+      Parts.push_back(S.substr(Pos, Comma - Pos));
+    Pos = Comma + 1;
+  }
+  return Parts;
+}
+
+struct TableRun {
+  SuiteTable T;
+  size_t JobCount = 0;       ///< jobs the table registered.
+  size_t UniqueContributed = 0; ///< of those, first seen at this table.
+  std::string Output;        ///< captured run() bytes.
+  uint64_t RunNs = 0;        ///< serial emit time (cache-hit assembly).
+  int ExitCode = 0;
+};
+
+/// Dedups every selected table's grid by runCached key, preserving first-
+/// occurrence order, and records per-table contribution counts.
+std::vector<driver::ExperimentJob> collectJobs(std::vector<TableRun> &Tables,
+                                               size_t &TotalJobs) {
+  std::vector<driver::ExperimentJob> Unique;
+  std::unordered_set<std::string> Seen;
+  TotalJobs = 0;
+  for (TableRun &TR : Tables) {
+    std::vector<driver::ExperimentJob> Jobs = TR.T.Jobs();
+    TR.JobCount = Jobs.size();
+    TotalJobs += Jobs.size();
+    for (driver::ExperimentJob &J : Jobs) {
+      std::string Key = driver::resultKey(*J.W, J.Opts, J.Machine);
+      if (Seen.insert(std::move(Key)).second) {
+        ++TR.UniqueContributed;
+        Unique.push_back(std::move(J));
+      }
+    }
+  }
+  return Unique;
+}
+
+/// One full pass: fan the deduped grid out on the pool, then assemble every
+/// table serially with stdout captured. Returns total wall nanoseconds.
+uint64_t runPass(std::vector<TableRun> &Tables,
+                 const std::vector<driver::ExperimentJob> &Unique,
+                 unsigned Threads, bool &AnyFailed) {
+  uint64_t T0 = nowNs();
+  driver::runAll(Unique, Threads);
+  for (TableRun &TR : Tables) {
+    static TableRun *Current; // captureStdout takes a plain fn ptr.
+    Current = &TR;
+    uint64_t R0 = nowNs();
+    TR.ExitCode = captureStdout([] { return Current->T.Run(); }, TR.Output);
+    TR.RunNs = nowNs() - R0;
+    if (TR.ExitCode != 0)
+      AnyFailed = true;
+  }
+  return nowNs() - T0;
+}
+
+void clearMemoryCaches() {
+  driver::clearResultCache();
+  driver::clearProfileCache();
+}
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+bool readProcessOutput(const std::string &Cmd, std::string &Out) {
+  Out.clear();
+  std::FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  return pclose(P) == 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Selected;
+  bool Quick = false, List = false, Measure = false;
+  unsigned Threads = 0;
+  std::string StoreDir, JsonPath = "BENCH_suite.json", OutDir, VerifyDir;
+  double MinDiskHitRate = 0.0, MinWarmSpeedup = 0.0;
+
+  for (int I = 1; I != argc; ++I) {
+    if (!std::strcmp(argv[I], "--list"))
+      List = true;
+    else if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strcmp(argv[I], "--measure"))
+      Measure = true;
+    else if (!std::strcmp(argv[I], "--tables") && I + 1 != argc)
+      Selected = splitList(argv[++I]);
+    else if (!std::strcmp(argv[I], "--threads") && I + 1 != argc)
+      Threads = static_cast<unsigned>(std::atoi(argv[++I]));
+    else if (!std::strcmp(argv[I], "--store") && I + 1 != argc)
+      StoreDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--json") && I + 1 != argc)
+      JsonPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--out-dir") && I + 1 != argc)
+      OutDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--verify-standalone") && I + 1 != argc)
+      VerifyDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--min-disk-hit-rate") && I + 1 != argc)
+      MinDiskHitRate = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--min-warm-speedup") && I + 1 != argc)
+      MinWarmSpeedup = std::atof(argv[++I]);
+    else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[I]);
+      return 2;
+    }
+  }
+
+  std::vector<SuiteTable> Registry = allTables();
+  if (List) {
+    for (const SuiteTable &T : Registry)
+      std::printf("%-24s %s\n", T.Name.c_str(), T.Title.c_str());
+    return 0;
+  }
+
+  if (Quick && Selected.empty())
+    Selected = {"table1_workload", "table4_unroll_bs", "table5_bs_vs_ts"};
+
+  std::vector<TableRun> Tables;
+  if (Selected.empty()) {
+    for (SuiteTable &T : Registry) {
+      TableRun TR;
+      TR.T = T;
+      Tables.push_back(std::move(TR));
+    }
+  } else {
+    for (const std::string &Name : Selected) {
+      bool Found = false;
+      for (SuiteTable &T : Registry)
+        if (T.Name == Name) {
+          TableRun TR;
+          TR.T = T;
+          Tables.push_back(std::move(TR));
+          Found = true;
+          break;
+        }
+      if (!Found) {
+        std::fprintf(stderr, "unknown table: %s (try --list)\n", Name.c_str());
+        return 2;
+      }
+    }
+  }
+
+  if (!StoreDir.empty()) {
+    driver::setArtifactStoreDir(StoreDir);
+    // Standalone children launched by --verify-standalone reuse the store.
+    ::setenv("BSCHED_ARTIFACT_DIR", StoreDir.c_str(), 1);
+  }
+  if (Measure && !driver::artifactStoreEnabled()) {
+    std::fprintf(stderr,
+                 "--measure needs a persistent store: pass --store DIR or "
+                 "set BSCHED_ARTIFACT_DIR\n");
+    return 2;
+  }
+
+  size_t TotalJobs = 0;
+  std::vector<driver::ExperimentJob> Unique = collectJobs(Tables, TotalJobs);
+
+  bool AnyFailed = false;
+  uint64_t ColdNs = 0, WarmNs = 0;
+  driver::ArtifactStoreStats ColdStore, WarmStore;
+  driver::ResultCacheStats CacheBefore = driver::resultCacheStats();
+  bool PassesIdentical = true;
+
+  if (Measure) {
+    // Forced-cold pass: disk reads off (an already-warm store must not
+    // flatter the cold number), write-back on, memory caches empty.
+    std::vector<std::string> ColdOutputs;
+    clearMemoryCaches();
+    driver::resetArtifactStoreStats();
+    driver::setArtifactStoreReads(false);
+    ColdNs = runPass(Tables, Unique, Threads, AnyFailed);
+    ColdStore = driver::artifactStoreStats();
+    for (TableRun &TR : Tables)
+      ColdOutputs.push_back(std::move(TR.Output));
+
+    // Warm pass: memory caches cleared again, so every hit is the disk
+    // tier's — deserialization standing in for recomputation.
+    clearMemoryCaches();
+    driver::resetArtifactStoreStats();
+    driver::setArtifactStoreReads(true);
+    WarmNs = runPass(Tables, Unique, Threads, AnyFailed);
+    WarmStore = driver::artifactStoreStats();
+
+    for (size_t I = 0; I != Tables.size(); ++I)
+      if (Tables[I].Output != ColdOutputs[I]) {
+        PassesIdentical = false;
+        std::fprintf(stderr,
+                     "SUITE: table %s produced different bytes cold vs "
+                     "warm-from-store\n",
+                     Tables[I].T.Name.c_str());
+      }
+  } else {
+    ColdNs = runPass(Tables, Unique, Threads, AnyFailed);
+    ColdStore = driver::artifactStoreStats();
+  }
+  driver::ResultCacheStats CacheAfter = driver::resultCacheStats();
+
+  // Emit every table's captured bytes in order: the suite's stdout is the
+  // concatenation of the standalone binaries' outputs.
+  for (const TableRun &TR : Tables)
+    std::fwrite(TR.Output.data(), 1, TR.Output.size(), stdout);
+
+  size_t Saved = TotalJobs - Unique.size();
+  std::fprintf(stderr, "suite: %zu tables, %zu jobs, %zu unique (%zu deduped)",
+               Tables.size(), TotalJobs, Unique.size(), Saved);
+  if (Measure)
+    std::fprintf(stderr, ", cold %.2fs, warm %.2fs (%.1fx)",
+                 static_cast<double>(ColdNs) / 1e9,
+                 static_cast<double>(WarmNs) / 1e9,
+                 WarmNs ? static_cast<double>(ColdNs) /
+                              static_cast<double>(WarmNs)
+                        : 0.0);
+  std::fprintf(stderr, "\n");
+
+  // --- Optional byte-identity check against the standalone binaries --------
+  bool VerifyFailed = false;
+  if (!VerifyDir.empty()) {
+    for (const TableRun &TR : Tables) {
+      std::string Cmd = VerifyDir + "/bench_" + TR.T.Name + " 2>/dev/null";
+      std::string Out;
+      if (!readProcessOutput(Cmd, Out) || Out != TR.Output) {
+        VerifyFailed = true;
+        std::fprintf(stderr,
+                     "SUITE VERIFY FAILED: %s standalone output differs "
+                     "(%zu vs %zu bytes)\n",
+                     TR.T.Name.c_str(), Out.size(), TR.Output.size());
+      } else {
+        std::fprintf(stderr, "suite verify: %s byte-identical (%zu bytes)\n",
+                     TR.T.Name.c_str(), Out.size());
+      }
+    }
+  }
+
+  // --- Per-table artifacts --------------------------------------------------
+  if (!OutDir.empty()) {
+    std::string MkCmd = "mkdir -p '" + OutDir + "'";
+    if (std::system(MkCmd.c_str()) != 0)
+      std::fprintf(stderr, "suite: cannot create %s\n", OutDir.c_str());
+    for (const TableRun &TR : Tables) {
+      std::string TxtPath = OutDir + "/" + TR.T.Name + ".txt";
+      if (std::FILE *F = std::fopen(TxtPath.c_str(), "w")) {
+        std::fwrite(TR.Output.data(), 1, TR.Output.size(), F);
+        std::fclose(F);
+      }
+      std::string JPath = OutDir + "/" + TR.T.Name + ".json";
+      if (std::FILE *F = std::fopen(JPath.c_str(), "w")) {
+        std::fprintf(F,
+                     "{\n  \"name\": \"%s\",\n  \"title\": \"%s\",\n"
+                     "  \"jobs\": %zu,\n  \"unique_contributed\": %zu,\n"
+                     "  \"output_bytes\": %zu,\n  \"output_fnv\": \"%016llx\",\n"
+                     "  \"emit_ms\": %.3f\n}\n",
+                     TR.T.Name.c_str(), jsonEscape(TR.T.Title).c_str(),
+                     TR.JobCount, TR.UniqueContributed, TR.Output.size(),
+                     static_cast<unsigned long long>(fnv1a(TR.Output)),
+                     static_cast<double>(TR.RunNs) / 1e6);
+        std::fclose(F);
+      }
+    }
+  }
+
+  // --- Suite JSON -----------------------------------------------------------
+  double WarmSpeedup =
+      (Measure && WarmNs)
+          ? static_cast<double>(ColdNs) / static_cast<double>(WarmNs)
+          : 0.0;
+  uint64_t WarmReads = WarmStore.DiskHits + WarmStore.DiskMisses +
+                       WarmStore.CorruptRejected + WarmStore.VersionRejected +
+                       WarmStore.KeyRejected;
+  double DiskHitRate =
+      WarmReads ? static_cast<double>(WarmStore.DiskHits) /
+                      static_cast<double>(WarmReads)
+                : 0.0;
+
+  if (std::FILE *J = std::fopen(JsonPath.c_str(), "w")) {
+    std::fprintf(J, "{\n");
+    std::fprintf(J, "  \"version\": 1,\n");
+    std::fprintf(J, "  \"quick\": %s,\n", Quick ? "true" : "false");
+    std::fprintf(J, "  \"measure\": %s,\n", Measure ? "true" : "false");
+    std::fprintf(J, "  \"threads\": %u,\n", Threads);
+    std::fprintf(J, "  \"store_enabled\": %s,\n",
+                 driver::artifactStoreEnabled() ? "true" : "false");
+    std::fprintf(J, "  \"tables\": [\n");
+    for (size_t I = 0; I != Tables.size(); ++I) {
+      const TableRun &TR = Tables[I];
+      std::fprintf(J,
+                   "    {\"name\": \"%s\", \"jobs\": %zu, "
+                   "\"unique_contributed\": %zu, \"output_bytes\": %zu, "
+                   "\"output_fnv\": \"%016llx\", \"emit_ms\": %.3f}%s\n",
+                   TR.T.Name.c_str(), TR.JobCount, TR.UniqueContributed,
+                   TR.Output.size(),
+                   static_cast<unsigned long long>(fnv1a(TR.Output)),
+                   static_cast<double>(TR.RunNs) / 1e6,
+                   I + 1 == Tables.size() ? "" : ",");
+    }
+    std::fprintf(J, "  ],\n");
+    std::fprintf(J, "  \"jobs_total\": %zu,\n", TotalJobs);
+    std::fprintf(J, "  \"jobs_unique\": %zu,\n", Unique.size());
+    std::fprintf(J, "  \"jobs_deduped\": %zu,\n", Saved);
+    std::fprintf(J,
+                 "  \"result_cache\": {\"hits\": %llu, \"misses\": %llu, "
+                 "\"in_flight_waits\": %llu},\n",
+                 static_cast<unsigned long long>(CacheAfter.Hits -
+                                                 CacheBefore.Hits),
+                 static_cast<unsigned long long>(CacheAfter.Misses -
+                                                 CacheBefore.Misses),
+                 static_cast<unsigned long long>(CacheAfter.InFlightWaits -
+                                                 CacheBefore.InFlightWaits));
+    auto StoreJson = [&](const char *Name,
+                         const driver::ArtifactStoreStats &S) {
+      std::fprintf(J,
+                   "  \"%s\": {\"disk_hits\": %llu, \"disk_misses\": %llu, "
+                   "\"writes\": %llu, \"write_failures\": %llu, "
+                   "\"corrupt_rejected\": %llu, \"version_rejected\": %llu, "
+                   "\"key_rejected\": %llu},\n",
+                   Name, static_cast<unsigned long long>(S.DiskHits),
+                   static_cast<unsigned long long>(S.DiskMisses),
+                   static_cast<unsigned long long>(S.Writes),
+                   static_cast<unsigned long long>(S.WriteFailures),
+                   static_cast<unsigned long long>(S.CorruptRejected),
+                   static_cast<unsigned long long>(S.VersionRejected),
+                   static_cast<unsigned long long>(S.KeyRejected));
+    };
+    if (Measure) {
+      StoreJson("store_cold", ColdStore);
+      StoreJson("store_warm", WarmStore);
+      std::fprintf(J, "  \"cold_ms\": %.3f,\n",
+                   static_cast<double>(ColdNs) / 1e6);
+      std::fprintf(J, "  \"warm_ms\": %.3f,\n",
+                   static_cast<double>(WarmNs) / 1e6);
+      std::fprintf(J, "  \"warm_speedup\": %.3f,\n", WarmSpeedup);
+      std::fprintf(J, "  \"disk_hit_rate\": %.4f,\n", DiskHitRate);
+      std::fprintf(J, "  \"passes_identical\": %s,\n",
+                   PassesIdentical ? "true" : "false");
+    } else {
+      StoreJson("store", ColdStore);
+      std::fprintf(J, "  \"wall_ms\": %.3f,\n",
+                   static_cast<double>(ColdNs) / 1e6);
+    }
+    std::fprintf(J, "  \"verified_standalone\": %s\n",
+                 !VerifyDir.empty() && !VerifyFailed ? "true" : "false");
+    std::fprintf(J, "}\n");
+    std::fclose(J);
+  } else {
+    std::fprintf(stderr, "suite: cannot write %s\n", JsonPath.c_str());
+    return 1;
+  }
+
+  // --- Gates ----------------------------------------------------------------
+  int Rc = 0;
+  if (AnyFailed) {
+    std::fprintf(stderr, "SUITE FAILED: a table emitter returned nonzero\n");
+    Rc = 1;
+  }
+  if (!PassesIdentical) {
+    std::fprintf(stderr,
+                 "SUITE GATE FAILED: cold and warm outputs differ\n");
+    Rc = 1;
+  }
+  if (VerifyFailed)
+    Rc = 1;
+  if (Measure && MinDiskHitRate > 0 && DiskHitRate < MinDiskHitRate) {
+    std::fprintf(stderr,
+                 "SUITE GATE FAILED: disk hit rate %.3f < floor %.3f\n",
+                 DiskHitRate, MinDiskHitRate);
+    Rc = 1;
+  }
+  if (Measure && MinWarmSpeedup > 0 && WarmSpeedup < MinWarmSpeedup) {
+    std::fprintf(stderr,
+                 "SUITE GATE FAILED: warm speedup %.2fx < floor %.2fx\n",
+                 WarmSpeedup, MinWarmSpeedup);
+    Rc = 1;
+  }
+  return Rc;
+}

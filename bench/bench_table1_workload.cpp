@@ -7,15 +7,19 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+std::vector<ExperimentJob> jobs() { return gridJobs({balanced()}); }
+
+int run() {
   heading("Table 1: The workload (synthetic analogues of Perfect Club / "
           "SPEC92 programs)");
-  warm({balanced()});
 
   Table T({"Program", "Lang.", "Description (original)",
            "Analogue behaviour", "Dyn. instrs (M)"});
@@ -27,3 +31,8 @@ int main() {
   emit(T);
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table1_workload,
+                   "Table 1: the workload and its dynamic statistics")

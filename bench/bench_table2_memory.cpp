@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 #include "lang/Parser.h"
 #include "regalloc/LinearScan.h"
@@ -52,9 +53,12 @@ double measureSerialLoadLatency(int64_t Elems, int64_t StrideElems) {
          static_cast<double>(Iters);
 }
 
-} // namespace
+// The table prints live MachineConfig parameters and probes latencies with
+// direct simulate() calls; nothing routes through runCached, so the grid is
+// empty.
+std::vector<driver::ExperimentJob> jobs() { return {}; }
 
-int main() {
+int run() {
   heading("Table 2: Memory hierarchy parameters (simulated 21164)");
 
   sim::MachineConfig C;
@@ -106,3 +110,8 @@ int main() {
   emit(V);
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table2_memory,
+                   "Table 2: memory hierarchy parameters and latency probes")

@@ -7,6 +7,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 #include "lang/Parser.h"
 #include "lower/Lower.h"
@@ -46,9 +47,11 @@ double measureChain(const std::string &VarDecls, const std::string &Update) {
          1.0; // issue slot of the chain instruction itself
 }
 
-} // namespace
+// Reads the live opcode table and probes latencies with direct simulate()
+// calls; nothing routes through runCached, so the grid is empty.
+std::vector<bsched::driver::ExperimentJob> jobs() { return {}; }
 
-int main() {
+int run() {
   heading("Table 3: Processor latencies (from the opcode table)");
 
   Table T({"Instruction type", "Latency"});
@@ -89,3 +92,8 @@ int main() {
   emit(V);
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table3_latency,
+                   "Table 3: processor latencies and serial-chain probes")

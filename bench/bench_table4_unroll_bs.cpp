@@ -7,17 +7,23 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+std::vector<ExperimentJob> jobs() {
+  return gridJobs({balanced(1), balanced(4), balanced(8)});
+}
+
+int run() {
   heading("Table 4: Balanced scheduling — speedup in total cycles and "
           "percentage decrease in dynamic instruction count and load "
           "interlock cycles for unrolling factors of 4 and 8, relative to "
           "no unrolling");
-  warm({balanced(1), balanced(4), balanced(8)});
 
   Table T({"Benchmark", "Cycles (M), no LU", "Speedup x4", "Speedup x8",
            "Instrs (M), no LU", "Instr dec. x4", "Instr dec. x8",
@@ -63,3 +69,8 @@ int main() {
               "23.3%% / 26.1%%.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table4_unroll_bs,
+                   "Table 4: balanced scheduling with loop unrolling")

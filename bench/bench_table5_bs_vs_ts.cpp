@@ -8,18 +8,24 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+std::vector<ExperimentJob> jobs() {
+  return gridJobs({balanced(1), balanced(4), balanced(8), traditional(1),
+                   traditional(4), traditional(8)});
+}
+
+int run() {
   heading("Table 5: Balanced scheduling (BS) vs traditional scheduling (TS) "
           "for loop unrolling: total-cycle speedup, percentage improvement "
           "in load interlock cycles, and load interlock cycles as a "
           "percentage of total cycles");
-  warm({balanced(1), balanced(4), balanced(8), traditional(1), traditional(4),
-        traditional(8)});
 
   Table T({"Benchmark", "BSvTS noLU", "BSvTS LU4", "BSvTS LU8",
            "Ld-int red. noLU", "red. LU4", "red. LU8", "li% BS/TS noLU",
@@ -76,3 +82,9 @@ int main() {
       "share BS 7.0/6.4/5.8%%, TS 14.8/15.5/16.0%%.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table5_bs_vs_ts,
+                   "Table 5: balanced vs traditional scheduling under "
+                   "loop unrolling")

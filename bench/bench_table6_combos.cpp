@@ -8,33 +8,39 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+struct Combo {
+  const char *Name;
+  int LU;
+  bool TrS, LA;
+};
+constexpr Combo Combos[] = {
+    {"LU4", 4, false, false},       {"LU8", 8, false, false},
+    {"TrS", 1, true, false},        {"TrS+LU4", 4, true, false},
+    {"TrS+LU8", 8, true, false},    {"LA", 1, false, true},
+    {"LA+LU4", 4, false, true},     {"LA+LU8", 8, false, true},
+    {"LA+TrS+LU4", 4, true, true},  {"LA+TrS+LU8", 8, true, true},
+};
+constexpr int NumCombos = 10;
+
+std::vector<ExperimentJob> jobs() {
+  std::vector<driver::CompileOptions> Configs{balanced()};
+  for (const Combo &C : Combos)
+    Configs.push_back(balanced(C.LU, C.TrS, C.LA));
+  return gridJobs(Configs);
+}
+
+int run() {
   heading("Table 6: Speedups over balanced scheduling alone for "
           "combinations of loop unrolling (LU 4 / LU 8), trace scheduling "
           "(TrS) and locality analysis (LA)");
-
-  struct Combo {
-    const char *Name;
-    int LU;
-    bool TrS, LA;
-  } Combos[] = {
-      {"LU4", 4, false, false},       {"LU8", 8, false, false},
-      {"TrS", 1, true, false},        {"TrS+LU4", 4, true, false},
-      {"TrS+LU8", 8, true, false},    {"LA", 1, false, true},
-      {"LA+LU4", 4, false, true},     {"LA+LU8", 8, false, true},
-      {"LA+TrS+LU4", 4, true, true},  {"LA+TrS+LU8", 8, true, true},
-  };
-  constexpr int NumCombos = 10;
-
-  std::vector<driver::CompileOptions> Warm{balanced()};
-  for (const Combo &C : Combos)
-    Warm.push_back(balanced(C.LU, C.TrS, C.LA));
-  warm(Warm);
 
   std::vector<std::string> Header{"Benchmark"};
   for (const Combo &C : Combos)
@@ -67,3 +73,9 @@ int main() {
       "LA+LU8 1.31, LA+TrS+LU4 1.29, LA+TrS+LU8 1.40.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table6_combos,
+                   "Table 6: speedups over plain BS for every optimization "
+                   "combination")

@@ -7,29 +7,36 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+struct Cfg {
+  int LU;
+  bool TrS;
+};
+constexpr Cfg Cfgs[] = {{1, false}, {4, false}, {8, false}, {4, true},
+                        {8, true}};
+
+std::vector<ExperimentJob> jobs() {
+  std::vector<driver::CompileOptions> Configs;
+  for (const Cfg &C : Cfgs) {
+    Configs.push_back(balanced(C.LU, C.TrS));
+    Configs.push_back(traditional(C.LU, C.TrS));
+  }
+  return gridJobs(Configs);
+}
+
+int run() {
   heading("Table 7: Speedup of balanced scheduling over traditional "
           "scheduling: loop unrolling alone and trace scheduling with loop "
           "unrolling");
 
   Table T({"Benchmark", "No LU", "LU 4", "LU 8", "TrS + LU 4", "TrS + LU 8"});
-
-  struct Cfg {
-    int LU;
-    bool TrS;
-  } Cfgs[] = {{1, false}, {4, false}, {8, false}, {4, true}, {8, true}};
-
-  std::vector<driver::CompileOptions> Warm;
-  for (const Cfg &C : Cfgs) {
-    Warm.push_back(balanced(C.LU, C.TrS));
-    Warm.push_back(traditional(C.LU, C.TrS));
-  }
-  warm(Warm);
 
   std::vector<double> Acc[5];
   for (const Workload &W : workloads()) {
@@ -54,3 +61,9 @@ int main() {
               "without trace scheduling; 1.14 / 1.16 with it.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table7_trace_bs_vs_ts,
+                   "Table 7: BS over TS, unrolling alone and with trace "
+                   "scheduling")

@@ -9,33 +9,39 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+struct Level {
+  const char *Name;
+  int LU;
+  bool TrS;
+};
+constexpr Level Levels[] = {
+    {"No optimizations", 1, false},
+    {"Loop unrolling by 4", 4, false},
+    {"Loop unrolling by 8", 8, false},
+    {"Trace scheduling with loop unrolling by 4", 4, true},
+    {"Trace scheduling with loop unrolling by 8", 8, true},
+};
+
+std::vector<ExperimentJob> jobs() {
+  std::vector<driver::CompileOptions> Configs{balanced()};
+  for (const Level &L : Levels) {
+    Configs.push_back(balanced(L.LU, L.TrS));
+    Configs.push_back(traditional(L.LU, L.TrS));
+  }
+  return gridJobs(Configs);
+}
+
+int run() {
   heading("Table 8: Summary comparison of balanced and traditional "
           "scheduling");
-
-  struct Level {
-    const char *Name;
-    int LU;
-    bool TrS;
-  } Levels[] = {
-      {"No optimizations", 1, false},
-      {"Loop unrolling by 4", 4, false},
-      {"Loop unrolling by 8", 8, false},
-      {"Trace scheduling with loop unrolling by 4", 4, true},
-      {"Trace scheduling with loop unrolling by 8", 8, true},
-  };
-
-  std::vector<driver::CompileOptions> Warm{balanced()};
-  for (const Level &L : Levels) {
-    Warm.push_back(balanced(L.LU, L.TrS));
-    Warm.push_back(traditional(L.LU, L.TrS));
-  }
-  warm(Warm);
 
   Table T({"Optimization (plus scheduling)", "BS vs TS speedup",
            "Ld-int dec. vs TS", "Speedup vs plain BS", "Ld-int dec. vs "
@@ -73,3 +79,9 @@ int main() {
       "15/16/16/15/15.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table8_summary,
+                   "Table 8: summary comparison of balanced and traditional "
+                   "scheduling")

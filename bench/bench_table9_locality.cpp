@@ -7,33 +7,40 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "Suite.h"
 
 using namespace bsched;
 using namespace bsched::bench;
 using namespace bsched::driver;
 
-int main() {
+namespace {
+
+struct Combo {
+  const char *Name;
+  int LU;
+  bool TrS;
+};
+constexpr Combo Combos[] = {
+    {"Locality analysis", 1, false},
+    {"Locality analysis with loop unrolling by 4", 4, false},
+    {"Locality analysis with loop unrolling by 8", 8, false},
+    {"Locality analysis with trace scheduling and loop unrolling by 4", 4,
+     true},
+    {"Locality analysis with trace scheduling and loop unrolling by 8", 8,
+     true},
+};
+
+std::vector<ExperimentJob> jobs() {
+  std::vector<driver::CompileOptions> Configs{balanced(),
+                                              balanced(1, false, true)};
+  for (const Combo &C : Combos)
+    Configs.push_back(balanced(C.LU, C.TrS, true));
+  return gridJobs(Configs);
+}
+
+int run() {
   heading("Table 9: Summary comparison of locality analysis results "
           "(balanced scheduling throughout)");
-
-  struct Combo {
-    const char *Name;
-    int LU;
-    bool TrS;
-  } Combos[] = {
-      {"Locality analysis", 1, false},
-      {"Locality analysis with loop unrolling by 4", 4, false},
-      {"Locality analysis with loop unrolling by 8", 8, false},
-      {"Locality analysis with trace scheduling and loop unrolling by 4", 4,
-       true},
-      {"Locality analysis with trace scheduling and loop unrolling by 8", 8,
-       true},
-  };
-
-  std::vector<driver::CompileOptions> Warm{balanced(), balanced(1, false, true)};
-  for (const Combo &C : Combos)
-    Warm.push_back(balanced(C.LU, C.TrS, true));
-  warm(Warm);
 
   Table T({"Optimizations (in addition to balanced scheduling)",
            "Speedup vs LA alone", "Speedup vs plain BS"});
@@ -70,3 +77,8 @@ int main() {
       "plain BS 1.15/1.28/1.31/1.29/1.40; tomcatv's LA-alone speedup 1.5.\n");
   return 0;
 }
+
+} // namespace
+
+BSCHED_SUITE_TABLE(table9_locality,
+                   "Table 9: locality-analysis summary comparison")

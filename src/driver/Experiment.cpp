@@ -2,7 +2,10 @@
 
 #include "driver/Experiment.h"
 
+#include "driver/ArtifactStore.h"
+#include "driver/Artifacts.h"
 #include "lang/Eval.h"
+#include "support/Serialize.h"
 #include "support/Str.h"
 #include "support/ThreadPool.h"
 
@@ -100,29 +103,39 @@ ResultCacheStats driver::resultCacheStats() {
   return Total;
 }
 
+std::string driver::resultKey(const Workload &W, const CompileOptions &Opts,
+                              const sim::MachineConfig &Machine) {
+  return std::string(W.Name) + "|" + Opts.tag() + "|" +
+         (Machine.SimpleModel
+              ? "simple:" + fmtDouble(Machine.SimpleHitRate, 3)
+              : std::string("21164")) +
+         "|w" + std::to_string(Machine.IssueWidth) + "|p" +
+         std::to_string(Opts.Balance.PressureThreshold) +
+         (Opts.Balance.BalanceFixedOps ? "|bf" : "") + "|a" +
+         std::to_string(Opts.RegAlloc.AllocatablePerClass) +
+         // tag() already carries "+Est"; keep the explicit suffix
+         // as belt-and-braces (the ProfileCache layer separates
+         // the two profile kinds with its own key salt).
+         (Opts.UseEstimatedProfile ? "|est" : "") +
+         (Opts.VerifyPasses ? "" : "|nv") +
+         (Opts.Balance.Impl == sched::SchedImpl::Reference ? "|ref" : "") +
+         (Opts.Balance.Impl == sched::SchedImpl::Exact ? "|exact" : "") +
+         (Opts.TraceImpl == trace::TraceImpl::Reference ? "|trref" : "") +
+         (Machine.Impl == sim::SimImpl::Reference ? "|simref" : "");
+}
+
+void driver::clearResultCache() {
+  for (size_t I = 0; I != NumResultShards; ++I) {
+    ResultShard &S = resultShards()[I];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+  }
+}
+
 const RunResult &driver::runCached(const Workload &W,
                                    const CompileOptions &Opts,
                                    const sim::MachineConfig &Machine) {
-  std::string Key = std::string(W.Name) + "|" + Opts.tag() + "|" +
-                    (Machine.SimpleModel
-                         ? "simple:" + fmtDouble(Machine.SimpleHitRate, 3)
-                         : std::string("21164")) +
-                    "|w" + std::to_string(Machine.IssueWidth) + "|p" +
-                    std::to_string(Opts.Balance.PressureThreshold) +
-                    (Opts.Balance.BalanceFixedOps ? "|bf" : "") + "|a" +
-                    std::to_string(Opts.RegAlloc.AllocatablePerClass) +
-                    // tag() already carries "+Est"; keep the explicit suffix
-                    // as belt-and-braces (the ProfileCache layer separates
-                    // the two profile kinds with its own key salt).
-                    (Opts.UseEstimatedProfile ? "|est" : "") +
-                    (Opts.VerifyPasses ? "" : "|nv") +
-                    (Opts.Balance.Impl == sched::SchedImpl::Reference ? "|ref"
-                                                                      : "") +
-                    (Opts.Balance.Impl == sched::SchedImpl::Exact ? "|exact"
-                                                                  : "") +
-                    (Opts.TraceImpl == trace::TraceImpl::Reference ? "|trref"
-                                                                   : "") +
-                    (Machine.Impl == sim::SimImpl::Reference ? "|simref" : "");
+  std::string Key = resultKey(W, Opts, Machine);
   size_t Hash = std::hash<std::string>{}(Key);
   ResultShard &S = resultShards()[(Hash ^ (Hash >> 32)) & (NumResultShards - 1)];
   CacheEntry *Entry;
@@ -140,7 +153,28 @@ const RunResult &driver::runCached(const Workload &W,
     Entry = Slot.get();
   }
   std::call_once(Entry->Once, [&] {
+    // Disk tier: a verified, decodable artifact substitutes for the
+    // compute. Anything less degrades to runWorkload — a bad disk entry
+    // can cost time, never correctness.
+    std::string Blob;
+    if (loadArtifact(Key, Blob)) {
+      ByteReader Rd(Blob);
+      RunResult Loaded;
+      if (decode(Rd, Loaded) && Rd.atEnd()) {
+        Entry->R = std::move(Loaded);
+        Entry->Done.store(true, std::memory_order_release);
+        return;
+      }
+      noteArtifactDecodeFailure();
+    }
     Entry->R = runWorkload(W, Opts, Machine);
+    // Persist only clean results: errors are cheap to re-derive and must
+    // not outlive the bug (or transient condition) that caused them.
+    if (Entry->R.ok() && artifactStoreEnabled()) {
+      ByteWriter Wr;
+      encode(Wr, Entry->R);
+      storeArtifact(Key, Wr.buffer());
+    }
     Entry->Done.store(true, std::memory_order_release);
   });
   return Entry->R;

@@ -42,17 +42,36 @@ struct RunResult {
 RunResult runWorkload(const Workload &W, const CompileOptions &Opts,
                       const sim::MachineConfig &Machine = {});
 
-/// Memoized variant keyed on workload name + options tag + machine model;
-/// the benchmark binaries use this so overlapping tables share runs.
+/// The content key runCached memoizes under: workload name + options tag +
+/// machine model + every option that changes the result. This exact string
+/// is also the persistent store's key material (ArtifactStore salts it with
+/// the schema version), and the suite runner deduplicates cross-table jobs
+/// by comparing it.
+std::string resultKey(const Workload &W, const CompileOptions &Opts,
+                      const sim::MachineConfig &Machine = {});
+
+/// Memoized variant keyed on resultKey(); the benchmark binaries use this
+/// so overlapping tables share runs.
 ///
 /// Thread-safe and sharded: the cache is split by key hash with one mutex
 /// per shard, so concurrent callers with distinct keys neither recompute
 /// nor contend on a shared lock; concurrent callers with the same key block
 /// until the first one finishes and then share its result (in-flight
 /// deduplication — a completed key is never recomputed). Returned
-/// references stay valid for the process lifetime.
+/// references stay valid for the process lifetime (until clearResultCache).
+///
+/// When the persistent ArtifactStore is enabled, a memory miss first tries
+/// the disk tier: a verified on-disk artifact is decoded instead of
+/// recomputed, and a computed OK result is written back. Disk entries that
+/// fail any check degrade to recompute — identical results, just slower.
 const RunResult &runCached(const Workload &W, const CompileOptions &Opts,
                            const sim::MachineConfig &Machine = {});
+
+/// Empties every shard of the in-memory result cache. All references
+/// previously returned by runCached/runAll become dangling — callers are
+/// the suite runner (between its cold and warm measurement passes) and
+/// tests, which drop their results first. Must not race with runCached.
+void clearResultCache();
 
 /// runCached observability, aggregated over shards. Hits found a completed
 /// entry, Misses paid the compile+simulate, InFlightWaits arrived while

@@ -1,0 +1,161 @@
+//===- tests/suite_test.cpp - Suite output byte-identity -------------------===//
+//
+// The suite runner's determinism contract, tested in-process on two
+// representative tables (Table 1 and Table 4, compiled here with their
+// standalone main()s suppressed): a table's run() bytes are invariant
+//
+//  * across thread counts of the warmup fan-out,
+//  * across cache tiers — freshly computed, memory-warm, and
+//    disk-warm (loaded back from a persistent store), and
+//  * across table order (deduplicated jobs shared between tables).
+//
+// bsched-suite --verify-standalone covers the same property against the
+// actual standalone binaries; this test pins it in the ctest matrix where
+// ASan/UBSan run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Suite.h"
+
+#include "driver/ArtifactStore.h"
+#include "driver/ProfileCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace bsched;
+using namespace bsched::bench;
+using namespace bsched::driver;
+
+BSCHED_SUITE_DECLARE(table1_workload)
+BSCHED_SUITE_DECLARE(table4_unroll_bs)
+
+namespace {
+
+std::vector<SuiteTable> testTables() {
+  return {bsched_suite_table_table1_workload(),
+          bsched_suite_table_table4_unroll_bs()};
+}
+
+void clearMemoryCaches() {
+  clearResultCache();
+  clearProfileCache();
+}
+
+/// Captures one table's run() output. captureStdout wants a plain function
+/// pointer, so the table under capture is passed through a file-scope slot.
+const SuiteTable *Current = nullptr;
+std::string captureTable(const SuiteTable &T) {
+  Current = &T;
+  std::string Out;
+  int Rc = captureStdout([] { return Current->Run(); }, Out);
+  EXPECT_EQ(Rc, 0) << T.Name;
+  EXPECT_FALSE(Out.empty()) << T.Name;
+  return Out;
+}
+
+class SuiteTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    setArtifactStoreDir("");
+    clearMemoryCaches();
+  }
+  void TearDown() override {
+    setArtifactStoreDir("");
+    clearMemoryCaches();
+    if (!Dir.empty()) {
+      std::string Cmd = "rm -rf '" + Dir + "'";
+      ASSERT_EQ(std::system(Cmd.c_str()), 0);
+    }
+  }
+  void makeStoreDir() {
+    char Template[] = "/tmp/bsched-suite-test-XXXXXX";
+    ASSERT_NE(::mkdtemp(Template), nullptr);
+    Dir = Template;
+  }
+  std::string Dir;
+};
+
+TEST_F(SuiteTest, OutputInvariantAcrossThreadCounts) {
+  for (const SuiteTable &T : testTables()) {
+    runAll(T.Jobs(), 1);
+    std::string Seq = captureTable(T);
+
+    clearMemoryCaches();
+    runAll(T.Jobs(), 3);
+    std::string Par = captureTable(T);
+    EXPECT_EQ(Seq, Par) << T.Name
+                        << ": output depends on warmup thread count";
+  }
+}
+
+TEST_F(SuiteTest, OutputInvariantAcrossCacheTiers) {
+  makeStoreDir();
+  for (const SuiteTable &T : testTables()) {
+    // Tier 0: pure compute, no store anywhere.
+    setArtifactStoreDir("");
+    clearMemoryCaches();
+    std::string Computed = captureTable(T);
+
+    // Tier 1: memory-warm (the emitter re-reads what the fan-out cached).
+    runAll(T.Jobs(), 2);
+    std::string MemoryWarm = captureTable(T);
+
+    // Tier 2: disk-warm — recompute with the store attached (memory caches
+    // cleared so the write-back path actually runs), wipe memory, reload.
+    setArtifactStoreDir(Dir);
+    resetArtifactStoreStats();
+    clearMemoryCaches();
+    runAll(T.Jobs(), 2);
+    ASSERT_GT(artifactStoreStats().Writes, 0u) << T.Name;
+    clearMemoryCaches();
+    std::string DiskWarm = captureTable(T);
+    EXPECT_GT(artifactStoreStats().DiskHits, 0u) << T.Name;
+
+    EXPECT_EQ(Computed, MemoryWarm) << T.Name;
+    EXPECT_EQ(Computed, DiskWarm)
+        << T.Name << ": disk-tier bytes differ from computed bytes";
+  }
+}
+
+TEST_F(SuiteTest, TablesShareDedupedJobs) {
+  // Table 1's whole grid is a subset of Table 4's unroll-1 column: the
+  // suite-level dedup must collapse it to zero extra jobs, and running the
+  // tables back to back off one cache must not change either's bytes.
+  std::vector<SuiteTable> Tables = testTables();
+  std::unordered_set<std::string> Keys;
+  for (const driver::ExperimentJob &J : Tables[1].Jobs())
+    Keys.insert(resultKey(*J.W, J.Opts, J.Machine));
+  size_t Overlap = 0;
+  for (const driver::ExperimentJob &J : Tables[0].Jobs())
+    Overlap += Keys.count(resultKey(*J.W, J.Opts, J.Machine));
+  EXPECT_EQ(Overlap, Tables[0].Jobs().size());
+
+  // Solo runs, fresh cache each.
+  clearMemoryCaches();
+  runAll(Tables[0].Jobs(), 2);
+  std::string Solo1 = captureTable(Tables[0]);
+  clearMemoryCaches();
+  runAll(Tables[1].Jobs(), 2);
+  std::string Solo4 = captureTable(Tables[1]);
+
+  // Suite-style run: deduped union of both grids, one shared cache.
+  clearMemoryCaches();
+  std::vector<driver::ExperimentJob> Union;
+  std::unordered_set<std::string> Seen;
+  for (const SuiteTable &T : Tables)
+    for (driver::ExperimentJob J : T.Jobs())
+      if (Seen.insert(resultKey(*J.W, J.Opts, J.Machine)).second)
+        Union.push_back(J);
+  runAll(Union, 2);
+  EXPECT_EQ(captureTable(Tables[0]), Solo1);
+  EXPECT_EQ(captureTable(Tables[1]), Solo4);
+}
+
+} // namespace
